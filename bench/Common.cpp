@@ -1,0 +1,208 @@
+//===- bench/Common.cpp - Shared benchmark harness --------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+
+#include <algorithm>
+
+using namespace mpl;
+using namespace mpl::ops;
+
+namespace mpl {
+namespace bench {
+
+namespace {
+int64_t scaled(double Scale, int64_t N) {
+  return std::max<int64_t>(1024, static_cast<int64_t>(N * Scale));
+}
+} // namespace
+
+std::vector<SuiteEntry> makeSuite(double Scale) {
+  std::vector<SuiteEntry> Suite;
+
+  const int64_t NTab = scaled(Scale, 20'000'000);
+  const int64_t NScan = scaled(Scale, 8'000'000);
+  const int64_t NSort = scaled(Scale, 2'000'000);
+  const int64_t NQSort = scaled(Scale, 1'000'000);
+  const int64_t NPrimes = scaled(Scale, 8'000'000);
+  const int64_t NText = scaled(Scale, 30'000'000);
+  const int64_t NHist = scaled(Scale, 15'000'000);
+  const int64_t NGraph = scaled(Scale, 500'000);
+  const int64_t NDedup = scaled(Scale, 1'000'000);
+  const int64_t NChan = scaled(Scale, 150'000);
+  const int64_t NExch = scaled(Scale, 200'000);
+  const int64_t FibN = Scale >= 1.0 ? 33 : (Scale >= 0.25 ? 30 : 26);
+
+  Suite.push_back({"fib", false, [=](bool Seq) {
+                     return wl::fib(FibN, Seq ? FibN : 18);
+                   }});
+
+  Suite.push_back({"tabulate", false, [=](bool Seq) {
+                     Local A(wl::tabulate(
+                         NTab,
+                         [](int64_t I) {
+                           return boxInt(static_cast<int64_t>(hash64(
+                               static_cast<uint64_t>(I))));
+                         },
+                         Seq ? NTab : wl::DefaultGrain));
+                     return static_cast<int64_t>(arrLen(A.get()));
+                   }});
+
+  Suite.push_back({"map-reduce", false, [=](bool Seq) {
+                     int64_t Grain = Seq ? NTab : wl::DefaultGrain;
+                     Local A(wl::tabulate(
+                         NTab, [](int64_t I) { return boxInt(I & 0xff); },
+                         Grain));
+                     return wl::sumInts(A.get(), Grain);
+                   }});
+
+  Suite.push_back({"scan", false, [=](bool Seq) {
+                     int64_t Grain = Seq ? NScan : wl::DefaultGrain;
+                     Local A(wl::tabulate(
+                         NScan, [](int64_t I) { return boxInt(I & 0xf); },
+                         Grain));
+                     Local S(wl::scanPlus(A.get(), Grain));
+                     return unboxInt(recGet(S.get(), 1));
+                   }});
+
+  Suite.push_back({"filter", false, [=](bool Seq) {
+                     int64_t Grain = Seq ? NScan : wl::DefaultGrain;
+                     Local A(wl::tabulate(
+                         NScan,
+                         [](int64_t I) {
+                           return boxInt(static_cast<int64_t>(
+                               hash64(static_cast<uint64_t>(I)) & 0xffff));
+                         },
+                         Grain));
+                     Local F(wl::filterInts(
+                         A.get(), [](int64_t V) { return V % 3 == 0; },
+                         Grain));
+                     return static_cast<int64_t>(arrLen(F.get()));
+                   }});
+
+  Suite.push_back({"msort", false, [=](bool Seq) {
+                     Local A(wl::randomInts(NSort, int64_t(1) << 40, 42));
+                     Local S(wl::mergesortInts(A.get(), 4096,
+                                               /*Parallel=*/!Seq));
+                     MPL_CHECK(wl::isSortedInts(S.get()), "msort broken");
+                     return unboxInt(arrGet(S.get(), 0));
+                   }});
+
+  Suite.push_back({"quicksort", false, [=](bool Seq) {
+                     Local A(wl::randomInts(NQSort, int64_t(1) << 40, 7));
+                     Local S(wl::quicksortInts(A.get(), 8192,
+                                               /*Parallel=*/!Seq));
+                     MPL_CHECK(wl::isSortedInts(S.get()), "qsort broken");
+                     return unboxInt(arrGet(S.get(), 0));
+                   }});
+
+  Suite.push_back({"nqueens", false, [=](bool Seq) {
+                     return wl::nqueens(11, /*Parallel=*/!Seq);
+                   }});
+
+  Suite.push_back({"primes", false, [=](bool Seq) {
+                     Local P(wl::primesUpTo(NPrimes,
+                                            Seq ? NPrimes + 2 : 8192));
+                     return static_cast<int64_t>(arrLen(P.get()));
+                   }});
+
+  Suite.push_back({"tokens", false, [=](bool Seq) {
+                     Local T(wl::randomText(NText, 3));
+                     return wl::tokens(T.get(), Seq ? NText : 8192);
+                   }});
+
+  Suite.push_back({"histogram", false, [=](bool Seq) {
+                     int64_t Grain = Seq ? NHist : wl::DefaultGrain;
+                     Local A(wl::randomInts(NHist, 256, 5));
+                     Local H(wl::histogram(A.get(), 256, Grain));
+                     return unboxInt(arrGet(H.get(), 0));
+                   }});
+
+  Suite.push_back({"bfs", false, [=](bool Seq) {
+                     Local G(wl::buildRandomGraph(NGraph, 4, 11));
+                     Local P(wl::bfs(G.get(), 0,
+                                     Seq ? NGraph : 64));
+                     return wl::countReached(P.get());
+                   }});
+
+  const int64_t NHull = scaled(Scale, 1'000'000);
+  Suite.push_back({"quickhull", false, [=](bool Seq) {
+                     Local P(wl::randomPoints(NHull, 31));
+                     return wl::quickhullCount(P.get(),
+                                               Seq ? NHull + 1 : 4096);
+                   }});
+
+  // Entangled benchmarks: tasks communicate through effects. These are
+  // the programs this paper newly supports.
+  Suite.push_back({"dedup-ht", true, [=](bool Seq) {
+                     Local K(wl::randomInts(NDedup, NDedup / 4, 23));
+                     return wl::dedup(K.get(), Seq ? NDedup : 512);
+                   }});
+
+  Suite.push_back({"channel", true, [=](bool Seq) {
+                     (void)Seq; // Two tasks by construction.
+                     return wl::channelPipeline(NChan);
+                   }});
+
+  Suite.push_back({"exchange", true, [=](bool Seq) {
+                     (void)Seq;
+                     return wl::exchange(NExch);
+                   }});
+
+  return Suite;
+}
+
+StatSnap StatSnap::read() {
+  StatRegistry &Reg = StatRegistry::get();
+  StatSnap S;
+  S.EntangledReads = Reg.valueOf("em.reads.entangled");
+  S.PinsDown = Reg.valueOf("em.pins.down");
+  S.PinsCross = Reg.valueOf("em.pins.cross");
+  S.PinsHolder = Reg.valueOf("em.pins.holder");
+  S.PinnedObjects = Reg.valueOf("em.pins.objects");
+  S.PinnedBytes = Reg.valueOf("em.pinned.bytes");
+  S.Unpins = Reg.valueOf("em.unpins");
+  S.GcCount = Reg.valueOf("gc.collections");
+  S.GcMaxPauseNs = Reg.valueOf("gc.pause.max.ns");
+  S.GcTotalPauseNs = Reg.valueOf("gc.pause.ns");
+  S.GcInPlaceBytes = Reg.valueOf("gc.bytes.inplace");
+  S.PeakResidency = Reg.valueOf("mm.bytes.peak");
+  return S;
+}
+
+RunResult measure(const SuiteEntry &Entry, bool Sequential, int Workers,
+                  em::Mode Mode, bool Profile, int Reps) {
+  RunResult Best;
+  Best.Seconds = 1e100;
+  // Rep -1 is an untimed warmup: it populates the chunk pool and faults in
+  // the pages, so later configurations are not advantaged by reuse.
+  for (int Rep = -1; Rep < Reps; ++Rep) {
+    rt::Config Cfg;
+    Cfg.NumWorkers = Workers;
+    Cfg.Mode = Mode;
+    Cfg.Profile = Profile;
+    rt::Runtime R(Cfg);
+    StatRegistry::get().resetAll();
+    int64_t Checksum = 0;
+    Timer T;
+    WorkSpan WS = R.run([&] { Checksum = Entry.Run(Sequential); });
+    double Sec = T.elapsedSec();
+    if (Rep < 0)
+      continue; // Warmup: discard.
+    if (Rep > 0 && Best.Checksum != Checksum)
+      MPL_CHECK(false, "benchmark checksum varies across repetitions");
+    if (Sec < Best.Seconds) {
+      Best.Seconds = Sec;
+      Best.WS = WS;
+      Best.Stats = StatSnap::read();
+    }
+    Best.Checksum = Checksum;
+  }
+  return Best;
+}
+
+} // namespace bench
+} // namespace mpl

@@ -1,0 +1,94 @@
+//===- bench/Common.h - Shared benchmark harness ---------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite and measurement helpers shared by every bench
+/// binary. Each binary regenerates one table/figure of the paper's
+/// evaluation (see DESIGN.md §5 and EXPERIMENTS.md).
+///
+/// Measurement methodology (1-core container; DESIGN.md §2):
+///  - T_s: the kernel with all parallel grains >= n, Mode::Off, 1 worker —
+///    our analogue of the sequential-runtime (MLton) baseline. Entangled
+///    benchmarks cannot run without management, so their T_s uses Manage
+///    (that *is* the paper's point) and is flagged in the output.
+///  - T_1: 1 worker, full entanglement management, profiled.
+///  - T_P: Brent bound W/P + S from the measured work W and span S.
+///  - R_*: peak chunk-pool residency (mm.bytes.peak).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_BENCH_COMMON_H
+#define MPL_BENCH_COMMON_H
+
+#include "core/Handles.h"
+#include "core/Ops.h"
+#include "core/Runtime.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+#include "workloads/Collections.h"
+#include "workloads/Entangled.h"
+#include "workloads/Graph.h"
+#include "workloads/Kernels.h"
+#include "workloads/Quickhull.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mpl {
+namespace bench {
+
+/// One benchmark of the suite. `Run(Sequential)` executes the kernel —
+/// sequentially (grain >= n, for the T_s baseline) or with its parallel
+/// grain — and returns a checksum used to validate the run.
+struct SuiteEntry {
+  std::string Name;
+  bool Entangled = false;
+  std::function<int64_t(bool Sequential)> Run;
+};
+
+/// Builds the benchmark suite. \p Scale in (0, 1] shrinks the default
+/// problem sizes (which target ~0.2-1s per run on one core).
+std::vector<SuiteEntry> makeSuite(double Scale = 1.0);
+
+/// Snapshot of the entanglement/GC statistics relevant to the tables.
+struct StatSnap {
+  int64_t EntangledReads = 0;
+  int64_t PinsDown = 0;
+  int64_t PinsCross = 0;
+  int64_t PinsHolder = 0;
+  int64_t PinnedObjects = 0;
+  int64_t PinnedBytes = 0;
+  int64_t Unpins = 0;
+  int64_t GcCount = 0;
+  int64_t GcMaxPauseNs = 0;
+  int64_t GcTotalPauseNs = 0;
+  int64_t GcInPlaceBytes = 0;
+  int64_t PeakResidency = 0;
+
+  static StatSnap read();
+};
+
+/// Result of one measured execution.
+struct RunResult {
+  double Seconds = 0;
+  WorkSpan WS;
+  int64_t Checksum = 0;
+  StatSnap Stats;
+};
+
+/// Runs \p Entry once under the given configuration, with stats reset
+/// before the timed region. When \p Reps > 1, the minimum time (and its
+/// accompanying data) is reported, the standard practice for wall-clock
+/// tables on shared machines.
+RunResult measure(const SuiteEntry &Entry, bool Sequential, int Workers,
+                  em::Mode Mode, bool Profile, int Reps = 3);
+
+} // namespace bench
+} // namespace mpl
+
+#endif // MPL_BENCH_COMMON_H

@@ -1,0 +1,64 @@
+//===- bench/bench_table_time.cpp - Paper table T1: execution times --------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+// Regenerates the paper's main time table: for every benchmark, the
+// sequential-baseline time T_s, the single-worker time T_1, the overhead
+// T_1/T_s, the predicted 72-processor time T_72 (Brent bound from measured
+// work and span — see DESIGN.md §2 for why), and the speedup T_s/T_72.
+//
+// The paper's headline claims this table tests:
+//   * small time overhead over sequential runs (T_1/T_s close to 1),
+//   * good scalability (large T_s/T_72 for the parallel benchmarks),
+//   * entangled programs run (pre-paper MPL rejects the last three rows).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+#include "support/Cli.h"
+
+#include <cstdio>
+
+using namespace mpl;
+using namespace mpl::bench;
+
+int main(int Argc, char **Argv) {
+  Cli C(Argc, Argv);
+  double Scale = C.getDouble("scale", 0.25);
+  int Reps = static_cast<int>(C.getInt("reps", 2));
+  int P = static_cast<int>(C.getInt("procs", 72));
+
+  std::printf("== T1: time overhead and scalability (scale=%.2f, "
+              "T_%d via Brent bound) ==\n",
+              Scale, P);
+
+  Table T({"benchmark", "T_s", "T_1", "ovhd(T_1/T_s)", "W/S",
+           "T_" + std::to_string(P), "speedup(T_s/T_P)"});
+
+  for (const SuiteEntry &E : makeSuite(Scale)) {
+    // Sequential baseline: barriers off for disentangled programs; the
+    // entangled ones *require* management (that is the paper's point).
+    em::Mode SeqMode = E.Entangled ? em::Mode::Manage : em::Mode::Off;
+    RunResult Seq = measure(E, /*Sequential=*/true, /*Workers=*/1, SeqMode,
+                            /*Profile=*/false, Reps);
+    RunResult Par = measure(E, /*Sequential=*/false, /*Workers=*/1,
+                            em::Mode::Manage, /*Profile=*/true, Reps);
+    MPL_CHECK(Seq.Checksum == Par.Checksum,
+              "sequential and parallel runs disagree");
+
+    double TP = Par.WS.predictedTime(P);
+    double Parallelism = Par.WS.SpanSec > 0
+                             ? Par.WS.WorkSec / Par.WS.SpanSec
+                             : 0;
+    T.addRow({E.Name + (E.Entangled ? " (ent)" : ""),
+              Table::fmtSec(Seq.Seconds), Table::fmtSec(Par.Seconds),
+              Table::fmtRatio(Par.Seconds / Seq.Seconds),
+              Table::fmtRatio(Parallelism), Table::fmtSec(TP),
+              Table::fmtRatio(Seq.Seconds / TP)});
+  }
+  T.print();
+  std::printf("\n(ent) = entangled benchmark: its T_s runs with management "
+              "enabled because\npre-paper MPL cannot run it at all; "
+              "see bench_table_entangle for its stats.\n");
+  return 0;
+}

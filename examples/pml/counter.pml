@@ -1,0 +1,18 @@
+(* Effects across concurrent tasks — the program class this paper enables.
+   Two sibling tasks increment a shared counter ref; the reads and writes
+   entangle the tasks' heaps and the runtime manages it. Pre-paper MPL
+   (run with a Detect-mode runtime) rejects this program. *)
+
+val counter = ref 0
+
+fun bump n =
+  if n = 0 then ()
+  else (counter := !counter + 1; bump (n - 1))
+
+val p = par (bump 1000, bump 1000)
+
+-- Note: the two branches race on the (non-atomic) counter, exactly like
+-- the equivalent Parallel ML program would; the final value is between
+-- 1000 and 2000. Entanglement management makes the race *memory safe*;
+-- it does not (and should not) make it deterministic.
+printInt (!counter)

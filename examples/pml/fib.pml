@@ -1,0 +1,11 @@
+(* Parallel Fibonacci: the canonical fork-join benchmark.
+   Run: pml_repl -workers 4 examples/pml/fib.pml *)
+
+fun fib n =
+  if n < 2 then n
+  else if n < 14 then fib (n - 1) + fib (n - 2)
+  else
+    let val p = par (fib (n - 1), fib (n - 2))
+    in fst p + snd p end
+
+printInt (fib 28)

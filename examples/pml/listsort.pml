@@ -1,0 +1,44 @@
+(* Parallel list mergesort with pattern matching — the classic functional
+   benchmark, running on the hierarchical heaps with one task heap per
+   par branch. *)
+
+fun split xs =
+  case xs of
+    [] => ([], [])
+  | x :: [] => ([x], [])
+  | x :: y :: rest =>
+      let val p = split rest in (x :: fst p, y :: snd p) end
+
+fun merge ab =
+  case ab of
+    ([], ys) => ys
+  | (xs, []) => xs
+  | (x :: xs, y :: ys) =>
+      if x <= y then x :: merge (xs, y :: ys)
+      else y :: merge (x :: xs, ys)
+
+fun len xs = case xs of [] => 0 | _ :: t => 1 + len t
+
+fun sorted xs =
+  case xs of
+    [] => true
+  | _ :: [] => true
+  | x :: y :: rest => x <= y andalso sorted (y :: rest)
+
+fun msort xs =
+  if len xs < 64 then
+    case xs of
+      [] => []
+    | h :: t => merge ([h], msort t)   -- small lists: insertion by merge
+  else
+    let val halves = split xs
+        val p = par (msort (fst halves), msort (snd halves))
+    in merge p end
+
+fun mklist n acc = if n = 0 then acc else mklist (n - 1) (n * 37 % 1000 :: acc)
+
+val input = mklist 2000 []
+val result = msort input
+
+(if sorted result then print "sorted\n" else print "BROKEN\n");
+printInt (len result)

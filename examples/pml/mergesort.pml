@@ -1,0 +1,54 @@
+(* Parallel mergesort over an array, functional style: each level
+   allocates fresh arrays, exercising the hierarchical heaps. *)
+
+val n = 20000
+
+-- Deterministic pseudo-random input.
+fun fill a i seed =
+  if i = length a then ()
+  else (set a i (seed % 100000);
+        fill a (i + 1) ((seed * 1103515245 + 12345) % 2147483647))
+
+fun copyRange src lo hi =
+  let val out = alloc (hi - lo) 0
+      fun go i = if i = hi then out else (set out (i - lo) (get src i); go (i + 1))
+  in go lo end
+
+fun merge l r =
+  let val out = alloc (length l + length r) 0
+      fun go i j k =
+        if i = length l then
+          (if j = length r then out
+           else (set out k (get r j); go i (j + 1) (k + 1)))
+        else if j = length r then (set out k (get l i); go (i + 1) j (k + 1))
+        else if get l i <= get r j then (set out k (get l i); go (i + 1) j (k + 1))
+        else (set out k (get r j); go i (j + 1) (k + 1))
+  in go 0 0 0 end
+
+fun isort a =
+  let fun ins out i v =
+        if i > 0 andalso get out (i - 1) > v
+        then (set out i (get out (i - 1)); ins out (i - 1) v)
+        else set out i v
+      fun go i = if i = length a then a else (ins a i (get a i); go (i + 1))
+  in go 0 end
+
+fun msort a =
+  if length a < 512 then isort a
+  else
+    let val mid = length a / 2
+        val l = copyRange a 0 mid
+        val r = copyRange a mid (length a)
+        val p = par (msort l, msort r)
+    in merge (fst p) (snd p) end
+
+fun check a i =
+  if i + 1 >= length a then true
+  else if get a i <= get a (i + 1) then check a (i + 1)
+  else false
+
+val input = alloc n 0
+val u1 = fill input 0 42
+val sorted = msort input
+(if check sorted 0 then print "sorted\n" else print "BROKEN\n");
+printInt (get sorted 0 + get sorted (n - 1))

@@ -1,0 +1,126 @@
+//===- examples/pml_repl.cpp - Run PML programs -----------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+// Compiles and runs PML (the reproduction's Parallel ML stand-in) on the
+// entanglement-managed runtime. With no arguments it runs a built-in demo
+// suite — including an *entangled* program that pre-paper MPL would
+// reject. Pass a file path to run it, or -e "expr" for one-liners.
+//
+// Usage:
+//   pml_repl                       # run the demo programs
+//   pml_repl program.pml           # run a file
+//   pml_repl -e "1 + 2"           # evaluate an expression
+//   pml_repl -workers 4 file.pml   # choose the worker count
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "pml/Vm.h"
+#include "support/Cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace mpl;
+
+namespace {
+
+struct Demo {
+  const char *Title;
+  const char *Source;
+};
+
+const Demo Demos[] = {
+    {"parallel fib",
+     "fun fib n = if n < 2 then n else\n"
+     "  if n < 12 then fib (n-1) + fib (n-2)\n"
+     "  else let val p = par (fib (n-1), fib (n-2)) in fst p + snd p end\n"
+     "printInt (fib 24)"},
+
+    {"parallel array sum",
+     "val a = alloc 10000 1\n"
+     "fun sum lo hi =\n"
+     "  if hi - lo < 100 then\n"
+     "    let fun go i acc = if i = hi then acc else go (i+1) (acc + get a i)\n"
+     "    in go lo 0 end\n"
+     "  else let val mid = (lo + hi) / 2\n"
+     "       val p = par (sum lo mid, sum mid hi)\n"
+     "       in fst p + snd p end\n"
+     "printInt (sum 0 10000)"},
+
+    {"effects across tasks (entangled; rejected by pre-paper MPL)",
+     "val mailbox = ref (ref 0)\n"
+     "val p = par (\n"
+     "  (mailbox := ref 42; 0),\n"
+     "  (let fun poll u =\n"
+     "     let val inner = !mailbox in\n"
+     "       if !inner = 42 then !inner else poll u end\n"
+     "   in poll () end))\n"
+     "printInt (snd p)"},
+
+    {"sieve of Eratosthenes",
+     "val n = 1000\n"
+     "val composite = alloc (n + 1) false\n"
+     "fun mark m p = if m > n then () else (set composite m true; "
+     "mark (m + p) p)\n"
+     "fun sieve p = if p * p > n then () else\n"
+     "  ((if get composite p then () else mark (p * p) p); sieve (p + 1))\n"
+     "fun count i acc = if i > n then acc else\n"
+     "  count (i + 1) (if get composite i then acc else acc + 1)\n"
+     "sieve 2;\n"
+     "printInt (count 2 0)"},
+};
+
+int runOne(const std::string &Title, const std::string &Source,
+           int Workers) {
+  rt::Config Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.Profile = false;
+  rt::Runtime R(Cfg);
+
+  std::printf("--- %s ---\n", Title.c_str());
+  int Rc = 0;
+  R.run([&] {
+    std::string Output, Rendered, TypeStr;
+    std::vector<std::string> Errors;
+    if (pml::evalSource(Source, Output, Rendered, TypeStr, Errors)) {
+      std::fwrite(Output.data(), 1, Output.size(), stdout);
+      std::printf("val it : %s = %s\n", TypeStr.c_str(), Rendered.c_str());
+    } else {
+      for (const std::string &E : Errors)
+        std::printf("error: %s\n", E.c_str());
+      Rc = 1;
+    }
+  });
+  return Rc;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Cli C(Argc, Argv);
+  int Workers = static_cast<int>(C.getInt("workers", 2));
+
+  std::string Inline = C.getString("e", "");
+  if (!Inline.empty())
+    return runOne("expression", Inline, Workers);
+
+  if (!C.positional().empty()) {
+    const std::string &Path = C.positional()[0];
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    std::stringstream Ss;
+    Ss << In.rdbuf();
+    return runOne(Path, Ss.str(), Workers);
+  }
+
+  int Rc = 0;
+  for (const Demo &D : Demos)
+    Rc |= runOne(D.Title, D.Source, Workers);
+  return Rc;
+}

@@ -1,0 +1,224 @@
+//===- baseline/Native.cpp - Native C++ comparison kernels -----------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Native.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace mpl {
+namespace nat {
+
+int64_t fib(int64_t N) { return N < 2 ? N : fib(N - 1) + fib(N - 2); }
+
+std::vector<int64_t> randomInts(int64_t N, int64_t Range, uint64_t Seed) {
+  std::vector<int64_t> V(static_cast<size_t>(N));
+  for (int64_t I = 0; I < N; ++I)
+    V[static_cast<size_t>(I)] = static_cast<int64_t>(
+        hash64(Seed ^ hash64(static_cast<uint64_t>(I))) %
+        static_cast<uint64_t>(Range));
+  return V;
+}
+
+std::vector<int64_t> sortIdiomatic(std::vector<int64_t> V) {
+  std::sort(V.begin(), V.end());
+  return V;
+}
+
+std::vector<int64_t> msortFunctional(const std::vector<int64_t> &V) {
+  if (V.size() <= 4096) {
+    std::vector<int64_t> Out(V);
+    std::sort(Out.begin(), Out.end());
+    return Out;
+  }
+  size_t Mid = V.size() / 2;
+  std::vector<int64_t> L = msortFunctional({V.begin(), V.begin() + Mid});
+  std::vector<int64_t> R = msortFunctional({V.begin() + Mid, V.end()});
+  std::vector<int64_t> Out(V.size());
+  std::merge(L.begin(), L.end(), R.begin(), R.end(), Out.begin());
+  return Out;
+}
+
+namespace {
+bool queenSafe(const std::vector<int> &Board, int Col) {
+  int Row = static_cast<int>(Board.size());
+  for (int R = 0; R < Row; ++R) {
+    int C = Board[static_cast<size_t>(R)];
+    int Dist = Row - R;
+    if (C == Col || C == Col - Dist || C == Col + Dist)
+      return false;
+  }
+  return true;
+}
+
+int64_t queensRec(int N, std::vector<int> &Board) {
+  if (static_cast<int>(Board.size()) == N)
+    return 1;
+  int64_t Count = 0;
+  for (int Col = 0; Col < N; ++Col) {
+    if (!queenSafe(Board, Col))
+      continue;
+    Board.push_back(Col);
+    Count += queensRec(N, Board);
+    Board.pop_back();
+  }
+  return Count;
+}
+} // namespace
+
+int64_t nqueens(int N) {
+  std::vector<int> Board;
+  return queensRec(N, Board);
+}
+
+int64_t primesCount(int64_t N) {
+  std::vector<char> Composite(static_cast<size_t>(N + 1), 0);
+  for (int64_t P = 2; P * P <= N; ++P) {
+    if (Composite[static_cast<size_t>(P)])
+      continue;
+    for (int64_t M = P * P; M <= N; M += P)
+      Composite[static_cast<size_t>(M)] = 1;
+  }
+  int64_t Count = 0;
+  for (int64_t I = 2; I <= N; ++I)
+    Count += !Composite[static_cast<size_t>(I)];
+  return Count;
+}
+
+std::string randomText(int64_t Len, uint64_t Seed) {
+  std::string Buf(static_cast<size_t>(Len), ' ');
+  Rng R(Seed);
+  size_t I = 0;
+  while (I < Buf.size()) {
+    size_t WordLen = 1 + R.nextBounded(9);
+    for (size_t J = 0; J < WordLen && I < Buf.size(); ++J, ++I)
+      Buf[I] = static_cast<char>('a' + R.nextBounded(26));
+    if (I < Buf.size())
+      Buf[I++] = R.nextBounded(8) == 0 ? '\n' : ' ';
+  }
+  return Buf;
+}
+
+int64_t tokens(const std::string &S) {
+  auto Sp = [](char C) { return C == ' ' || C == '\n' || C == '\t'; };
+  int64_t Count = 0;
+  for (size_t I = 0; I < S.size(); ++I)
+    if (!Sp(S[I]) && (I == 0 || Sp(S[I - 1])))
+      ++Count;
+  return Count;
+}
+
+int64_t dedupIdiomatic(const std::vector<int64_t> &Keys) {
+  std::unordered_set<int64_t> Set(Keys.begin(), Keys.end());
+  return static_cast<int64_t>(Set.size());
+}
+
+std::vector<int64_t> histogram(const std::vector<int64_t> &V,
+                               int64_t Buckets) {
+  std::vector<int64_t> H(static_cast<size_t>(Buckets), 0);
+  for (int64_t X : V)
+    ++H[static_cast<size_t>(X)];
+  return H;
+}
+
+Graph buildRandomGraph(int64_t N, int64_t AvgDeg, uint64_t Seed) {
+  Graph G;
+  G.N = N;
+  G.Offsets.resize(static_cast<size_t>(N + 1), 0);
+  for (int64_t U = 0; U < N; ++U)
+    G.Offsets[static_cast<size_t>(U + 1)] =
+        G.Offsets[static_cast<size_t>(U)] + AvgDeg + (U + 1 < N ? 1 : 0);
+  G.Edges.resize(static_cast<size_t>(G.Offsets[static_cast<size_t>(N)]));
+  for (int64_t U = 0; U < N; ++U) {
+    Rng R(hash64(Seed ^ static_cast<uint64_t>(U)));
+    int64_t At = G.Offsets[static_cast<size_t>(U)];
+    for (int64_t K = 0; K < AvgDeg; ++K)
+      G.Edges[static_cast<size_t>(At++)] =
+          static_cast<int64_t>(R.nextBounded(static_cast<uint64_t>(N)));
+    if (U + 1 < N)
+      G.Edges[static_cast<size_t>(At++)] = U + 1;
+  }
+  return G;
+}
+
+int64_t bfsReached(const Graph &G, int64_t Src) {
+  std::vector<int64_t> Parent(static_cast<size_t>(G.N), -2);
+  Parent[static_cast<size_t>(Src)] = -1;
+  std::deque<int64_t> Queue{Src};
+  int64_t Reached = 1;
+  while (!Queue.empty()) {
+    int64_t U = Queue.front();
+    Queue.pop_front();
+    for (int64_t E = G.Offsets[static_cast<size_t>(U)];
+         E < G.Offsets[static_cast<size_t>(U + 1)]; ++E) {
+      int64_t W = G.Edges[static_cast<size_t>(E)];
+      if (Parent[static_cast<size_t>(W)] != -2)
+        continue;
+      Parent[static_cast<size_t>(W)] = U;
+      ++Reached;
+      Queue.push_back(W);
+    }
+  }
+  return Reached;
+}
+
+void randomPoints(int64_t N, uint64_t Seed, std::vector<int64_t> &Xs,
+                  std::vector<int64_t> &Ys) {
+  Xs.resize(static_cast<size_t>(N));
+  Ys.resize(static_cast<size_t>(N));
+  for (int64_t I = 0; I < N; ++I) {
+    Rng R(hash64(Seed ^ static_cast<uint64_t>(I)));
+    int64_t Vx, Vy;
+    do {
+      Vx = static_cast<int64_t>(R.nextBounded(2000001)) - 1000000;
+      Vy = static_cast<int64_t>(R.nextBounded(2000001)) - 1000000;
+    } while (Vx * Vx + Vy * Vy > 1000000ll * 1000000ll);
+    Xs[static_cast<size_t>(I)] = Vx;
+    Ys[static_cast<size_t>(I)] = Vy;
+  }
+}
+
+int64_t convexHullCount(const std::vector<int64_t> &Xs,
+                        const std::vector<int64_t> &Ys) {
+  size_t N = Xs.size();
+  std::vector<size_t> Idx(N);
+  for (size_t I = 0; I < N; ++I)
+    Idx[I] = I;
+  std::sort(Idx.begin(), Idx.end(), [&](size_t A, size_t B) {
+    return std::make_pair(Xs[A], Ys[A]) < std::make_pair(Xs[B], Ys[B]);
+  });
+  Idx.erase(std::unique(Idx.begin(), Idx.end(),
+                        [&](size_t A, size_t B) {
+                          return Xs[A] == Xs[B] && Ys[A] == Ys[B];
+                        }),
+            Idx.end());
+  N = Idx.size();
+  if (N < 3)
+    return static_cast<int64_t>(N);
+  auto Cross = [&](size_t O, size_t A, size_t B) {
+    return (Xs[A] - Xs[O]) * (Ys[B] - Ys[O]) -
+           (Ys[A] - Ys[O]) * (Xs[B] - Xs[O]);
+  };
+  std::vector<size_t> Hull(2 * N);
+  size_t K = 0;
+  for (size_t I = 0; I < N; ++I) { // Lower hull.
+    while (K >= 2 && Cross(Hull[K - 2], Hull[K - 1], Idx[I]) <= 0)
+      --K;
+    Hull[K++] = Idx[I];
+  }
+  for (size_t I = N - 1, T = K + 1; I-- > 0;) { // Upper hull.
+    while (K >= T && Cross(Hull[K - 2], Hull[K - 1], Idx[I]) <= 0)
+      --K;
+    Hull[K++] = Idx[I];
+  }
+  return static_cast<int64_t>(K - 1);
+}
+
+} // namespace nat
+} // namespace mpl

@@ -1,0 +1,81 @@
+//===- baseline/Native.h - Native C++ comparison kernels -------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written C++ (malloc + STL) implementations of the comparison
+/// kernels for the paper's cross-language table (MPL vs C++/Go/Java/OCaml).
+/// Only the C++ column is reproducible offline; see DESIGN.md §2.
+///
+/// Two flavours where it matters:
+///  - `*Idiomatic`: the straightforward C++ a practitioner would write
+///    (std::sort, unordered_set) — the paper's "C++" column;
+///  - `*Functional`: allocation-matched variants with the same allocation
+///    behaviour as the functional kernels, isolating language/runtime cost
+///    from algorithmic differences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_BASELINE_NATIVE_H
+#define MPL_BASELINE_NATIVE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpl {
+namespace nat {
+
+int64_t fib(int64_t N);
+
+std::vector<int64_t> randomInts(int64_t N, int64_t Range, uint64_t Seed);
+
+/// std::sort (the idiomatic C++ baseline).
+std::vector<int64_t> sortIdiomatic(std::vector<int64_t> V);
+
+/// Out-of-place top-down mergesort that allocates fresh buffers at every
+/// level, matching the functional kernel's allocation behaviour.
+std::vector<int64_t> msortFunctional(const std::vector<int64_t> &V);
+
+int64_t nqueens(int N);
+
+/// Number of primes <= N (sieve).
+int64_t primesCount(int64_t N);
+
+std::string randomText(int64_t Len, uint64_t Seed);
+int64_t tokens(const std::string &S);
+
+/// Distinct count via unordered_set.
+int64_t dedupIdiomatic(const std::vector<int64_t> &Keys);
+
+/// Histogram into Buckets; returns the bucket counts.
+std::vector<int64_t> histogram(const std::vector<int64_t> &V,
+                               int64_t Buckets);
+
+/// CSR graph matching wl::buildRandomGraph's topology exactly (same seed
+/// derivation), so BFS results are comparable.
+struct Graph {
+  int64_t N = 0;
+  std::vector<int64_t> Offsets;
+  std::vector<int64_t> Edges;
+};
+Graph buildRandomGraph(int64_t N, int64_t AvgDeg, uint64_t Seed);
+
+/// Sequential BFS; returns number of reached vertices.
+int64_t bfsReached(const Graph &G, int64_t Src);
+
+/// Random points in a disc, identical to wl::randomPoints' derivation.
+void randomPoints(int64_t N, uint64_t Seed, std::vector<int64_t> &Xs,
+                  std::vector<int64_t> &Ys);
+
+/// Convex hull size via Andrew's monotone chain (collinear points are not
+/// counted as vertices, matching the quickhull kernel).
+int64_t convexHullCount(const std::vector<int64_t> &Xs,
+                        const std::vector<int64_t> &Ys);
+
+} // namespace nat
+} // namespace mpl
+
+#endif // MPL_BASELINE_NATIVE_H

@@ -1,0 +1,101 @@
+//===- core/Em.cpp - Entanglement management barriers ---------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Em.h"
+
+#include "support/Assert.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace mpl;
+
+namespace mpl {
+namespace em {
+
+std::atomic<Mode> CurrentMode{Mode::Manage};
+Counters Counts;
+
+namespace {
+Stat StatEntangledReads("em.reads.entangled");
+Stat StatDownPins("em.pins.down");
+Stat StatCrossPins("em.pins.cross");
+Stat StatHolderPins("em.pins.holder");
+Stat StatPinnedObjects("em.pins.objects");
+Stat StatPinnedBytes("em.pinned.bytes");
+} // namespace
+
+void setMode(Mode M) { CurrentMode.store(M, std::memory_order_relaxed); }
+
+void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
+  Heap *HP = Heap::of(P);
+  uint32_t PinDepth = UINT32_MAX;
+
+  if (HX != HP) {
+    if (Heap::isAncestorOf(HX, HP)) {
+      // Down-pointer: X is shallower, so tasks concurrent with P's
+      // allocator may read P through X.
+      PinDepth = HX->depth();
+      Counts.DownPointerPins.fetch_add(1, std::memory_order_relaxed);
+      StatDownPins.inc();
+    } else if (!Heap::isAncestorOf(HP, HX)) {
+      // Cross-pointer between concurrent heaps: X itself was obtained via
+      // entanglement; P becomes reachable from that entangled region.
+      PinDepth = Heap::lcaDepth(HX, HP);
+      Counts.CrossPointerPins.fetch_add(1, std::memory_order_relaxed);
+      StatCrossPins.inc();
+    }
+    // Up-pointer (HP ancestor of HX): always disentangled, nothing to do —
+    // unless X is pinned, handled below.
+  }
+
+  if (X->isPinned()) {
+    // X is already visible to concurrent tasks; anything stored into it is
+    // published to them and must survive, in place, at least as long as X.
+    PinDepth = std::min(PinDepth, X->unpinDepth());
+    Counts.PinnedHolderPins.fetch_add(1, std::memory_order_relaxed);
+    StatHolderPins.inc();
+  }
+
+  if (PinDepth == UINT32_MAX)
+    return;
+  if (mode() == Mode::Detect && PinDepth < HP->depth() &&
+      !Heap::isAncestorOf(HX, HP)) {
+    // Pre-paper MPL permits down-pointers (they are the remembered-set
+    // case) but has no mechanism for cross-pointers.
+    MPL_CHECK(false, "entanglement created by write (Detect mode)");
+  }
+  if (HP->addPinned(P, PinDepth)) {
+    Counts.PinnedBytes.fetch_add(static_cast<int64_t>(P->sizeBytes()),
+                                 std::memory_order_relaxed);
+    StatPinnedObjects.inc();
+    StatPinnedBytes.add(static_cast<int64_t>(P->sizeBytes()));
+  }
+}
+
+void readBarrierSlow(Heap *Reader, Object *P, Heap *HP) {
+  Counts.EntangledReads.fetch_add(1, std::memory_order_relaxed);
+  StatEntangledReads.inc();
+  MPL_CHECK(mode() != Mode::Detect,
+            "entanglement detected (Detect mode models MPL before this "
+            "paper, which rejects entangled executions)");
+  // Manage mode: the object is already pinned (pin-before-publish: the
+  // write that made it visible pinned it). Deepen the pin to the LCA of
+  // the reader and the object's heap in case the reader escapes higher
+  // than the writer anticipated.
+  uint32_t Lca = Heap::lcaDepth(Reader, HP);
+  if (P->isPinned() && P->unpinDepth() <= Lca)
+    return;
+  if (HP->addPinned(P, Lca)) {
+    Counts.PinnedBytes.fetch_add(static_cast<int64_t>(P->sizeBytes()),
+                                 std::memory_order_relaxed);
+    StatPinnedObjects.inc();
+    StatPinnedBytes.add(static_cast<int64_t>(P->sizeBytes()));
+  }
+}
+
+} // namespace em
+} // namespace mpl

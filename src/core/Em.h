@@ -1,0 +1,106 @@
+//===- core/Em.h - Entanglement management barriers ------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core mechanism: read and write barriers that (1) detect
+/// entanglement at the granularity of individual objects, and (2) manage it
+/// by *pinning* objects before they can become visible to concurrent tasks
+/// ("pin before publish").
+///
+/// Write barrier (on every mutable pointer store `X.f := P`):
+///  - down-pointer (heap(X) strictly shallower ancestor of heap(P)): any
+///    task that can see X may later read P, so P is pinned with unpin depth
+///    = depth(heap(X));
+///  - cross-pointer (heaps concurrent): P is pinned at the LCA depth;
+///  - store into an already-pinned X: X itself is visible to concurrent
+///    tasks, so P inherits X's exposure and is pinned at X's unpin depth.
+/// Pins are *sticky*: even if the field is overwritten, P stays pinned (and
+/// therefore retained, in place) until a join reaches its unpin depth —
+/// that retention is precisely the paper's space cost of entanglement.
+///
+/// Read barrier (on every mutable pointer load yielding P): if heap(P) is
+/// not an ancestor of the reader's heap, the read is *entangled*. In
+/// Detect mode (modeling MPL before this paper, ICFP 2022) this is a fatal
+/// error; in Manage mode it is counted and P's unpin depth is lowered to
+/// the LCA if needed. Disentangled programs pay exactly one ancestor check
+/// per mutable pointer load and never take a lock — the "shielding" the
+/// paper claims, measured by bench_fig_ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_CORE_EM_H
+#define MPL_CORE_EM_H
+
+#include "hh/Heap.h"
+#include "mm/Object.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace mpl {
+namespace em {
+
+/// Entanglement policy for the whole runtime.
+enum class Mode : uint8_t {
+  Off,    ///< No barriers. Sound only for disentangled programs (ablation).
+  Detect, ///< Detect entanglement and abort (pre-paper MPL behaviour).
+  Manage, ///< Full entanglement management (the paper; default).
+};
+
+/// Current mode; relaxed-read on the barrier fast path.
+extern std::atomic<Mode> CurrentMode;
+
+inline Mode mode() { return CurrentMode.load(std::memory_order_relaxed); }
+void setMode(Mode M);
+
+/// Counters exposed for tests/benches (see also support/Stats registry).
+struct Counters {
+  std::atomic<int64_t> EntangledReads{0};
+  std::atomic<int64_t> DownPointerPins{0};
+  std::atomic<int64_t> CrossPointerPins{0};
+  std::atomic<int64_t> PinnedHolderPins{0};
+  std::atomic<int64_t> PinnedBytes{0};
+};
+extern Counters Counts;
+
+/// Slow path of the write barrier; see writeBarrier.
+void writeBarrierSlow(Object *X, Heap *HX, Object *P);
+
+/// Must run before storing pointer value \p V into mutable object \p X.
+inline void writeBarrier(Object *X, Slot V) {
+  if (mode() == Mode::Off)
+    return;
+  Object *P = Object::asPointer(V);
+  if (!P)
+    return;
+  Heap *HX = Heap::of(X);
+  // Fast path: intra-heap store into an unexposed object needs nothing.
+  if (HX == Heap::of(P) && !X->isPinned())
+    return;
+  writeBarrierSlow(X, HX, P);
+}
+
+/// Slow path of the read barrier; see readBarrier.
+void readBarrierSlow(Heap *Reader, Object *P, Heap *HP);
+
+/// Must run after loading pointer value \p V from a mutable object, with
+/// \p Reader the reading task's current heap.
+inline void readBarrier(Heap *Reader, Slot V) {
+  if (mode() == Mode::Off)
+    return;
+  Object *P = Object::asPointer(V);
+  if (!P)
+    return;
+  Heap *HP = Heap::of(P);
+  if (Heap::isAncestorOf(HP, Reader))
+    return; // Disentangled: the common, cheap case.
+  readBarrierSlow(Reader, P, HP);
+}
+
+} // namespace em
+} // namespace mpl
+
+#endif // MPL_CORE_EM_H

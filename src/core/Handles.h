@@ -1,0 +1,80 @@
+//===- core/Handles.h - Rooted GC handles ----------------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GC-safe handles. A Local registers one slot on the calling thread's
+/// shadow stack; the collector traces and updates it. Any object reference
+/// held across an allocation (every ops::new* call may collect) must live
+/// in a Local (or a RootedBuf).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_CORE_HANDLES_H
+#define MPL_CORE_HANDLES_H
+
+#include "core/Runtime.h"
+#include "mm/Object.h"
+
+#include <cstddef>
+
+namespace mpl {
+
+/// A single rooted slot. Handles are strictly scoped (LIFO), which the
+/// shadow stack asserts in debug builds.
+class Local {
+public:
+  explicit Local(Object *O = nullptr) : Val(Object::fromPointer(O)) {
+    rt::Runtime::ctx()->Roots.pushSlot(&Val);
+  }
+  explicit Local(Slot V) : Val(V) {
+    rt::Runtime::ctx()->Roots.pushSlot(&Val);
+  }
+  ~Local() { rt::Runtime::ctx()->Roots.popSlot(&Val); }
+
+  Local(const Local &) = delete;
+  Local &operator=(const Local &) = delete;
+
+  Object *get() const { return Object::asPointer(Val); }
+  Slot slot() const { return Val; }
+
+  void set(Object *O) { Val = Object::fromPointer(O); }
+  void setSlot(Slot V) { Val = V; }
+
+private:
+  Slot Val;
+};
+
+/// A small fixed buffer of rooted slots, for allocation helpers that take
+/// several potentially-pointer arguments.
+class RootedBuf {
+public:
+  static constexpr size_t Capacity = Object::MaxRecordFields;
+
+  RootedBuf() : Base(Buf) {
+    rt::Runtime::ctx()->Roots.pushRange(&Base, &Count);
+  }
+  ~RootedBuf() { rt::Runtime::ctx()->Roots.popRange(&Base); }
+
+  RootedBuf(const RootedBuf &) = delete;
+  RootedBuf &operator=(const RootedBuf &) = delete;
+
+  void push(Slot V) {
+    MPL_DASSERT(Count < Capacity, "RootedBuf overflow");
+    Buf[Count++] = V;
+  }
+
+  Slot operator[](size_t I) const { return Buf[I]; }
+  size_t size() const { return Count; }
+
+private:
+  Slot Buf[Capacity] = {};
+  Slot *Base;
+  size_t Count = 0;
+};
+
+} // namespace mpl
+
+#endif // MPL_CORE_HANDLES_H

@@ -1,0 +1,222 @@
+//===- core/Ops.h - Typed heap operations ----------------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation and access operations over runtime values, mirroring the
+/// Parallel ML surface the paper supports:
+///
+///  - tagged 63-bit integers (immediates, never traced);
+///  - `ref` cells with `refGet` (`!`) and `refSet` (`:=`) — mutable, so
+///    loads run the entanglement read barrier and stores the write barrier;
+///  - mutable arrays (`arrGet`/`arrSet`), ditto;
+///  - immutable records (tuples, list/tree nodes) — reads are barrier-free,
+///    which is exactly the paper's "shielding" of disentangled data;
+///  - raw byte arrays and strings (no pointers, never scanned).
+///
+/// Every ops::new* may trigger a local collection, so object references
+/// held across them must be rooted (Local / RootedBuf); the helpers here
+/// root their own arguments internally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_CORE_OPS_H
+#define MPL_CORE_OPS_H
+
+#include "core/Em.h"
+#include "core/Handles.h"
+#include "core/Runtime.h"
+
+#include <cstring>
+#include <initializer_list>
+
+namespace mpl {
+namespace ops {
+
+//===----------------------------------------------------------------------===//
+// Immediates
+//===----------------------------------------------------------------------===//
+
+/// Tags a 63-bit integer as an immediate slot value (low bit set).
+inline Slot boxInt(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) | 1;
+}
+inline int64_t unboxInt(Slot S) { return static_cast<int64_t>(S) >> 1; }
+inline bool isInt(Slot S) { return (S & 1) != 0; }
+
+inline Slot boxBool(bool B) { return boxInt(B ? 1 : 0); }
+inline bool unboxBool(Slot S) { return unboxInt(S) != 0; }
+
+/// The unit value.
+inline Slot unit() { return boxInt(0); }
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
+/// Allocates an object in the calling task's heap, running the collection
+/// policy first. Payload is uninitialized.
+inline Object *allocObject(ObjKind K, bool Mutable, uint32_t Length,
+                           uint16_t PtrMap) {
+  rt::Runtime *R = rt::Runtime::current();
+  MPL_DASSERT(R, "allocation outside Runtime::run");
+  R->maybeCollect();
+  WorkerCtx *C = rt::Runtime::ctx();
+  Object *O = C->CurrentHeap->allocateObject(K, Mutable, Length, PtrMap);
+  C->AllocSinceGc += static_cast<int64_t>(Object::sizeBytesFor(Length));
+  return O;
+}
+
+/// Allocates `ref Init`.
+inline Object *newRef(Slot Init) {
+  Local Tmp(Init);
+  Object *O = allocObject(ObjKind::Ref, /*Mutable=*/true, 1, 0);
+  em::writeBarrier(O, Tmp.slot());
+  O->setSlot(0, Tmp.slot());
+  return O;
+}
+
+/// Allocates a mutable array of \p N slots, all initialized to \p Init.
+inline Object *newArray(uint32_t N, Slot Init) {
+  Local Tmp(Init);
+  Object *O = allocObject(ObjKind::Array, /*Mutable=*/true, N, 0);
+  if (N > 0)
+    em::writeBarrier(O, Tmp.slot());
+  Slot V = Tmp.slot();
+  for (uint32_t I = 0; I < N; ++I)
+    O->setSlot(I, V);
+  return O;
+}
+
+/// Allocates an immutable record whose pointer fields are described by
+/// \p PtrMap (bit I set = field I is a pointer). Reads of immutable
+/// records are barrier-free.
+inline Object *newRecord(uint16_t PtrMap, std::initializer_list<Slot> Fields) {
+  RootedBuf Tmp;
+  for (Slot F : Fields)
+    Tmp.push(F);
+  Object *O = allocObject(ObjKind::Record, /*Mutable=*/false,
+                          static_cast<uint32_t>(Fields.size()), PtrMap);
+  for (uint32_t I = 0; I < Tmp.size(); ++I) {
+    if ((PtrMap >> I) & 1)
+      em::writeBarrier(O, Tmp[I]);
+    O->setSlot(I, Tmp[I]);
+  }
+  return O;
+}
+
+/// Allocates a mutable record (fields settable with recSet).
+inline Object *newMutRecord(uint16_t PtrMap,
+                            std::initializer_list<Slot> Fields) {
+  RootedBuf Tmp;
+  for (Slot F : Fields)
+    Tmp.push(F);
+  Object *O = allocObject(ObjKind::Record, /*Mutable=*/true,
+                          static_cast<uint32_t>(Fields.size()), PtrMap);
+  for (uint32_t I = 0; I < Tmp.size(); ++I) {
+    if ((PtrMap >> I) & 1)
+      em::writeBarrier(O, Tmp[I]);
+    O->setSlot(I, Tmp[I]);
+  }
+  return O;
+}
+
+/// Allocates an untraced byte buffer of \p Bytes (rounded up to slots).
+inline Object *newRawArray(size_t Bytes) {
+  uint32_t Slots = static_cast<uint32_t>((Bytes + 7) / 8);
+  return allocObject(ObjKind::RawArray, /*Mutable=*/true, Slots, 0);
+}
+
+/// Allocates a string: a raw array whose slot 0 is the byte length.
+inline Object *newString(const char *Data, size_t Len) {
+  Object *O = newRawArray(8 + Len);
+  O->setSlot(0, static_cast<Slot>(Len));
+  std::memcpy(reinterpret_cast<char *>(O->slots() + 1), Data, Len);
+  return O;
+}
+
+inline size_t strLen(const Object *S) { return S->getSlot(0); }
+inline const char *strBytes(const Object *S) {
+  return reinterpret_cast<const char *>(S->slots() + 1);
+}
+inline char *strBytes(Object *S) {
+  return reinterpret_cast<char *>(S->slots() + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Access (never allocates; raw Object* arguments are safe)
+//===----------------------------------------------------------------------===//
+
+/// `!R` — entanglement-checked mutable load.
+inline Slot refGet(Object *R) {
+  MPL_DASSERT(R->kind() == ObjKind::Ref, "refGet on non-ref");
+  Slot V = R->loadSlotAcquire(0);
+  em::readBarrier(rt::Runtime::ctx()->CurrentHeap, V);
+  return V;
+}
+
+/// `R := V` — entanglement-managed mutable store.
+inline void refSet(Object *R, Slot V) {
+  MPL_DASSERT(R->kind() == ObjKind::Ref, "refSet on non-ref");
+  em::writeBarrier(R, V);
+  R->storeSlotRelease(0, V);
+}
+
+/// Atomic compare-and-swap on a ref cell (Parallel ML's compareAndSwap
+/// primitive; the building block of the entangled benchmarks).
+inline bool refCas(Object *R, Slot Expected, Slot Desired) {
+  MPL_DASSERT(R->kind() == ObjKind::Ref, "refCas on non-ref");
+  em::writeBarrier(R, Desired);
+  bool Ok = std::atomic_ref<Slot>(R->slots()[0])
+                .compare_exchange_strong(Expected, Desired,
+                                         std::memory_order_acq_rel);
+  return Ok;
+}
+
+inline uint32_t arrLen(const Object *A) { return A->length(); }
+
+inline Slot arrGet(Object *A, uint32_t I) {
+  MPL_DASSERT(A->kind() == ObjKind::Array, "arrGet on non-array");
+  Slot V = A->loadSlotAcquire(I);
+  em::readBarrier(rt::Runtime::ctx()->CurrentHeap, V);
+  return V;
+}
+
+inline void arrSet(Object *A, uint32_t I, Slot V) {
+  MPL_DASSERT(A->kind() == ObjKind::Array, "arrSet on non-array");
+  em::writeBarrier(A, V);
+  A->storeSlotRelease(I, V);
+}
+
+/// Array CAS (phase-concurrent hash tables are built on this).
+inline bool arrCas(Object *A, uint32_t I, Slot Expected, Slot Desired) {
+  MPL_DASSERT(A->kind() == ObjKind::Array, "arrCas on non-array");
+  em::writeBarrier(A, Desired);
+  return std::atomic_ref<Slot>(A->slots()[I])
+      .compare_exchange_strong(Expected, Desired, std::memory_order_acq_rel);
+}
+
+/// Immutable record load: no barrier — the paper's shielded fast path.
+inline Slot recGet(const Object *R, uint32_t I) {
+  MPL_DASSERT(R->kind() == ObjKind::Record, "recGet on non-record");
+  return R->getSlot(I);
+}
+
+/// Mutable record load/store (barriered like refs).
+inline Slot recGetMut(Object *R, uint32_t I) {
+  Slot V = R->loadSlotAcquire(I);
+  em::readBarrier(rt::Runtime::ctx()->CurrentHeap, V);
+  return V;
+}
+inline void recSetMut(Object *R, uint32_t I, Slot V) {
+  MPL_DASSERT(R->isMutable(), "recSetMut on immutable record");
+  em::writeBarrier(R, V);
+  R->storeSlotRelease(I, V);
+}
+
+} // namespace ops
+} // namespace mpl
+
+#endif // MPL_CORE_OPS_H

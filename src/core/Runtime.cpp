@@ -1,0 +1,80 @@
+//===- core/Runtime.cpp - The mpl-em public runtime API -------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace mpl;
+using namespace mpl::rt;
+
+namespace {
+Runtime *TheRuntime = nullptr;
+thread_local WorkerCtx *TlsCtx = nullptr;
+
+Stat PeakResidency("rt.residency.peak");
+} // namespace
+
+Runtime::Runtime(const Config &C)
+    : Cfg(C), Sched(Scheduler::Config{C.NumWorkers, C.Profile}) {
+  MPL_CHECK(TheRuntime == nullptr, "only one Runtime may exist at a time");
+  em::setMode(Cfg.Mode);
+  TheRuntime = this;
+}
+
+Runtime::~Runtime() { TheRuntime = nullptr; }
+
+Runtime *Runtime::current() { return TheRuntime; }
+
+WorkerCtx *Runtime::ctx() {
+  if (!TlsCtx)
+    TlsCtx = new WorkerCtx();
+  return TlsCtx;
+}
+
+void Runtime::beginRun() {
+  RootHeap = Heaps.createRoot();
+  WorkerCtx *C = ctx();
+  C->CurrentHeap = RootHeap;
+  C->AllocSinceGc = 0;
+  C->LiveAfterGc = 0;
+}
+
+void Runtime::finishRootTask() {
+  // Runs as the tail of the root task, still on worker 0.
+  WorkerCtx *C = ctx();
+  C->CurrentHeap = nullptr;
+}
+
+void Runtime::endRun() {
+  if (RootHeap) {
+    RootHeap->releaseAllChunks();
+    RootHeap = nullptr;
+  }
+}
+
+bool Runtime::maybeCollect(bool Force) {
+  WorkerCtx *C = ctx();
+  if (!C->CurrentHeap)
+    return false;
+  int64_t Budget =
+      std::max(Cfg.GcMinBytes,
+               static_cast<int64_t>(Cfg.GcFactor *
+                                    static_cast<double>(C->LiveAfterGc)));
+  if (!Force && C->AllocSinceGc < Budget)
+    return false;
+  GcOutcome Out = Gc.collectChain(C->CurrentHeap, C->Roots);
+  C->AllocSinceGc = 0;
+  C->LiveAfterGc = Out.liveBytes();
+  PeakResidency.noteMax(residencyBytes());
+  return true;
+}
+
+int64_t Runtime::residencyBytes() {
+  return ChunkPool::get().outstandingBytes();
+}

@@ -1,0 +1,77 @@
+//===- gc/ShadowStack.h - Explicit GC root stacks --------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C++ has no precise stack maps, so the runtime keeps explicit per-worker
+/// root stacks. Handles (rt::Local) push one slot; the PML virtual machine
+/// registers whole value-stack ranges. Slots hold tagged values: anything
+/// that does not look like an aligned pointer is ignored by the collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_GC_SHADOWSTACK_H
+#define MPL_GC_SHADOWSTACK_H
+
+#include "mm/Object.h"
+#include "support/Assert.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace mpl {
+
+/// A per-worker stack of GC root slots and root ranges.
+class ShadowStack {
+public:
+  /// Registers a single rooted slot. Slots must be popped in LIFO order.
+  void pushSlot(Slot *S) { Slots.push_back(S); }
+
+  void popSlot(Slot *S) {
+    MPL_DASSERT(!Slots.empty() && Slots.back() == S,
+                "shadow stack pop out of order");
+    Slots.pop_back();
+  }
+
+  /// Registers a contiguous range of rooted slots (e.g. a VM stack). Both
+  /// the base and the length are re-read through the given locations at
+  /// collection time, so the range may grow, shrink, and even reallocate
+  /// while registered.
+  void pushRange(Slot *const *BasePtr, const size_t *Len) {
+    Ranges.push_back({BasePtr, Len});
+  }
+
+  void popRange(Slot *const *BasePtr) {
+    MPL_DASSERT(!Ranges.empty() && Ranges.back().BasePtr == BasePtr,
+                "shadow stack range pop out of order");
+    Ranges.pop_back();
+  }
+
+  /// Invokes \p Fn on every rooted slot; Fn may rewrite the slot.
+  template <typename Fn> void forEachRoot(Fn &&F) {
+    for (Slot *S : Slots)
+      F(S);
+    for (const Range &R : Ranges) {
+      Slot *Base = *R.BasePtr;
+      for (size_t I = 0, E = *R.Len; I < E; ++I)
+        F(Base + I);
+    }
+  }
+
+  size_t size() const { return Slots.size(); }
+
+private:
+  struct Range {
+    Slot *const *BasePtr;
+    const size_t *Len;
+  };
+
+  std::vector<Slot *> Slots;
+  std::vector<Range> Ranges;
+};
+
+} // namespace mpl
+
+#endif // MPL_GC_SHADOWSTACK_H

@@ -1,0 +1,84 @@
+//===- mm/Chunk.cpp - Aligned allocation chunks ---------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/Chunk.h"
+
+#include "support/Stats.h"
+
+#include <cstdlib>
+
+using namespace mpl;
+
+namespace {
+Stat ChunksAllocated("mm.chunks.allocated");
+Stat ChunksReused("mm.chunks.reused");
+Stat PeakOutstanding("mm.bytes.peak");
+} // namespace
+
+ChunkPool &ChunkPool::get() {
+  static ChunkPool Instance;
+  return Instance;
+}
+
+Chunk *ChunkPool::initChunk(void *Mem, size_t Total, bool Large) {
+  Chunk *C = new (Mem) Chunk();
+  C->Frontier = C->begin();
+  C->Limit = reinterpret_cast<char *>(Mem) + Total;
+  C->Large = Large;
+  C->TotalBytes = Total;
+  Outstanding.fetch_add(static_cast<int64_t>(Total),
+                        std::memory_order_relaxed);
+  PeakOutstanding.noteMax(Outstanding.load(std::memory_order_relaxed));
+  return C;
+}
+
+Chunk *ChunkPool::acquire() {
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    if (!FreeList.empty()) {
+      Chunk *C = FreeList.back();
+      FreeList.pop_back();
+      ChunksReused.inc();
+      return initChunk(C, Chunk::SizeBytes, /*Large=*/false);
+    }
+  }
+  void *Mem = std::aligned_alloc(Chunk::SizeBytes, Chunk::SizeBytes);
+  MPL_CHECK(Mem != nullptr, "out of memory acquiring chunk");
+  ChunksAllocated.inc();
+  return initChunk(Mem, Chunk::SizeBytes, /*Large=*/false);
+}
+
+void ChunkPool::release(Chunk *C) {
+  MPL_CHECK(!C->Large, "normal release of a large chunk");
+  Outstanding.fetch_sub(static_cast<int64_t>(C->TotalBytes),
+                        std::memory_order_relaxed);
+  C->Owner.store(nullptr, std::memory_order_relaxed);
+  C->Next = nullptr;
+  std::lock_guard<std::mutex> G(Lock);
+  FreeList.push_back(C);
+}
+
+Chunk *ChunkPool::acquireLarge(size_t PayloadBytes) {
+  size_t Total = sizeof(Chunk) + PayloadBytes;
+  // Round up to the chunk alignment so chunkOf() stays a mask.
+  Total = (Total + Chunk::SizeBytes - 1) & Chunk::AddrMask;
+  void *Mem = std::aligned_alloc(Chunk::SizeBytes, Total);
+  MPL_CHECK(Mem != nullptr, "out of memory acquiring large chunk");
+  ChunksAllocated.inc();
+  return initChunk(Mem, Total, /*Large=*/true);
+}
+
+void ChunkPool::releaseLarge(Chunk *C) {
+  MPL_CHECK(C->Large, "large release of a normal chunk");
+  Outstanding.fetch_sub(static_cast<int64_t>(C->TotalBytes),
+                        std::memory_order_relaxed);
+  std::free(C);
+}
+
+ChunkPool::~ChunkPool() {
+  for (Chunk *C : FreeList)
+    std::free(C);
+}

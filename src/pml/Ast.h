@@ -1,0 +1,98 @@
+//===- pml/Ast.h - PML abstract syntax -------------------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PML AST: a single tagged node type (the language is small enough
+/// that a class hierarchy would only add boilerplate). Children A/B/C are
+/// owned; which are populated depends on the kind (documented per kind).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_PML_AST_H
+#define MPL_PML_AST_H
+
+#include "pml/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mpl {
+namespace pml {
+
+enum class ExprKind : uint8_t {
+  IntLit,  ///< IntVal.
+  BoolLit, ///< IntVal (0/1).
+  StrLit,  ///< Str.
+  UnitLit,
+  Var,    ///< Str = name.
+  Lambda, ///< Params (curried left to right), A = body.
+  LetVal, ///< Str = binder, A = bound expr, B = body.
+  LetFun, ///< Str = function name, Params, A = fn body, B = let body.
+  If,     ///< A = cond, B = then, C = else.
+  App,    ///< A = function, B = argument.
+  Binop,  ///< Op, A, B (arith/compare/andalso/orelse).
+  Not,    ///< A.
+  Neg,    ///< A.
+  Deref,  ///< A (`!a`).
+  RefNew, ///< A (`ref a`).
+  Assign, ///< A := B.
+  Pair,   ///< (A, B).
+  Par,    ///< par (A, B) — evaluates both in parallel, yields a pair.
+  Seq,    ///< A ; B.
+  NilLit, ///< [].
+  Cons,   ///< A :: B.
+  Case,   ///< case A of Arms.
+};
+
+enum class PatKind : uint8_t {
+  Wild,    ///< _
+  Var,     ///< Str = binder.
+  IntLit,  ///< IntVal.
+  BoolLit, ///< IntVal (0/1).
+  Unit,    ///< ()
+  Nil,     ///< []
+  Cons,    ///< PA :: PB.
+  Pair,    ///< (PA, PB).
+};
+
+/// A pattern in a `case` arm.
+struct Pat {
+  PatKind Kind;
+  int Line = 0, Col = 0;
+  int64_t IntVal = 0;
+  std::string Str;
+  std::unique_ptr<Pat> PA, PB;
+
+  explicit Pat(PatKind K) : Kind(K) {}
+};
+
+using PatPtr = std::unique_ptr<Pat>;
+
+/// One AST node. Position is the source location of the introducing token.
+struct Expr {
+  ExprKind Kind;
+  int Line = 0, Col = 0;
+
+  int64_t IntVal = 0;
+  std::string Str;
+  std::vector<std::string> Params;
+  Tok Op = Tok::Eof;
+
+  std::unique_ptr<Expr> A, B, C;
+
+  /// Case arms (pattern, body), tried in order.
+  std::vector<std::pair<PatPtr, std::unique_ptr<Expr>>> Arms;
+
+  explicit Expr(ExprKind K) : Kind(K) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+} // namespace pml
+} // namespace mpl
+
+#endif // MPL_PML_AST_H

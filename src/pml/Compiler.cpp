@@ -1,0 +1,574 @@
+//===- pml/Compiler.cpp - PML bytecode compiler -----------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pml/Compiler.h"
+
+#include "support/Assert.h"
+
+#include <cstdio>
+
+using namespace mpl;
+using namespace mpl::pml;
+
+namespace {
+
+/// Builtin table: name, argument count, opcode.
+struct BuiltinInfo {
+  const char *Name;
+  int Arity;
+  Op Opcode;
+};
+
+const BuiltinInfo Builtins[] = {
+    {"fst", 1, Op::Fst},      {"snd", 1, Op::Snd},
+    {"alloc", 2, Op::Alloc},  {"get", 2, Op::AGet},
+    {"set", 3, Op::ASet},     {"length", 1, Op::ALen},
+    {"print", 1, Op::Print},  {"printInt", 1, Op::PrintInt},
+};
+
+const BuiltinInfo *findBuiltin(const std::string &Name) {
+  for (const BuiltinInfo &B : Builtins)
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}
+
+struct Compiler {
+  Program &P;
+  std::vector<std::string> &Errors;
+  bool Failed = false;
+
+  struct Binding {
+    std::string Name;
+    int Slot;
+  };
+
+  /// Per-function compile state; functions nest through Parent.
+  struct FnState {
+    FnState *Parent = nullptr;
+    FnProto Proto;
+    std::vector<Binding> Locals;
+    std::vector<std::string> Captures;
+    /// Name the closure refers to itself by (LetFun), or empty.
+    std::string SelfName;
+  };
+
+  FnState *Cur = nullptr;
+
+  Compiler(Program &P, std::vector<std::string> &E) : P(P), Errors(E) {}
+
+  void errorAt(const Expr &E, const std::string &Msg) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%d:%d: ", E.Line, E.Col);
+    Errors.push_back(std::string(Buf) + Msg);
+    Failed = true;
+  }
+
+  int emit(Op O, int32_t A = 0, int32_t B = 0) {
+    Cur->Proto.Code.push_back({O, A, B});
+    return static_cast<int>(Cur->Proto.Code.size()) - 1;
+  }
+
+  void patch(int At, int32_t Target) { Cur->Proto.Code[At].A = Target; }
+  int here() const { return static_cast<int>(Cur->Proto.Code.size()); }
+
+  int newLocal(const std::string &Name) {
+    int Slot = Cur->Proto.NumLocals++;
+    Cur->Locals.push_back({Name, Slot});
+    return Slot;
+  }
+
+  enum class Where { Local, Capture, Unbound };
+  struct Loc {
+    Where W = Where::Unbound;
+    int Idx = 0;
+  };
+
+  /// Resolves \p Name in function \p F, threading captures through every
+  /// enclosing function as needed.
+  Loc resolveIn(FnState *F, const std::string &Name) {
+    for (auto It = F->Locals.rbegin(); It != F->Locals.rend(); ++It)
+      if (It->Name == Name)
+        return {Where::Local, It->Slot};
+    for (size_t I = 0; I < F->Captures.size(); ++I)
+      if (F->Captures[I] == Name)
+        return {Where::Capture, static_cast<int>(I)};
+    if (Name == F->SelfName) {
+      // Recursive self-reference: captured and fixed up after creation.
+      F->Captures.push_back(Name);
+      return {Where::Capture, static_cast<int>(F->Captures.size()) - 1};
+    }
+    if (!F->Parent)
+      return {Where::Unbound, 0};
+    // Only capture what an enclosing scope actually binds.
+    Loc Up = resolveIn(F->Parent, Name);
+    if (Up.W == Where::Unbound)
+      return Up;
+    F->Captures.push_back(Name);
+    return {Where::Capture, static_cast<int>(F->Captures.size()) - 1};
+  }
+
+  void emitLoad(const Expr &E, const std::string &Name) {
+    Loc L = resolveIn(Cur, Name);
+    switch (L.W) {
+    case Where::Local:
+      emit(Op::LoadLocal, L.Idx);
+      return;
+    case Where::Capture:
+      emit(Op::LoadCapture, L.Idx);
+      return;
+    case Where::Unbound:
+      if (findBuiltin(Name)) {
+        errorAt(E, "builtin '" + Name +
+                       "' must be fully applied (eta-expand with fn to "
+                       "pass it as a value)");
+      } else {
+        errorAt(E, "unbound variable '" + Name + "' (compiler)");
+      }
+      emit(Op::PushUnit);
+      return;
+    }
+  }
+
+  /// Compiles a function body in a fresh FnState and returns its index.
+  /// \p SelfName makes the function's own closure visible recursively.
+  template <typename BodyFn>
+  int compileFunction(const std::string &Name, const std::string &SelfName,
+                      BodyFn &&EmitBody) {
+    FnState Sub;
+    Sub.Parent = Cur;
+    Sub.Proto.Name = Name;
+    Sub.Proto.NumLocals = 1; // Slot 0 is the parameter.
+    Sub.SelfName = SelfName;
+
+    FnState *Saved = Cur;
+    Cur = &Sub;
+    EmitBody();
+    emit(Op::Ret);
+    Cur = Saved;
+
+    int FnIdx = static_cast<int>(P.Fns.size());
+    P.Fns.push_back(std::move(Sub.Proto));
+
+    // Materialize the closure in the enclosing function: load captures
+    // (self-captures get a placeholder fixed after creation), MkClosure.
+    std::vector<int> SelfFixups;
+    for (size_t I = 0; I < Sub.Captures.size(); ++I) {
+      if (!SelfName.empty() && Sub.Captures[I] == SelfName) {
+        emit(Op::PushUnit);
+        SelfFixups.push_back(static_cast<int>(I));
+        continue;
+      }
+      // Note: enclosing loads may add captures to *Cur* transitively.
+      Expr Dummy(ExprKind::Var);
+      Dummy.Str = Sub.Captures[I];
+      emitLoad(Dummy, Sub.Captures[I]);
+    }
+    emit(Op::MkClosure, FnIdx, static_cast<int32_t>(Sub.Captures.size()));
+    for (int CapIdx : SelfFixups)
+      emit(Op::FixSelf, CapIdx);
+    return FnIdx;
+  }
+
+  /// Curried lambda: parameter ParamAt of E.Params; the innermost level
+  /// compiles the body.
+  void compileLambdaFrom(const Expr &E, size_t ParamAt,
+                         const std::string &SelfName) {
+    compileFunction(
+        (SelfName.empty() ? "fn" : SelfName) +
+            (ParamAt ? "$" + std::to_string(ParamAt) : ""),
+        ParamAt == 0 ? SelfName : "", [&] {
+          Cur->Locals.push_back({E.Params[ParamAt], 0});
+          if (ParamAt + 1 < E.Params.size())
+            compileLambdaFrom(E, ParamAt + 1, SelfName);
+          else
+            compileExpr(*E.A, /*Tail=*/true);
+        });
+  }
+
+  /// Application spine handling: builtins are recognized at the head.
+  /// When \p Tail, the last call of the spine reuses the current frame.
+  void compileApp(const Expr &E, bool Tail) {
+    // Unwind the spine.
+    std::vector<const Expr *> Args;
+    const Expr *Head = &E;
+    while (Head->Kind == ExprKind::App) {
+      Args.push_back(Head->B.get());
+      Head = Head->A.get();
+    }
+    // Innermost argument is last in Args; reverse to evaluation order.
+    std::vector<const Expr *> Ordered(Args.rbegin(), Args.rend());
+
+    const BuiltinInfo *B = nullptr;
+    if (Head->Kind == ExprKind::Var &&
+        resolveIn(Cur, Head->Str).W == Where::Unbound)
+      B = findBuiltin(Head->Str);
+
+    if (B) {
+      if (static_cast<int>(Ordered.size()) < B->Arity) {
+        errorAt(*Head, "builtin '" + std::string(B->Name) +
+                           "' expects " + std::to_string(B->Arity) +
+                           " arguments (partial application is not "
+                           "supported; wrap it in fn)");
+        emit(Op::PushUnit);
+        return;
+      }
+      for (int I = 0; I < B->Arity; ++I)
+        compileExpr(*Ordered[static_cast<size_t>(I)]);
+      emit(B->Opcode);
+      // Extra arguments apply to the builtin's (function) result.
+      for (size_t I = static_cast<size_t>(B->Arity); I < Ordered.size();
+           ++I) {
+        compileExpr(*Ordered[I]);
+        emit(Tail && I + 1 == Ordered.size() ? Op::TailCall : Op::Call);
+      }
+      return;
+    }
+
+    compileExpr(*Head);
+    for (size_t I = 0; I < Ordered.size(); ++I) {
+      compileExpr(*Ordered[I]);
+      emit(Tail && I + 1 == Ordered.size() ? Op::TailCall : Op::Call);
+    }
+  }
+
+  void compileExpr(const Expr &E, bool Tail = false) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      if (E.IntVal >= INT32_MIN && E.IntVal <= INT32_MAX) {
+        emit(Op::PushInt, static_cast<int32_t>(E.IntVal));
+      } else {
+        P.IntPool.push_back(E.IntVal);
+        emit(Op::PushBigInt, static_cast<int32_t>(P.IntPool.size()) - 1);
+      }
+      return;
+    case ExprKind::BoolLit:
+      emit(Op::PushBool, static_cast<int32_t>(E.IntVal));
+      return;
+    case ExprKind::StrLit:
+      P.StrPool.push_back(E.Str);
+      emit(Op::PushStr, static_cast<int32_t>(P.StrPool.size()) - 1);
+      return;
+    case ExprKind::UnitLit:
+      emit(Op::PushUnit);
+      return;
+    case ExprKind::Var:
+      emitLoad(E, E.Str);
+      return;
+
+    case ExprKind::Lambda:
+      compileLambdaFrom(E, 0, "");
+      return;
+
+    case ExprKind::LetVal: {
+      compileExpr(*E.A);
+      size_t Saved = Cur->Locals.size();
+      int Slot = newLocal(E.Str);
+      emit(Op::StoreLocal, Slot);
+      compileExpr(*E.B, Tail);
+      Cur->Locals.resize(Saved);
+      return;
+    }
+
+    case ExprKind::LetFun: {
+      compileLambdaFrom(E, 0, E.Str); // Closure left on stack.
+      size_t Saved = Cur->Locals.size();
+      int Slot = newLocal(E.Str);
+      emit(Op::StoreLocal, Slot);
+      compileExpr(*E.B, Tail);
+      Cur->Locals.resize(Saved);
+      return;
+    }
+
+    case ExprKind::If: {
+      compileExpr(*E.A);
+      int JzAt = emit(Op::Jz);
+      compileExpr(*E.B, Tail);
+      int JmpAt = emit(Op::Jmp);
+      patch(JzAt, here());
+      compileExpr(*E.C, Tail);
+      patch(JmpAt, here());
+      return;
+    }
+
+    case ExprKind::App:
+      compileApp(E, Tail);
+      return;
+
+    case ExprKind::Binop: {
+      // Short-circuit forms first.
+      if (E.Op == Tok::KwAndalso) {
+        compileExpr(*E.A);
+        int JzAt = emit(Op::Jz);
+        compileExpr(*E.B);
+        int JmpAt = emit(Op::Jmp);
+        patch(JzAt, here());
+        emit(Op::PushBool, 0);
+        patch(JmpAt, here());
+        return;
+      }
+      if (E.Op == Tok::KwOrelse) {
+        compileExpr(*E.A);
+        int JzAt = emit(Op::Jz);
+        emit(Op::PushBool, 1);
+        int JmpAt = emit(Op::Jmp);
+        patch(JzAt, here());
+        compileExpr(*E.B);
+        patch(JmpAt, here());
+        return;
+      }
+      compileExpr(*E.A);
+      compileExpr(*E.B);
+      switch (E.Op) {
+      case Tok::Plus:
+        emit(Op::Add);
+        return;
+      case Tok::Minus:
+        emit(Op::Sub);
+        return;
+      case Tok::Star:
+        emit(Op::Mul);
+        return;
+      case Tok::Slash:
+        emit(Op::Div);
+        return;
+      case Tok::Percent:
+        emit(Op::Mod);
+        return;
+      case Tok::Eq:
+        emit(Op::Eq);
+        return;
+      case Tok::Ne:
+        emit(Op::Ne);
+        return;
+      case Tok::Lt:
+        emit(Op::Lt);
+        return;
+      case Tok::Le:
+        emit(Op::Le);
+        return;
+      case Tok::Gt:
+        emit(Op::Gt);
+        return;
+      case Tok::Ge:
+        emit(Op::Ge);
+        return;
+      default:
+        MPL_UNREACHABLE("unknown binop in compiler");
+      }
+    }
+
+    case ExprKind::Not:
+      compileExpr(*E.A);
+      emit(Op::Not);
+      return;
+    case ExprKind::Neg:
+      compileExpr(*E.A);
+      emit(Op::Neg);
+      return;
+    case ExprKind::Deref:
+      compileExpr(*E.A);
+      emit(Op::Deref);
+      return;
+    case ExprKind::RefNew:
+      compileExpr(*E.A);
+      emit(Op::MkRef);
+      return;
+    case ExprKind::Assign:
+      compileExpr(*E.A);
+      compileExpr(*E.B);
+      emit(Op::Assign);
+      return;
+    case ExprKind::Pair:
+      compileExpr(*E.A);
+      compileExpr(*E.B);
+      emit(Op::MkPair);
+      return;
+
+    case ExprKind::Par: {
+      // Compile each branch as a zero-argument function ("thunk") and run
+      // them under the runtime's fork-join with fresh heaps.
+      Expr ThunkA(ExprKind::Lambda);
+      ThunkA.Line = E.A->Line;
+      ThunkA.Col = E.A->Col;
+      ThunkA.Params.push_back("$unit");
+      // Borrow the child without taking ownership.
+      ThunkA.A = std::unique_ptr<Expr>(const_cast<Expr *>(E.A.get()));
+      compileLambdaFrom(ThunkA, 0, "");
+      (void)ThunkA.A.release();
+
+      Expr ThunkB(ExprKind::Lambda);
+      ThunkB.Line = E.B->Line;
+      ThunkB.Col = E.B->Col;
+      ThunkB.Params.push_back("$unit");
+      ThunkB.A = std::unique_ptr<Expr>(const_cast<Expr *>(E.B.get()));
+      compileLambdaFrom(ThunkB, 0, "");
+      (void)ThunkB.A.release();
+
+      emit(Op::ParCall);
+      return;
+    }
+
+    case ExprKind::Seq:
+      compileExpr(*E.A);
+      emit(Op::Pop);
+      compileExpr(*E.B, Tail);
+      return;
+
+    case ExprKind::NilLit:
+      // [] is the immediate boxInt(0); cons cells are pair records, so
+      // the nil test is a plain slot comparison.
+      emit(Op::PushInt, 0);
+      return;
+
+    case ExprKind::Cons:
+      compileExpr(*E.A);
+      compileExpr(*E.B);
+      emit(Op::MkPair);
+      return;
+
+    case ExprKind::Case: {
+      compileExpr(*E.A);
+      int ScrutSlot = Cur->Proto.NumLocals++; // Anonymous local.
+      emit(Op::StoreLocal, ScrutSlot);
+      std::vector<int> EndJumps;
+      for (const auto &Arm : E.Arms) {
+        size_t SavedLocals = Cur->Locals.size();
+        std::vector<int> FailJumps;
+        compilePat(*Arm.first, ScrutSlot, FailJumps);
+        compileExpr(*Arm.second, Tail);
+        EndJumps.push_back(emit(Op::Jmp));
+        for (int J : FailJumps)
+          patch(J, here());
+        Cur->Locals.resize(SavedLocals);
+      }
+      emit(Op::MatchFail);
+      for (int J : EndJumps)
+        patch(J, here());
+      return;
+    }
+    }
+    MPL_UNREACHABLE("covered switch");
+  }
+
+  /// Emits the test-and-bind sequence for pattern \p P against the value
+  /// in frame slot \p ValueSlot. Mismatch jumps are collected in
+  /// \p FailJumps (patched to the next arm).
+  void compilePat(const Pat &P, int ValueSlot,
+                  std::vector<int> &FailJumps) {
+    switch (P.Kind) {
+    case PatKind::Wild:
+    case PatKind::Unit:
+      return;
+    case PatKind::Var: {
+      emit(Op::LoadLocal, ValueSlot);
+      int Slot = newLocal(P.Str);
+      emit(Op::StoreLocal, Slot);
+      return;
+    }
+    case PatKind::IntLit:
+      emit(Op::LoadLocal, ValueSlot);
+      if (P.IntVal >= INT32_MIN && P.IntVal <= INT32_MAX) {
+        emit(Op::PushInt, static_cast<int32_t>(P.IntVal));
+      } else {
+        this->P.IntPool.push_back(P.IntVal);
+        emit(Op::PushBigInt,
+             static_cast<int32_t>(this->P.IntPool.size()) - 1);
+      }
+      emit(Op::Eq);
+      FailJumps.push_back(emit(Op::Jz));
+      return;
+    case PatKind::BoolLit:
+      emit(Op::LoadLocal, ValueSlot);
+      emit(Op::PushBool, static_cast<int32_t>(P.IntVal));
+      emit(Op::Eq);
+      FailJumps.push_back(emit(Op::Jz));
+      return;
+    case PatKind::Nil:
+      emit(Op::LoadLocal, ValueSlot);
+      emit(Op::PushInt, 0);
+      emit(Op::Eq);
+      FailJumps.push_back(emit(Op::Jz));
+      return;
+    case PatKind::Cons: {
+      emit(Op::LoadLocal, ValueSlot);
+      emit(Op::PushInt, 0);
+      emit(Op::Eq);
+      FailJumps.push_back(emit(Op::Jnz)); // Nil: no match.
+      int Head = Cur->Proto.NumLocals++;
+      emit(Op::LoadLocal, ValueSlot);
+      emit(Op::Fst);
+      emit(Op::StoreLocal, Head);
+      compilePat(*P.PA, Head, FailJumps);
+      int Tail = Cur->Proto.NumLocals++;
+      emit(Op::LoadLocal, ValueSlot);
+      emit(Op::Snd);
+      emit(Op::StoreLocal, Tail);
+      compilePat(*P.PB, Tail, FailJumps);
+      return;
+    }
+    case PatKind::Pair: {
+      int First = Cur->Proto.NumLocals++;
+      emit(Op::LoadLocal, ValueSlot);
+      emit(Op::Fst);
+      emit(Op::StoreLocal, First);
+      compilePat(*P.PA, First, FailJumps);
+      int Second = Cur->Proto.NumLocals++;
+      emit(Op::LoadLocal, ValueSlot);
+      emit(Op::Snd);
+      emit(Op::StoreLocal, Second);
+      compilePat(*P.PB, Second, FailJumps);
+      return;
+    }
+    }
+    MPL_UNREACHABLE("covered switch");
+  }
+};
+
+} // namespace
+
+bool mpl::pml::compile(const Expr &Root, Program &Out,
+                       std::vector<std::string> &Errors) {
+  Out = Program();
+  Compiler C(Out, Errors);
+
+  Compiler::FnState Main;
+  Main.Proto.Name = "main";
+  Main.Proto.NumLocals = 1;
+  C.Cur = &Main;
+  C.compileExpr(Root);
+  C.emit(Op::Ret);
+  MPL_CHECK(Main.Captures.empty(), "top level cannot capture");
+
+  Out.Main = static_cast<int>(Out.Fns.size());
+  Out.Fns.push_back(std::move(Main.Proto));
+  return !C.Failed;
+}
+
+std::string mpl::pml::disassemble(const Program &P) {
+  static const char *Names[] = {
+      "PushInt", "PushBigInt", "PushBool", "PushUnit", "PushStr",
+      "LoadLocal", "StoreLocal", "LoadCapture", "Pop", "MkClosure",
+      "FixSelf", "Call", "TailCall", "Ret", "Jmp", "Jz", "Add", "Sub", "Mul", "Div",
+      "Mod", "Neg", "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "Not", "MkPair",
+      "Fst", "Snd", "MkRef", "Deref", "Assign", "Alloc", "AGet", "ASet",
+      "ALen", "ParCall", "Print", "PrintInt", "Jnz", "MatchFail"};
+  std::string Out;
+  char Buf[128];
+  for (size_t F = 0; F < P.Fns.size(); ++F) {
+    std::snprintf(Buf, sizeof(Buf), "fn %zu <%s> locals=%d%s\n", F,
+                  P.Fns[F].Name.c_str(), P.Fns[F].NumLocals,
+                  static_cast<int>(F) == P.Main ? " (main)" : "");
+    Out += Buf;
+    for (size_t I = 0; I < P.Fns[F].Code.size(); ++I) {
+      const Instr &In = P.Fns[F].Code[I];
+      std::snprintf(Buf, sizeof(Buf), "  %4zu  %-12s %d %d\n", I,
+                    Names[static_cast<int>(In.O)], In.A, In.B);
+      Out += Buf;
+    }
+  }
+  return Out;
+}

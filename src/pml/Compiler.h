@@ -1,0 +1,108 @@
+//===- pml/Compiler.h - PML bytecode compiler -------------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles type-checked PML to a stack bytecode executed by pml::Vm on
+/// the hierarchical-heap runtime. Closure conversion is flat: each
+/// lambda's free variables are copied into a closure object at creation.
+/// `par (e1, e2)` compiles both branches to zero-argument functions and
+/// emits ParCall, which the VM maps onto rt::par — giving every PML task
+/// its own heap, full effects included.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_PML_COMPILER_H
+#define MPL_PML_COMPILER_H
+
+#include "pml/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpl {
+namespace pml {
+
+enum class Op : uint8_t {
+  PushInt,     ///< A = small int value (fits int32).
+  PushBigInt,  ///< A = index into the int pool.
+  PushBool,    ///< A = 0/1.
+  PushUnit,
+  PushStr,     ///< A = index into the string pool.
+  LoadLocal,   ///< A = frame slot.
+  StoreLocal,  ///< A = frame slot (pops).
+  LoadCapture, ///< A = capture index.
+  Pop,
+  MkClosure, ///< A = function index, B = capture count (pops captures).
+  FixSelf,   ///< A = capture index; closure.captures[A] := closure (top).
+  Call,      ///< Pops argument then closure; pushes result.
+  TailCall,  ///< Like Call, but replaces the current frame (proper TCO).
+  Ret,
+  Jmp, ///< A = absolute target.
+  Jz,  ///< A = absolute target; pops condition.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Neg,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Not,
+  MkPair,
+  Fst,
+  Snd,
+  MkRef,
+  Deref,
+  Assign,
+  Alloc,
+  AGet,
+  ASet,
+  ALen,
+  ParCall, ///< Pops closure B then closure A; runs in parallel; pushes pair.
+  Print,
+  PrintInt,
+  Jnz,       ///< A = absolute target; pops condition, jumps when true.
+  MatchFail, ///< Traps: no case arm matched.
+};
+
+struct Instr {
+  Op O;
+  int32_t A = 0;
+  int32_t B = 0;
+};
+
+/// One compiled function: unary (curried), with a fixed local frame.
+struct FnProto {
+  std::string Name;
+  int NumLocals = 0; ///< Frame size including the parameter at slot 0.
+  std::vector<Instr> Code;
+};
+
+/// A compiled program. Fns[Main] is the zero-argument entry function.
+struct Program {
+  std::vector<FnProto> Fns;
+  std::vector<std::string> StrPool;
+  std::vector<int64_t> IntPool;
+  int Main = 0;
+};
+
+/// Compiles \p Root (already type-checked). Returns false and appends to
+/// \p Errors on failure (e.g. partial application of a builtin).
+bool compile(const Expr &Root, Program &Out,
+             std::vector<std::string> &Errors);
+
+/// Disassembles a program for tests and debugging.
+std::string disassemble(const Program &P);
+
+} // namespace pml
+} // namespace mpl
+
+#endif // MPL_PML_COMPILER_H

@@ -1,0 +1,392 @@
+//===- pml/Lexer.cpp - PML tokenizer ----------------------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pml/Lexer.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace mpl;
+using namespace mpl::pml;
+
+namespace {
+
+struct Scanner {
+  const std::string &Src;
+  std::vector<std::string> &Errors;
+  size_t At = 0;
+  int Line = 1, Col = 1;
+
+  Scanner(const std::string &S, std::vector<std::string> &E)
+      : Src(S), Errors(E) {}
+
+  bool done() const { return At >= Src.size(); }
+  char peek() const { return done() ? '\0' : Src[At]; }
+  char peek2() const { return At + 1 < Src.size() ? Src[At + 1] : '\0'; }
+
+  char advance() {
+    char C = Src[At++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void error(const std::string &Msg) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%d:%d: ", Line, Col);
+    Errors.push_back(std::string(Buf) + Msg);
+  }
+
+  /// Skips whitespace and comments; reports unterminated block comments.
+  void skipTrivia() {
+    while (!done()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '-' && peek2() == '-') {
+        while (!done() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '(' && peek2() == '*') {
+        int StartLine = Line;
+        advance();
+        advance();
+        int Depth = 1;
+        while (!done() && Depth > 0) {
+          if (peek() == '(' && peek2() == '*') {
+            advance();
+            advance();
+            ++Depth;
+          } else if (peek() == '*' && peek2() == ')') {
+            advance();
+            advance();
+            --Depth;
+          } else {
+            advance();
+          }
+        }
+        if (Depth > 0) {
+          char Buf[80];
+          std::snprintf(Buf, sizeof(Buf),
+                        "unterminated comment starting at line %d",
+                        StartLine);
+          error(Buf);
+        }
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token make(Tok K) {
+    Token T;
+    T.Kind = K;
+    T.Line = Line;
+    T.Col = Col;
+    return T;
+  }
+};
+
+Tok keywordOf(const std::string &S) {
+  if (S == "let")
+    return Tok::KwLet;
+  if (S == "val")
+    return Tok::KwVal;
+  if (S == "fun")
+    return Tok::KwFun;
+  if (S == "fn")
+    return Tok::KwFn;
+  if (S == "in")
+    return Tok::KwIn;
+  if (S == "end")
+    return Tok::KwEnd;
+  if (S == "if")
+    return Tok::KwIf;
+  if (S == "then")
+    return Tok::KwThen;
+  if (S == "else")
+    return Tok::KwElse;
+  if (S == "true")
+    return Tok::KwTrue;
+  if (S == "false")
+    return Tok::KwFalse;
+  if (S == "par")
+    return Tok::KwPar;
+  if (S == "ref")
+    return Tok::KwRef;
+  if (S == "not")
+    return Tok::KwNot;
+  if (S == "andalso")
+    return Tok::KwAndalso;
+  if (S == "orelse")
+    return Tok::KwOrelse;
+  if (S == "case")
+    return Tok::KwCase;
+  if (S == "of")
+    return Tok::KwOf;
+  return Tok::Ident;
+}
+
+} // namespace
+
+std::vector<Token> mpl::pml::lex(const std::string &Source,
+                                 std::vector<std::string> &Errors) {
+  Scanner S(Source, Errors);
+  std::vector<Token> Out;
+
+  while (true) {
+    S.skipTrivia();
+    if (S.done())
+      break;
+    Token T = S.make(Tok::Eof);
+    char C = S.peek();
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      bool Overflow = false;
+      while (!S.done() && std::isdigit(static_cast<unsigned char>(S.peek()))) {
+        int64_t D = S.advance() - '0';
+        if (V > (INT64_MAX - D) / 10)
+          Overflow = true;
+        else
+          V = V * 10 + D;
+      }
+      if (Overflow)
+        S.error("integer literal overflows 63 bits");
+      T.Kind = Tok::Int;
+      T.IntVal = V;
+      Out.push_back(T);
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Name;
+      while (!S.done() &&
+             (std::isalnum(static_cast<unsigned char>(S.peek())) ||
+              S.peek() == '_' || S.peek() == '\''))
+        Name += S.advance();
+      T.Kind = keywordOf(Name);
+      T.Text = Name;
+      Out.push_back(T);
+      continue;
+    }
+
+    if (C == '"') {
+      S.advance();
+      std::string Body;
+      bool Closed = false;
+      while (!S.done()) {
+        char D = S.advance();
+        if (D == '"') {
+          Closed = true;
+          break;
+        }
+        if (D == '\\' && !S.done()) {
+          char E = S.advance();
+          Body += E == 'n' ? '\n' : (E == 't' ? '\t' : E);
+          continue;
+        }
+        Body += D;
+      }
+      if (!Closed)
+        S.error("unterminated string literal");
+      T.Kind = Tok::String;
+      T.Text = Body;
+      Out.push_back(T);
+      continue;
+    }
+
+    S.advance();
+    switch (C) {
+    case '(':
+      T.Kind = Tok::LParen;
+      break;
+    case ')':
+      T.Kind = Tok::RParen;
+      break;
+    case '[':
+      T.Kind = Tok::LBracket;
+      break;
+    case ']':
+      T.Kind = Tok::RBracket;
+      break;
+    case '|':
+      T.Kind = Tok::Pipe;
+      break;
+    case ',':
+      T.Kind = Tok::Comma;
+      break;
+    case ';':
+      T.Kind = Tok::Semi;
+      break;
+    case '!':
+      T.Kind = Tok::Bang;
+      break;
+    case '+':
+      T.Kind = Tok::Plus;
+      break;
+    case '-':
+      T.Kind = Tok::Minus;
+      break;
+    case '*':
+      T.Kind = Tok::Star;
+      break;
+    case '/':
+      T.Kind = Tok::Slash;
+      break;
+    case '%':
+      T.Kind = Tok::Percent;
+      break;
+    case '=':
+      if (S.peek() == '>') {
+        S.advance();
+        T.Kind = Tok::Arrow;
+      } else {
+        T.Kind = Tok::Eq;
+      }
+      break;
+    case ':':
+      if (S.peek() == '=') {
+        S.advance();
+        T.Kind = Tok::Assign;
+      } else if (S.peek() == ':') {
+        S.advance();
+        T.Kind = Tok::ConsOp;
+      } else {
+        S.error("expected ':=' or '::'");
+        continue;
+      }
+      break;
+    case '<':
+      if (S.peek() == '>') {
+        S.advance();
+        T.Kind = Tok::Ne;
+      } else if (S.peek() == '=') {
+        S.advance();
+        T.Kind = Tok::Le;
+      } else {
+        T.Kind = Tok::Lt;
+      }
+      break;
+    case '>':
+      if (S.peek() == '=') {
+        S.advance();
+        T.Kind = Tok::Ge;
+      } else {
+        T.Kind = Tok::Gt;
+      }
+      break;
+    default:
+      S.error(std::string("unexpected character '") + C + "'");
+      continue;
+    }
+    Out.push_back(T);
+  }
+
+  Out.push_back(S.make(Tok::Eof));
+  return Out;
+}
+
+const char *mpl::pml::tokName(Tok K) {
+  switch (K) {
+  case Tok::Int:
+    return "integer";
+  case Tok::String:
+    return "string";
+  case Tok::Ident:
+    return "identifier";
+  case Tok::KwLet:
+    return "'let'";
+  case Tok::KwVal:
+    return "'val'";
+  case Tok::KwFun:
+    return "'fun'";
+  case Tok::KwFn:
+    return "'fn'";
+  case Tok::KwIn:
+    return "'in'";
+  case Tok::KwEnd:
+    return "'end'";
+  case Tok::KwIf:
+    return "'if'";
+  case Tok::KwThen:
+    return "'then'";
+  case Tok::KwElse:
+    return "'else'";
+  case Tok::KwTrue:
+    return "'true'";
+  case Tok::KwFalse:
+    return "'false'";
+  case Tok::KwPar:
+    return "'par'";
+  case Tok::KwRef:
+    return "'ref'";
+  case Tok::KwNot:
+    return "'not'";
+  case Tok::KwAndalso:
+    return "'andalso'";
+  case Tok::KwOrelse:
+    return "'orelse'";
+  case Tok::KwCase:
+    return "'case'";
+  case Tok::KwOf:
+    return "'of'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::LBracket:
+    return "'['";
+  case Tok::RBracket:
+    return "']'";
+  case Tok::Pipe:
+    return "'|'";
+  case Tok::ConsOp:
+    return "'::'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Semi:
+    return "';'";
+  case Tok::Arrow:
+    return "'=>'";
+  case Tok::Assign:
+    return "':='";
+  case Tok::Bang:
+    return "'!'";
+  case Tok::Plus:
+    return "'+'";
+  case Tok::Minus:
+    return "'-'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::Slash:
+    return "'/'";
+  case Tok::Percent:
+    return "'%'";
+  case Tok::Eq:
+    return "'='";
+  case Tok::Ne:
+    return "'<>'";
+  case Tok::Lt:
+    return "'<'";
+  case Tok::Le:
+    return "'<='";
+  case Tok::Gt:
+    return "'>'";
+  case Tok::Ge:
+    return "'>='";
+  case Tok::Eof:
+    return "end of input";
+  }
+  return "?";
+}

@@ -1,0 +1,102 @@
+//===- pml/Lexer.h - PML tokenizer ------------------------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for PML, the small strict functional language whose programs
+/// run on the hierarchical-heap runtime. PML plays the role of Parallel ML
+/// in the paper: the carrier language whose compiler (this module) targets
+/// the entanglement-managed runtime. Syntax is ML-flavoured:
+///
+/// \code
+///   fun fib n = if n < 2 then n else
+///     let val p = par (fib (n-1), fib (n-2)) in fst p + snd p end
+///   fib 20
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_PML_LEXER_H
+#define MPL_PML_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpl {
+namespace pml {
+
+enum class Tok : uint8_t {
+  // Literals and identifiers.
+  Int,
+  String,
+  Ident,
+  // Keywords.
+  KwLet,
+  KwVal,
+  KwFun,
+  KwFn,
+  KwIn,
+  KwEnd,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwTrue,
+  KwFalse,
+  KwPar,
+  KwRef,
+  KwNot,
+  KwAndalso,
+  KwOrelse,
+  KwCase,
+  KwOf,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Pipe,      // |
+  ConsOp,    // ::
+  Semi,
+  Arrow,     // =>
+  Assign,    // :=
+  Bang,      // !
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Eq,        // =
+  Ne,        // <>
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eof,
+};
+
+/// A lexed token with source position (1-based line/column).
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;   ///< Identifier or string body.
+  int64_t IntVal = 0; ///< For Tok::Int.
+  int Line = 1;
+  int Col = 1;
+};
+
+/// Tokenizes \p Source. On a lexical error, appends a message to
+/// \p Errors and resynchronizes. Comments are `(* ... *)` (nesting) and
+/// `--` to end of line.
+std::vector<Token> lex(const std::string &Source,
+                       std::vector<std::string> &Errors);
+
+/// Human-readable token-kind name (diagnostics).
+const char *tokName(Tok K);
+
+} // namespace pml
+} // namespace mpl
+
+#endif // MPL_PML_LEXER_H

@@ -1,0 +1,568 @@
+//===- pml/Parser.cpp - PML recursive-descent parser ------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pml/Parser.h"
+
+#include <cstdio>
+
+using namespace mpl;
+using namespace mpl::pml;
+
+namespace {
+
+struct Parser {
+  const std::vector<Token> &Toks;
+  std::vector<std::string> &Errors;
+  size_t At = 0;
+
+  Parser(const std::vector<Token> &T, std::vector<std::string> &E)
+      : Toks(T), Errors(E) {}
+
+  const Token &peek() const { return Toks[At]; }
+  const Token &advance() { return Toks[At == Toks.size() - 1 ? At : At++]; }
+  bool check(Tok K) const { return peek().Kind == K; }
+
+  bool match(Tok K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  void error(const std::string &Msg) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%d:%d: ", peek().Line, peek().Col);
+    Errors.push_back(std::string(Buf) + Msg);
+  }
+
+  bool expect(Tok K, const char *Ctx) {
+    if (match(K))
+      return true;
+    error(std::string("expected ") + tokName(K) + " " + Ctx + ", found " +
+          tokName(peek().Kind));
+    return false;
+  }
+
+  ExprPtr node(ExprKind K) {
+    auto E = std::make_unique<Expr>(K);
+    E->Line = peek().Line;
+    E->Col = peek().Col;
+    return E;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Declarations (shared between `let` and the top level).
+  //===--------------------------------------------------------------------===
+
+  /// Parses one `val x = e` or `fun f x .. = e`; returns a LetVal/LetFun
+  /// node with a null body (the caller chains bodies).
+  ExprPtr parseDecl() {
+    if (match(Tok::KwVal)) {
+      ExprPtr D = node(ExprKind::LetVal);
+      if (!check(Tok::Ident)) {
+        error("expected identifier after 'val'");
+        return nullptr;
+      }
+      D->Str = advance().Text;
+      if (!expect(Tok::Eq, "after 'val' binder"))
+        return nullptr;
+      D->A = parseExpr();
+      return D->A ? std::move(D) : nullptr;
+    }
+    if (match(Tok::KwFun)) {
+      ExprPtr D = node(ExprKind::LetFun);
+      if (!check(Tok::Ident)) {
+        error("expected function name after 'fun'");
+        return nullptr;
+      }
+      D->Str = advance().Text;
+      while (check(Tok::Ident))
+        D->Params.push_back(advance().Text);
+      if (D->Params.empty()) {
+        error("function '" + D->Str + "' needs at least one parameter");
+        return nullptr;
+      }
+      if (!expect(Tok::Eq, "after function parameters"))
+        return nullptr;
+      D->A = parseExpr();
+      return D->A ? std::move(D) : nullptr;
+    }
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions.
+  //===--------------------------------------------------------------------===
+
+  ExprPtr parseExpr() {
+    ExprPtr L = parseNonSeq();
+    if (!L)
+      return nullptr;
+    if (match(Tok::Semi)) {
+      ExprPtr S = std::make_unique<Expr>(ExprKind::Seq);
+      S->Line = L->Line;
+      S->Col = L->Col;
+      S->A = std::move(L);
+      S->B = parseExpr();
+      return S->B ? std::move(S) : nullptr;
+    }
+    return L;
+  }
+
+  ExprPtr parseNonSeq() {
+    if (check(Tok::KwLet))
+      return parseLet();
+    if (check(Tok::KwFn))
+      return parseLambda();
+    if (check(Tok::KwIf))
+      return parseIf();
+    if (check(Tok::KwCase))
+      return parseCase();
+    return parseAssign();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Patterns and case.
+  //===--------------------------------------------------------------------===
+
+  PatPtr patNode(PatKind K) {
+    auto P = std::make_unique<Pat>(K);
+    P->Line = peek().Line;
+    P->Col = peek().Col;
+    return P;
+  }
+
+  PatPtr parsePat() { return parseConsPat(); }
+
+  PatPtr parseConsPat() {
+    PatPtr L = parseAtomPat();
+    if (!L)
+      return nullptr;
+    if (match(Tok::ConsOp)) {
+      PatPtr C = std::make_unique<Pat>(PatKind::Cons);
+      C->Line = L->Line;
+      C->Col = L->Col;
+      C->PA = std::move(L);
+      C->PB = parseConsPat(); // Right-associative.
+      return C->PB ? std::move(C) : nullptr;
+    }
+    return L;
+  }
+
+  PatPtr parseAtomPat() {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case Tok::Ident: {
+      PatPtr P = patNode(T.Text == "_" ? PatKind::Wild : PatKind::Var);
+      P->Str = advance().Text;
+      return P;
+    }
+    case Tok::Int: {
+      PatPtr P = patNode(PatKind::IntLit);
+      P->IntVal = advance().IntVal;
+      return P;
+    }
+    case Tok::KwTrue:
+    case Tok::KwFalse: {
+      PatPtr P = patNode(PatKind::BoolLit);
+      P->IntVal = advance().Kind == Tok::KwTrue;
+      return P;
+    }
+    case Tok::LBracket: {
+      PatPtr P = patNode(PatKind::Nil);
+      advance();
+      if (!expect(Tok::RBracket, "in empty-list pattern"))
+        return nullptr;
+      return P;
+    }
+    case Tok::LParen: {
+      int Line = T.Line, Col = T.Col;
+      advance();
+      if (match(Tok::RParen)) {
+        PatPtr P = std::make_unique<Pat>(PatKind::Unit);
+        P->Line = Line;
+        P->Col = Col;
+        return P;
+      }
+      PatPtr Inner = parsePat();
+      if (!Inner)
+        return nullptr;
+      if (match(Tok::Comma)) {
+        PatPtr P = std::make_unique<Pat>(PatKind::Pair);
+        P->Line = Line;
+        P->Col = Col;
+        P->PA = std::move(Inner);
+        P->PB = parsePat();
+        if (!P->PB || !expect(Tok::RParen, "to close pair pattern"))
+          return nullptr;
+        return P;
+      }
+      if (!expect(Tok::RParen, "to close pattern"))
+        return nullptr;
+      return Inner;
+    }
+    default:
+      error(std::string("expected a pattern, found ") + tokName(T.Kind));
+      return nullptr;
+    }
+  }
+
+  ExprPtr parseCase() {
+    ExprPtr E = node(ExprKind::Case);
+    advance(); // case
+    E->A = parseExpr();
+    if (!E->A || !expect(Tok::KwOf, "in case expression"))
+      return nullptr;
+    match(Tok::Pipe); // Optional leading bar.
+    while (true) {
+      PatPtr P = parsePat();
+      if (!P)
+        return nullptr;
+      if (!expect(Tok::Arrow, "after case pattern"))
+        return nullptr;
+      ExprPtr Body = parseExpr();
+      if (!Body)
+        return nullptr;
+      E->Arms.emplace_back(std::move(P), std::move(Body));
+      if (!match(Tok::Pipe))
+        break;
+    }
+    return E;
+  }
+
+  ExprPtr parseLet() {
+    advance(); // let
+    std::vector<ExprPtr> Decls;
+    while (check(Tok::KwVal) || check(Tok::KwFun)) {
+      ExprPtr D = parseDecl();
+      if (!D)
+        return nullptr;
+      Decls.push_back(std::move(D));
+    }
+    if (Decls.empty()) {
+      error("expected 'val' or 'fun' after 'let'");
+      return nullptr;
+    }
+    if (!expect(Tok::KwIn, "after let declarations"))
+      return nullptr;
+    ExprPtr Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    if (!expect(Tok::KwEnd, "to close 'let'"))
+      return nullptr;
+    // Chain declarations innermost-last.
+    for (auto It = Decls.rbegin(); It != Decls.rend(); ++It) {
+      (*It)->B = std::move(Body);
+      Body = std::move(*It);
+    }
+    return Body;
+  }
+
+  ExprPtr parseLambda() {
+    ExprPtr L = node(ExprKind::Lambda);
+    advance(); // fn
+    while (check(Tok::Ident))
+      L->Params.push_back(advance().Text);
+    if (L->Params.empty()) {
+      error("expected parameter after 'fn'");
+      return nullptr;
+    }
+    if (!expect(Tok::Arrow, "after 'fn' parameters"))
+      return nullptr;
+    L->A = parseExpr();
+    return L->A ? std::move(L) : nullptr;
+  }
+
+  ExprPtr parseIf() {
+    ExprPtr E = node(ExprKind::If);
+    advance(); // if
+    E->A = parseExpr();
+    if (!E->A || !expect(Tok::KwThen, "in conditional"))
+      return nullptr;
+    E->B = parseExpr();
+    if (!E->B || !expect(Tok::KwElse, "in conditional"))
+      return nullptr;
+    E->C = parseExpr();
+    return E->C ? std::move(E) : nullptr;
+  }
+
+  ExprPtr parseAssign() {
+    ExprPtr L = parseOrelse();
+    if (!L)
+      return nullptr;
+    if (match(Tok::Assign)) {
+      ExprPtr A = std::make_unique<Expr>(ExprKind::Assign);
+      A->Line = L->Line;
+      A->Col = L->Col;
+      A->A = std::move(L);
+      A->B = parseAssign();
+      return A->B ? std::move(A) : nullptr;
+    }
+    return L;
+  }
+
+  ExprPtr parseBinChain(ExprPtr (Parser::*Sub)(),
+                        std::initializer_list<Tok> Ops, bool Chainable) {
+    ExprPtr L = (this->*Sub)();
+    if (!L)
+      return nullptr;
+    while (true) {
+      Tok K = peek().Kind;
+      bool Hit = false;
+      for (Tok O : Ops)
+        Hit |= K == O;
+      if (!Hit)
+        return L;
+      advance();
+      ExprPtr B = std::make_unique<Expr>(ExprKind::Binop);
+      B->Line = L->Line;
+      B->Col = L->Col;
+      B->Op = K;
+      B->A = std::move(L);
+      B->B = (this->*Sub)();
+      if (!B->B)
+        return nullptr;
+      L = std::move(B);
+      if (!Chainable)
+        return L; // Comparisons do not associate.
+    }
+  }
+
+  ExprPtr parseOrelse() {
+    return parseBinChain(&Parser::parseAndalso, {Tok::KwOrelse}, true);
+  }
+  ExprPtr parseAndalso() {
+    return parseBinChain(&Parser::parseCmp, {Tok::KwAndalso}, true);
+  }
+  ExprPtr parseCmp() {
+    return parseBinChain(&Parser::parseConsE,
+                         {Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt,
+                          Tok::Ge},
+                         false);
+  }
+
+  /// h :: t (right-associative), between comparisons and addition.
+  ExprPtr parseConsE() {
+    ExprPtr L = parseAdd();
+    if (!L)
+      return nullptr;
+    if (match(Tok::ConsOp)) {
+      ExprPtr C = std::make_unique<Expr>(ExprKind::Cons);
+      C->Line = L->Line;
+      C->Col = L->Col;
+      C->A = std::move(L);
+      C->B = parseConsE();
+      return C->B ? std::move(C) : nullptr;
+    }
+    return L;
+  }
+  ExprPtr parseAdd() {
+    return parseBinChain(&Parser::parseMul, {Tok::Plus, Tok::Minus}, true);
+  }
+  ExprPtr parseMul() {
+    return parseBinChain(&Parser::parseApp,
+                         {Tok::Star, Tok::Slash, Tok::Percent}, true);
+  }
+
+  static bool startsAtom(Tok K) {
+    switch (K) {
+    case Tok::Int:
+    case Tok::String:
+    case Tok::KwTrue:
+    case Tok::KwFalse:
+    case Tok::Ident:
+    case Tok::LParen:
+    case Tok::LBracket:
+    case Tok::KwPar:
+    case Tok::Bang:
+    case Tok::KwNot:
+    case Tok::KwRef:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  ExprPtr parseApp() {
+    ExprPtr F = parsePrefix();
+    if (!F)
+      return nullptr;
+    // Application arguments must start on the same line as the preceding
+    // token: juxtaposition application would otherwise greedily swallow
+    // the next top-level declaration or expression.
+    while (startsAtom(peek().Kind) && At > 0 &&
+           peek().Line == Toks[At - 1].Line) {
+      ExprPtr A = std::make_unique<Expr>(ExprKind::App);
+      A->Line = F->Line;
+      A->Col = F->Col;
+      A->A = std::move(F);
+      A->B = parsePrefix();
+      if (!A->B)
+        return nullptr;
+      F = std::move(A);
+    }
+    return F;
+  }
+
+  ExprPtr parsePrefix() {
+    if (check(Tok::Bang)) {
+      ExprPtr E = node(ExprKind::Deref);
+      advance();
+      E->A = parsePrefix();
+      return E->A ? std::move(E) : nullptr;
+    }
+    if (check(Tok::KwNot)) {
+      ExprPtr E = node(ExprKind::Not);
+      advance();
+      E->A = parsePrefix();
+      return E->A ? std::move(E) : nullptr;
+    }
+    if (check(Tok::Minus)) {
+      ExprPtr E = node(ExprKind::Neg);
+      advance();
+      E->A = parsePrefix();
+      return E->A ? std::move(E) : nullptr;
+    }
+    if (check(Tok::KwRef)) {
+      ExprPtr E = node(ExprKind::RefNew);
+      advance();
+      E->A = parsePrefix();
+      return E->A ? std::move(E) : nullptr;
+    }
+    return parseAtom();
+  }
+
+  ExprPtr parseAtom() {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case Tok::Int: {
+      ExprPtr E = node(ExprKind::IntLit);
+      E->IntVal = advance().IntVal;
+      return E;
+    }
+    case Tok::String: {
+      ExprPtr E = node(ExprKind::StrLit);
+      E->Str = advance().Text;
+      return E;
+    }
+    case Tok::KwTrue:
+    case Tok::KwFalse: {
+      ExprPtr E = node(ExprKind::BoolLit);
+      E->IntVal = advance().Kind == Tok::KwTrue;
+      return E;
+    }
+    case Tok::Ident: {
+      ExprPtr E = node(ExprKind::Var);
+      E->Str = advance().Text;
+      return E;
+    }
+    case Tok::LBracket: {
+      int Line = T.Line, Col = T.Col;
+      advance();
+      std::vector<ExprPtr> Elems;
+      if (!check(Tok::RBracket)) {
+        while (true) {
+          ExprPtr El = parseExpr();
+          if (!El)
+            return nullptr;
+          Elems.push_back(std::move(El));
+          if (!match(Tok::Comma))
+            break;
+        }
+      }
+      if (!expect(Tok::RBracket, "to close list literal"))
+        return nullptr;
+      ExprPtr Tail = std::make_unique<Expr>(ExprKind::NilLit);
+      Tail->Line = Line;
+      Tail->Col = Col;
+      for (auto It = Elems.rbegin(); It != Elems.rend(); ++It) {
+        ExprPtr C = std::make_unique<Expr>(ExprKind::Cons);
+        C->Line = (*It)->Line;
+        C->Col = (*It)->Col;
+        C->A = std::move(*It);
+        C->B = std::move(Tail);
+        Tail = std::move(C);
+      }
+      return Tail;
+    }
+    case Tok::KwPar: {
+      ExprPtr E = node(ExprKind::Par);
+      advance();
+      if (!expect(Tok::LParen, "after 'par'"))
+        return nullptr;
+      E->A = parseExpr();
+      if (!E->A || !expect(Tok::Comma, "between 'par' branches"))
+        return nullptr;
+      E->B = parseExpr();
+      if (!E->B || !expect(Tok::RParen, "to close 'par'"))
+        return nullptr;
+      return E;
+    }
+    case Tok::LParen: {
+      int Line = T.Line, Col = T.Col;
+      advance();
+      if (match(Tok::RParen)) {
+        ExprPtr E = std::make_unique<Expr>(ExprKind::UnitLit);
+        E->Line = Line;
+        E->Col = Col;
+        return E;
+      }
+      ExprPtr Inner = parseExpr();
+      if (!Inner)
+        return nullptr;
+      if (match(Tok::Comma)) {
+        ExprPtr P = std::make_unique<Expr>(ExprKind::Pair);
+        P->Line = Line;
+        P->Col = Col;
+        P->A = std::move(Inner);
+        P->B = parseExpr();
+        if (!P->B || !expect(Tok::RParen, "to close pair"))
+          return nullptr;
+        return P;
+      }
+      if (!expect(Tok::RParen, "to close parenthesized expression"))
+        return nullptr;
+      return Inner;
+    }
+    default:
+      error(std::string("expected an expression, found ") +
+            tokName(T.Kind));
+      return nullptr;
+    }
+  }
+};
+
+} // namespace
+
+ExprPtr mpl::pml::parseProgram(const std::string &Source,
+                               std::vector<std::string> &Errors) {
+  std::vector<Token> Toks = lex(Source, Errors);
+  if (!Errors.empty())
+    return nullptr;
+  Parser P(Toks, Errors);
+
+  // Top-level declarations followed by the main expression.
+  std::vector<ExprPtr> Decls;
+  while (P.check(Tok::KwVal) || P.check(Tok::KwFun)) {
+    ExprPtr D = P.parseDecl();
+    if (!D)
+      return nullptr;
+    Decls.push_back(std::move(D));
+  }
+  ExprPtr Main = P.parseExpr();
+  if (!Main)
+    return nullptr;
+  if (!P.check(Tok::Eof)) {
+    P.error(std::string("unexpected ") + tokName(P.peek().Kind) +
+            " after the main expression");
+    return nullptr;
+  }
+  for (auto It = Decls.rbegin(); It != Decls.rend(); ++It) {
+    (*It)->B = std::move(Main);
+    Main = std::move(*It);
+  }
+  return Main;
+}

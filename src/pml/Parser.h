@@ -1,0 +1,53 @@
+//===- pml/Parser.h - PML recursive-descent parser --------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for PML. Grammar (lowest to highest precedence):
+///
+///   program  ::= topdecl* expr
+///   topdecl  ::= "val" id "=" expr | "fun" id id+ "=" expr
+///   expr     ::= nonseq (";" expr)?
+///   nonseq   ::= "let" decl+ "in" expr "end"
+///              | "fn" id+ "=>" expr
+///              | "if" expr "then" expr "else" expr
+///              | assign
+///   decl     ::= "val" id "=" expr | "fun" id id+ "=" expr
+///   assign   ::= orelse (":=" assign)?
+///   orelse   ::= andalso ("orelse" andalso)*
+///   andalso  ::= cmp ("andalso" cmp)*
+///   cmp      ::= add (("="|"<>"|"<"|"<="|">"|">=") add)?
+///   add      ::= mul (("+"|"-") mul)*
+///   mul      ::= app (("*"|"/"|"%") app)*
+///   app      ::= prefix prefix*   (left-assoc; arguments must begin on
+///                                  the same source line as the function)
+///   prefix   ::= ("!" | "not" | "-" | "ref") prefix | atom
+///   atom     ::= int | string | "true" | "false" | id
+///              | "(" ")" | "(" expr ")" | "(" expr "," expr ")"
+///              | "par" "(" expr "," expr ")"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_PML_PARSER_H
+#define MPL_PML_PARSER_H
+
+#include "pml/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace mpl {
+namespace pml {
+
+/// Parses a whole program (top-level declarations desugar to nested lets
+/// around the final expression). Returns null and fills \p Errors on
+/// failure.
+ExprPtr parseProgram(const std::string &Source,
+                     std::vector<std::string> &Errors);
+
+} // namespace pml
+} // namespace mpl
+
+#endif // MPL_PML_PARSER_H

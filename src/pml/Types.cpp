@@ -1,0 +1,493 @@
+//===- pml/Types.cpp - Hindley-Milner type inference for PML ---------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pml/Types.h"
+
+#include "support/Assert.h"
+
+#include <cstdio>
+
+using namespace mpl;
+using namespace mpl::pml;
+
+Ty *TypeChecker::alloc(TyTag Tag, Ty *A, Ty *B) {
+  Arena.push_back(std::make_unique<Ty>());
+  Ty *T = Arena.back().get();
+  T->Tag = Tag;
+  T->A = A;
+  T->B = B;
+  return T;
+}
+
+Ty *TypeChecker::freshVar() {
+  Ty *T = alloc(TyTag::Var);
+  T->Level = CurLevel;
+  T->Id = NextId++;
+  return T;
+}
+
+Ty *TypeChecker::resolve(Ty *T) {
+  while (T->Tag == TyTag::Var && T->Link) {
+    // Path compression.
+    if (T->Link->Tag == TyTag::Var && T->Link->Link)
+      T->Link = T->Link->Link;
+    T = T->Link;
+  }
+  return T;
+}
+
+bool TypeChecker::occurs(Ty *Var, Ty *T) {
+  T = resolve(T);
+  if (T == Var)
+    return true;
+  if (T->A && occurs(Var, T->A))
+    return true;
+  return T->B && occurs(Var, T->B);
+}
+
+void TypeChecker::updateLevels(Ty *T, int Level) {
+  T = resolve(T);
+  if (T->Tag == TyTag::Var) {
+    if (T->Level > Level)
+      T->Level = Level;
+    return;
+  }
+  if (T->A)
+    updateLevels(T->A, Level);
+  if (T->B)
+    updateLevels(T->B, Level);
+}
+
+void TypeChecker::errorAt(const Expr &E, const std::string &Msg) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%d:%d: ", E.Line, E.Col);
+  Errors->push_back(std::string(Buf) + Msg);
+  Failed = true;
+}
+
+bool TypeChecker::unify(Ty *X, Ty *Y, const Expr &At) {
+  X = resolve(X);
+  Y = resolve(Y);
+  if (X == Y)
+    return true;
+  if (X->Tag == TyTag::Var || Y->Tag == TyTag::Var) {
+    if (X->Tag != TyTag::Var)
+      std::swap(X, Y);
+    if (occurs(X, Y)) {
+      errorAt(At, "cannot construct the infinite type " + show(X) + " = " +
+                      show(Y));
+      return false;
+    }
+    updateLevels(Y, X->Level);
+    X->Link = Y;
+    return true;
+  }
+  if (X->Tag != Y->Tag) {
+    errorAt(At, "type mismatch: " + show(X) + " vs " + show(Y));
+    return false;
+  }
+  if (X->A && !unify(X->A, Y->A, At))
+    return false;
+  if (X->B && !unify(X->B, Y->B, At))
+    return false;
+  return true;
+}
+
+TypeChecker::Scheme TypeChecker::generalize(Ty *T) {
+  Scheme S;
+  S.Body = T;
+  // Collect unbound vars deeper than the current level.
+  struct Walk {
+    TypeChecker &TC;
+    Scheme &S;
+    void go(Ty *T) {
+      T = resolve(T);
+      if (T->Tag == TyTag::Var) {
+        if (T->Level <= TC.CurLevel)
+          return;
+        for (Ty *Q : S.Quantified)
+          if (Q == T)
+            return;
+        S.Quantified.push_back(T);
+        return;
+      }
+      if (T->A)
+        go(T->A);
+      if (T->B)
+        go(T->B);
+    }
+  };
+  Walk W{*this, S};
+  W.go(T);
+  return S;
+}
+
+Ty *TypeChecker::instantiate(const Scheme &S) {
+  if (S.Quantified.empty())
+    return S.Body;
+  std::vector<std::pair<Ty *, Ty *>> Subst;
+  for (Ty *Q : S.Quantified)
+    Subst.emplace_back(Q, freshVar());
+  struct Copy {
+    TypeChecker &TC;
+    std::vector<std::pair<Ty *, Ty *>> &Subst;
+    Ty *go(Ty *T) {
+      T = resolve(T);
+      if (T->Tag == TyTag::Var) {
+        for (auto &KV : Subst)
+          if (KV.first == T)
+            return KV.second;
+        return T;
+      }
+      if (!T->A && !T->B)
+        return T;
+      return TC.alloc(T->Tag, T->A ? go(T->A) : nullptr,
+                      T->B ? go(T->B) : nullptr);
+    }
+  };
+  Copy C{*this, Subst};
+  return C.go(S.Body);
+}
+
+bool TypeChecker::isSyntacticValue(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::StrLit:
+  case ExprKind::UnitLit:
+  case ExprKind::NilLit:
+  case ExprKind::Var:
+  case ExprKind::Lambda:
+    return true;
+  case ExprKind::Pair:
+  case ExprKind::Cons:
+    return isSyntacticValue(*E.A) && isSyntacticValue(*E.B);
+  default:
+    return false;
+  }
+}
+
+/// Checks pattern \p P against scrutinee type \p Scrut, pushing variable
+/// bindings (monomorphic) and counting them in \p Bound.
+void TypeChecker::checkPat(const Pat &P, Ty *Scrut, size_t &Bound) {
+  // Report pattern errors at the pattern's own location.
+  Expr At(ExprKind::UnitLit);
+  At.Line = P.Line;
+  At.Col = P.Col;
+  switch (P.Kind) {
+  case PatKind::Wild:
+    return;
+  case PatKind::Var:
+    Env.push_back({P.Str, {Scrut, {}}});
+    ++Bound;
+    return;
+  case PatKind::IntLit:
+    unify(Scrut, alloc(TyTag::Int), At);
+    return;
+  case PatKind::BoolLit:
+    unify(Scrut, alloc(TyTag::Bool), At);
+    return;
+  case PatKind::Unit:
+    unify(Scrut, alloc(TyTag::Unit), At);
+    return;
+  case PatKind::Nil:
+    unify(Scrut, alloc(TyTag::List, freshVar()), At);
+    return;
+  case PatKind::Cons: {
+    Ty *Elem = freshVar();
+    Ty *ListT = alloc(TyTag::List, Elem);
+    unify(Scrut, ListT, At);
+    checkPat(*P.PA, Elem, Bound);
+    checkPat(*P.PB, ListT, Bound);
+    return;
+  }
+  case PatKind::Pair: {
+    Ty *A = freshVar();
+    Ty *B = freshVar();
+    unify(Scrut, alloc(TyTag::Pair, A, B), At);
+    checkPat(*P.PA, A, Bound);
+    checkPat(*P.PB, B, Bound);
+    return;
+  }
+  }
+  MPL_UNREACHABLE("covered switch");
+}
+
+void TypeChecker::pushBuiltins() {
+  auto Poly1 = [&](const char *Name, auto MakeBody) {
+    ++CurLevel;
+    Ty *A = freshVar();
+    Ty *Body = MakeBody(A);
+    --CurLevel;
+    Scheme S = generalize(Body);
+    Env.push_back({Name, S});
+  };
+  auto Poly2 = [&](const char *Name, auto MakeBody) {
+    ++CurLevel;
+    Ty *A = freshVar();
+    Ty *B = freshVar();
+    Ty *Body = MakeBody(A, B);
+    --CurLevel;
+    Env.push_back({Name, generalize(Body)});
+  };
+  Ty *TInt = alloc(TyTag::Int);
+  Ty *TUnit = alloc(TyTag::Unit);
+  Ty *TString = alloc(TyTag::String);
+
+  // fst : 'a * 'b -> 'a ;  snd : 'a * 'b -> 'b
+  Poly2("fst", [&](Ty *A, Ty *B) {
+    return alloc(TyTag::Arrow, alloc(TyTag::Pair, A, B), A);
+  });
+  Poly2("snd", [&](Ty *A, Ty *B) {
+    return alloc(TyTag::Arrow, alloc(TyTag::Pair, A, B), B);
+  });
+  // alloc : int -> 'a -> 'a array
+  Poly1("alloc", [&](Ty *A) {
+    return alloc(TyTag::Arrow, TInt,
+                 alloc(TyTag::Arrow, A, alloc(TyTag::Array, A)));
+  });
+  // get : 'a array -> int -> 'a
+  Poly1("get", [&](Ty *A) {
+    return alloc(TyTag::Arrow, alloc(TyTag::Array, A),
+                 alloc(TyTag::Arrow, TInt, A));
+  });
+  // set : 'a array -> int -> 'a -> unit
+  Poly1("set", [&](Ty *A) {
+    return alloc(TyTag::Arrow, alloc(TyTag::Array, A),
+                 alloc(TyTag::Arrow, TInt, alloc(TyTag::Arrow, A, TUnit)));
+  });
+  // length : 'a array -> int
+  Poly1("length", [&](Ty *A) {
+    return alloc(TyTag::Arrow, alloc(TyTag::Array, A), TInt);
+  });
+  // print : string -> unit ; printInt : int -> unit
+  Env.push_back({"print", {alloc(TyTag::Arrow, TString, TUnit), {}}});
+  Env.push_back({"printInt", {alloc(TyTag::Arrow, TInt, TUnit), {}}});
+}
+
+Ty *TypeChecker::lookupVar(const Expr &E) {
+  for (auto It = Env.rbegin(); It != Env.rend(); ++It)
+    if (It->Name == E.Str)
+      return instantiate(It->S);
+  errorAt(E, "unbound variable '" + E.Str + "'");
+  return freshVar();
+}
+
+Ty *TypeChecker::inferExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return alloc(TyTag::Int);
+  case ExprKind::BoolLit:
+    return alloc(TyTag::Bool);
+  case ExprKind::StrLit:
+    return alloc(TyTag::String);
+  case ExprKind::UnitLit:
+    return alloc(TyTag::Unit);
+  case ExprKind::Var:
+    return lookupVar(E);
+
+  case ExprKind::Lambda: {
+    size_t Saved = Env.size();
+    std::vector<Ty *> ParamTys;
+    for (const std::string &P : E.Params) {
+      Ty *V = freshVar();
+      ParamTys.push_back(V);
+      Env.push_back({P, {V, {}}});
+    }
+    Ty *Body = inferExpr(*E.A);
+    Env.resize(Saved);
+    for (auto It = ParamTys.rbegin(); It != ParamTys.rend(); ++It)
+      Body = alloc(TyTag::Arrow, *It, Body);
+    return Body;
+  }
+
+  case ExprKind::LetVal: {
+    ++CurLevel;
+    Ty *Bound = inferExpr(*E.A);
+    --CurLevel;
+    Scheme S = isSyntacticValue(*E.A) ? generalize(Bound)
+                                      : Scheme{Bound, {}};
+    Env.push_back({E.Str, S});
+    Ty *Body = inferExpr(*E.B);
+    Env.pop_back();
+    return Body;
+  }
+
+  case ExprKind::LetFun: {
+    // fun f x.. = e1 in e2: f is monomorphic inside its own body,
+    // generalized in the let body.
+    ++CurLevel;
+    Ty *FnVar = freshVar();
+    Env.push_back({E.Str, {FnVar, {}}});
+    size_t Saved = Env.size();
+    std::vector<Ty *> ParamTys;
+    for (const std::string &P : E.Params) {
+      Ty *V = freshVar();
+      ParamTys.push_back(V);
+      Env.push_back({P, {V, {}}});
+    }
+    Ty *Body = inferExpr(*E.A);
+    Env.resize(Saved);
+    for (auto It = ParamTys.rbegin(); It != ParamTys.rend(); ++It)
+      Body = alloc(TyTag::Arrow, *It, Body);
+    unify(FnVar, Body, E);
+    Env.pop_back(); // f (monomorphic binding)
+    --CurLevel;
+    Env.push_back({E.Str, generalize(FnVar)});
+    Ty *LetBody = inferExpr(*E.B);
+    Env.pop_back();
+    return LetBody;
+  }
+
+  case ExprKind::If: {
+    Ty *C = inferExpr(*E.A);
+    unify(C, alloc(TyTag::Bool), *E.A);
+    Ty *T = inferExpr(*E.B);
+    Ty *F = inferExpr(*E.C);
+    unify(T, F, E);
+    return T;
+  }
+
+  case ExprKind::App: {
+    Ty *Fn = inferExpr(*E.A);
+    Ty *Arg = inferExpr(*E.B);
+    Ty *Res = freshVar();
+    unify(Fn, alloc(TyTag::Arrow, Arg, Res), E);
+    return Res;
+  }
+
+  case ExprKind::Binop: {
+    Ty *L = inferExpr(*E.A);
+    Ty *R = inferExpr(*E.B);
+    switch (E.Op) {
+    case Tok::Plus:
+    case Tok::Minus:
+    case Tok::Star:
+    case Tok::Slash:
+    case Tok::Percent:
+      unify(L, alloc(TyTag::Int), *E.A);
+      unify(R, alloc(TyTag::Int), *E.B);
+      return alloc(TyTag::Int);
+    case Tok::Lt:
+    case Tok::Le:
+    case Tok::Gt:
+    case Tok::Ge:
+      unify(L, alloc(TyTag::Int), *E.A);
+      unify(R, alloc(TyTag::Int), *E.B);
+      return alloc(TyTag::Bool);
+    case Tok::Eq:
+    case Tok::Ne:
+      // Equality is polymorphic (structural on immediates and strings,
+      // identity otherwise).
+      unify(L, R, E);
+      return alloc(TyTag::Bool);
+    case Tok::KwAndalso:
+    case Tok::KwOrelse:
+      unify(L, alloc(TyTag::Bool), *E.A);
+      unify(R, alloc(TyTag::Bool), *E.B);
+      return alloc(TyTag::Bool);
+    default:
+      MPL_UNREACHABLE("unknown binary operator");
+    }
+  }
+
+  case ExprKind::Not: {
+    unify(inferExpr(*E.A), alloc(TyTag::Bool), *E.A);
+    return alloc(TyTag::Bool);
+  }
+  case ExprKind::Neg: {
+    unify(inferExpr(*E.A), alloc(TyTag::Int), *E.A);
+    return alloc(TyTag::Int);
+  }
+  case ExprKind::Deref: {
+    Ty *V = freshVar();
+    unify(inferExpr(*E.A), alloc(TyTag::Ref, V), *E.A);
+    return V;
+  }
+  case ExprKind::RefNew:
+    return alloc(TyTag::Ref, inferExpr(*E.A));
+  case ExprKind::Assign: {
+    Ty *V = freshVar();
+    unify(inferExpr(*E.A), alloc(TyTag::Ref, V), *E.A);
+    unify(inferExpr(*E.B), V, *E.B);
+    return alloc(TyTag::Unit);
+  }
+  case ExprKind::Pair:
+    return alloc(TyTag::Pair, inferExpr(*E.A), inferExpr(*E.B));
+  case ExprKind::NilLit:
+    return alloc(TyTag::List, freshVar());
+  case ExprKind::Cons: {
+    Ty *H = inferExpr(*E.A);
+    Ty *T = inferExpr(*E.B);
+    unify(T, alloc(TyTag::List, H), E);
+    return T;
+  }
+  case ExprKind::Case: {
+    Ty *Scrut = inferExpr(*E.A);
+    Ty *Result = freshVar();
+    MPL_CHECK(!E.Arms.empty(), "case with no arms");
+    for (const auto &Arm : E.Arms) {
+      size_t Bound = 0;
+      checkPat(*Arm.first, Scrut, Bound);
+      Ty *Body = inferExpr(*Arm.second);
+      unify(Result, Body, *Arm.second);
+      Env.resize(Env.size() - Bound);
+    }
+    return Result;
+  }
+  case ExprKind::Par:
+    // The paper's fork-join primitive: both branches may perform effects.
+    return alloc(TyTag::Pair, inferExpr(*E.A), inferExpr(*E.B));
+  case ExprKind::Seq: {
+    unify(inferExpr(*E.A), alloc(TyTag::Unit), *E.A);
+    return inferExpr(*E.B);
+  }
+  }
+  MPL_UNREACHABLE("covered switch");
+}
+
+Ty *TypeChecker::infer(const Expr &Program,
+                       std::vector<std::string> &Errs) {
+  Errors = &Errs;
+  Failed = false;
+  Env.clear();
+  pushBuiltins();
+  Ty *T = inferExpr(Program);
+  return Failed ? nullptr : resolve(T);
+}
+
+std::string TypeChecker::show(Ty *T) {
+  T = resolve(T);
+  switch (T->Tag) {
+  case TyTag::Var: {
+    std::string S = "'";
+    int Id = T->Id;
+    S += static_cast<char>('a' + Id % 26);
+    if (Id >= 26)
+      S += std::to_string(Id / 26);
+    return S;
+  }
+  case TyTag::Int:
+    return "int";
+  case TyTag::Bool:
+    return "bool";
+  case TyTag::Unit:
+    return "unit";
+  case TyTag::String:
+    return "string";
+  case TyTag::Ref:
+    return show(T->A) + " ref";
+  case TyTag::Array:
+    return show(T->A) + " array";
+  case TyTag::List:
+    return show(T->A) + " list";
+  case TyTag::Pair:
+    return "(" + show(T->A) + " * " + show(T->B) + ")";
+  case TyTag::Arrow:
+    return "(" + show(T->A) + " -> " + show(T->B) + ")";
+  }
+  return "?";
+}

@@ -1,0 +1,104 @@
+//===- pml/Types.h - Hindley-Milner type inference for PML -----*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type inference for PML: algorithm W with level-based generalization
+/// (Rémy) and the ML value restriction — crucial here, because PML has
+/// first-class refs and arrays and unsound polymorphic refs would let
+/// programs corrupt the runtime heap.
+///
+/// Types: int, bool, unit, string, 'a ref, 'a array, t1 * t2, t1 -> t2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_PML_TYPES_H
+#define MPL_PML_TYPES_H
+
+#include "pml/Ast.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mpl {
+namespace pml {
+
+enum class TyTag : uint8_t {
+  Var,
+  Int,
+  Bool,
+  Unit,
+  String,
+  Ref,   // A
+  Array, // A
+  List,  // A
+  Pair,  // A * B
+  Arrow, // A -> B
+};
+
+/// A type term. Var nodes form a union-find structure through Link.
+struct Ty {
+  TyTag Tag;
+  Ty *A = nullptr;
+  Ty *B = nullptr;
+  // Var-only:
+  Ty *Link = nullptr; ///< Union-find forwarding (null when unbound).
+  int Level = 0;      ///< Binding level for generalization.
+  int Id = 0;         ///< Stable id for printing.
+};
+
+/// Owns all type terms created during one inference run.
+class TypeChecker {
+public:
+  /// Infers the type of \p Program. Returns null and records diagnostics
+  /// on error; otherwise returns the (resolved) program type.
+  Ty *infer(const Expr &Program, std::vector<std::string> &Errors);
+
+  /// Renders a type for diagnostics, e.g. "(int * 'a) -> 'a array".
+  static std::string show(Ty *T);
+
+private:
+  struct Scheme {
+    Ty *Body = nullptr;
+    std::vector<Ty *> Quantified; ///< Unbound vars generalized at the let.
+  };
+  struct Binding {
+    std::string Name;
+    Scheme S;
+  };
+
+  Ty *alloc(TyTag Tag, Ty *A = nullptr, Ty *B = nullptr);
+  Ty *freshVar();
+  static Ty *resolve(Ty *T);
+
+  bool unify(Ty *X, Ty *Y, const Expr &At);
+  bool occurs(Ty *Var, Ty *T);
+  void updateLevels(Ty *T, int Level);
+
+  Scheme generalize(Ty *T);
+  Ty *instantiate(const Scheme &S);
+
+  Ty *inferExpr(const Expr &E);
+  Ty *lookupVar(const Expr &E);
+  void checkPat(const Pat &P, Ty *Scrut, size_t &Bound);
+  void errorAt(const Expr &E, const std::string &Msg);
+
+  static bool isSyntacticValue(const Expr &E);
+
+  void pushBuiltins();
+
+  std::vector<std::unique_ptr<Ty>> Arena;
+  std::vector<Binding> Env; ///< Scoped stack of bindings.
+  std::vector<std::string> *Errors = nullptr;
+  int CurLevel = 0;
+  int NextId = 0;
+  bool Failed = false;
+};
+
+} // namespace pml
+} // namespace mpl
+
+#endif // MPL_PML_TYPES_H

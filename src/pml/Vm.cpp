@@ -1,0 +1,520 @@
+//===- pml/Vm.cpp - PML bytecode interpreter ---------------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pml/Vm.h"
+
+#include "core/Handles.h"
+#include "core/Ops.h"
+#include "core/Runtime.h"
+#include "pml/Parser.h"
+
+#include <cstdio>
+
+using namespace mpl;
+using namespace mpl::ops;
+using namespace mpl::pml;
+
+Vm::Vm(const Program &P, std::string *CaptureOut)
+    : Vm(P, CaptureOut, std::make_shared<TrapState>()) {}
+
+Vm::Vm(const Program &P, std::string *CaptureOut,
+       std::shared_ptr<TrapState> Trap)
+    : P(P), CaptureOut(CaptureOut), Trap(std::move(Trap)) {
+  Stack = std::make_unique<Slot[]>(StackCap);
+  StackBase = Stack.get();
+  rt::Runtime::ctx()->Roots.pushRange(&StackBase, &Sp);
+}
+
+Vm::~Vm() { rt::Runtime::ctx()->Roots.popRange(&StackBase); }
+
+void Vm::push(Slot V) {
+  if (Sp >= StackCap) {
+    Trap->trap("value stack overflow");
+    return;
+  }
+  Stack[Sp++] = V;
+}
+
+Slot Vm::pop() {
+  MPL_DASSERT(Sp > 0, "value stack underflow");
+  return Stack[--Sp];
+}
+
+namespace {
+
+/// Closure representation helpers: mutable array [fnIdx, captures...].
+int closureFn(Object *C) { return static_cast<int>(unboxInt(C->getSlot(0))); }
+
+bool isClosure(Slot V) {
+  Object *O = Object::asPointer(V);
+  return O && O->kind() == ObjKind::Array && O->length() >= 1 &&
+         isInt(O->getSlot(0));
+}
+
+/// Structural equality: immediates by value, strings by bytes, immutable
+/// pairs recursively, everything mutable by identity (the ML semantics).
+bool slotsEqual(Slot A, Slot B) {
+  if (A == B)
+    return true;
+  Object *OA = Object::asPointer(A);
+  Object *OB = Object::asPointer(B);
+  if (!OA || !OB)
+    return false;
+  if (OA->kind() != OB->kind())
+    return false;
+  if (OA->kind() == ObjKind::RawArray) {
+    size_t LA = strLen(OA), LB = strLen(OB);
+    return LA == LB && std::memcmp(strBytes(OA), strBytes(OB), LA) == 0;
+  }
+  if (OA->kind() == ObjKind::Record && !OA->isMutable() &&
+      !OB->isMutable() && OA->length() == OB->length()) {
+    for (uint32_t I = 0, E = OA->length(); I < E; ++I)
+      if (!slotsEqual(OA->getSlot(I), OB->getSlot(I)))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+/// Branch thunk for ParCall (shares the parent's program and trap).
+struct BranchEnv {
+  const Program *P;
+  std::string *CaptureOut;
+  std::shared_ptr<TrapState> Trap;
+  Slot Closure;
+};
+
+} // namespace
+
+struct mpl::pml::VmBranch {
+  static Slot run(BranchEnv &Env) {
+    Vm Sub(*Env.P, Env.CaptureOut, Env.Trap);
+    Object *C = Object::asPointer(Env.Closure);
+    if (!C) {
+      Env.Trap->trap("par branch is not a closure");
+      return unit();
+    }
+    return Sub.execFunction(closureFn(C), Env.Closure, unit(), 0);
+  }
+};
+
+Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
+  if (Depth > MaxCallDepth) {
+    Trap->trap("call depth limit exceeded");
+    return unit();
+  }
+  const FnProto *Fn = &P.Fns[static_cast<size_t>(FnIdx)];
+
+  // Frame layout: [closure, param, locals..., operands...]. TailCall
+  // rebuilds this frame in place instead of recursing.
+  size_t Base = Sp;
+  push(Closure);
+  push(Arg);
+  for (int I = 1; I < Fn->NumLocals; ++I)
+    push(unit());
+  if (Trap->Trapped.load(std::memory_order_relaxed)) {
+    Sp = Base;
+    return unit();
+  }
+  auto Local = [&](int32_t I) -> Slot & {
+    return Stack[Base + 1 + static_cast<size_t>(I)];
+  };
+
+  size_t Ip = 0;
+  while (true) {
+    MPL_DASSERT(Ip < Fn->Code.size(), "instruction pointer out of range");
+    if (Trap->Trapped.load(std::memory_order_relaxed)) {
+      Sp = Base;
+      return unit();
+    }
+    const Instr &In = Fn->Code[Ip++];
+    switch (In.O) {
+    case Op::PushInt:
+      push(boxInt(In.A));
+      break;
+    case Op::PushBigInt:
+      push(boxInt(P.IntPool[static_cast<size_t>(In.A)]));
+      break;
+    case Op::PushBool:
+      push(boxBool(In.A != 0));
+      break;
+    case Op::PushUnit:
+      push(unit());
+      break;
+    case Op::PushStr: {
+      const std::string &S = P.StrPool[static_cast<size_t>(In.A)];
+      push(Object::fromPointer(newString(S.data(), S.size())));
+      break;
+    }
+    case Op::LoadLocal:
+      push(Local(In.A));
+      break;
+    case Op::StoreLocal:
+      Local(In.A) = pop();
+      break;
+    case Op::LoadCapture: {
+      Object *C = Object::asPointer(Stack[Base]);
+      MPL_DASSERT(C, "missing closure for capture load");
+      push(arrGet(C, static_cast<uint32_t>(In.A) + 1));
+      break;
+    }
+    case Op::Pop:
+      pop();
+      break;
+
+    case Op::MkClosure: {
+      uint32_t N = static_cast<uint32_t>(In.B);
+      // Captures are the top N stack slots (rooted); allocate then fill.
+      Object *C = newArray(N + 1, boxInt(In.A));
+      for (uint32_t I = 0; I < N; ++I)
+        arrSet(C, I + 1, Stack[Sp - N + I]);
+      Sp -= N;
+      push(Object::fromPointer(C));
+      break;
+    }
+    case Op::FixSelf: {
+      Object *C = Object::asPointer(Stack[Sp - 1]);
+      MPL_DASSERT(C, "FixSelf on non-closure");
+      arrSet(C, static_cast<uint32_t>(In.A) + 1, Stack[Sp - 1]);
+      break;
+    }
+
+    case Op::Call: {
+      // Keep operands on the stack (rooted) while reading them.
+      Slot ArgV = Stack[Sp - 1];
+      Slot FnV = Stack[Sp - 2];
+      if (!isClosure(FnV)) {
+        Trap->trap("calling a non-function value");
+        Sp = Base;
+        return unit();
+      }
+      Object *C = Object::asPointer(FnV);
+      Slot R = execFunction(closureFn(C), FnV, ArgV, Depth + 1);
+      Sp -= 2;
+      push(R);
+      if (Trap->Trapped.load(std::memory_order_relaxed)) {
+        Sp = Base;
+        return unit();
+      }
+      break;
+    }
+
+    case Op::TailCall: {
+      Slot ArgV = Stack[Sp - 1];
+      Slot FnV = Stack[Sp - 2];
+      if (!isClosure(FnV)) {
+        Trap->trap("calling a non-function value");
+        Sp = Base;
+        return unit();
+      }
+      // Rebuild the frame in place: proper tail calls give PML loops
+      // constant stack space (both value stack and native stack).
+      Fn = &P.Fns[static_cast<size_t>(
+          closureFn(Object::asPointer(FnV)))];
+      Sp = Base;
+      push(FnV);
+      push(ArgV);
+      for (int I = 1; I < Fn->NumLocals; ++I)
+        push(unit());
+      if (Trap->Trapped.load(std::memory_order_relaxed)) {
+        Sp = Base;
+        return unit();
+      }
+      Ip = 0;
+      break;
+    }
+
+    case Op::Ret: {
+      Slot R = Stack[Sp - 1];
+      Sp = Base;
+      return R;
+    }
+
+    case Op::Jmp:
+      Ip = static_cast<size_t>(In.A);
+      break;
+    case Op::Jz:
+      if (!unboxBool(pop()))
+        Ip = static_cast<size_t>(In.A);
+      break;
+    case Op::Jnz:
+      if (unboxBool(pop()))
+        Ip = static_cast<size_t>(In.A);
+      break;
+    case Op::MatchFail:
+      Trap->trap("match failure: no case arm matched");
+      Sp = Base;
+      return unit();
+
+#define MPL_ARITH(OPNAME, EXPR)                                              \
+  case Op::OPNAME: {                                                         \
+    int64_t B2 = unboxInt(pop());                                            \
+    int64_t A2 = unboxInt(pop());                                            \
+    (void)A2;                                                                \
+    (void)B2;                                                                \
+    push(EXPR);                                                              \
+    break;                                                                   \
+  }
+      MPL_ARITH(Add, boxInt(A2 + B2))
+      MPL_ARITH(Sub, boxInt(A2 - B2))
+      MPL_ARITH(Mul, boxInt(A2 * B2))
+      MPL_ARITH(Lt, boxBool(A2 < B2))
+      MPL_ARITH(Le, boxBool(A2 <= B2))
+      MPL_ARITH(Gt, boxBool(A2 > B2))
+      MPL_ARITH(Ge, boxBool(A2 >= B2))
+#undef MPL_ARITH
+
+    case Op::Div:
+    case Op::Mod: {
+      int64_t B2 = unboxInt(pop());
+      int64_t A2 = unboxInt(pop());
+      if (B2 == 0) {
+        Trap->trap("division by zero");
+        Sp = Base;
+        return unit();
+      }
+      push(boxInt(In.O == Op::Div ? A2 / B2 : A2 % B2));
+      break;
+    }
+
+    case Op::Neg:
+      push(boxInt(-unboxInt(pop())));
+      break;
+    case Op::Not:
+      push(boxBool(!unboxBool(pop())));
+      break;
+
+    case Op::Eq: {
+      Slot B2 = pop(), A2 = pop();
+      push(boxBool(slotsEqual(A2, B2)));
+      break;
+    }
+    case Op::Ne: {
+      Slot B2 = pop(), A2 = pop();
+      push(boxBool(!slotsEqual(A2, B2)));
+      break;
+    }
+
+    case Op::MkPair: {
+      // Operands stay rooted on the stack across the allocation.
+      Object *Pr = newRecord(0b11, {Stack[Sp - 2], Stack[Sp - 1]});
+      Sp -= 2;
+      push(Object::fromPointer(Pr));
+      break;
+    }
+    case Op::Fst: {
+      Object *Pr = Object::asPointer(pop());
+      MPL_DASSERT(Pr, "fst of non-pair");
+      push(recGet(Pr, 0));
+      break;
+    }
+    case Op::Snd: {
+      Object *Pr = Object::asPointer(pop());
+      MPL_DASSERT(Pr, "snd of non-pair");
+      push(recGet(Pr, 1));
+      break;
+    }
+
+    case Op::MkRef: {
+      Object *R = newRef(Stack[Sp - 1]);
+      Stack[Sp - 1] = Object::fromPointer(R);
+      break;
+    }
+    case Op::Deref: {
+      Object *R = Object::asPointer(pop());
+      MPL_DASSERT(R && R->kind() == ObjKind::Ref, "! of non-ref");
+      push(refGet(R));
+      break;
+    }
+    case Op::Assign: {
+      Slot V = pop();
+      Object *R = Object::asPointer(pop());
+      MPL_DASSERT(R && R->kind() == ObjKind::Ref, ":= on non-ref");
+      refSet(R, V);
+      push(unit());
+      break;
+    }
+
+    case Op::Alloc: {
+      // Stack: [n, init]; newArray roots its init argument internally.
+      Slot Init = pop();
+      int64_t N = unboxInt(pop());
+      if (N < 0 || N > int64_t(Object::MaxLength)) {
+        Trap->trap("alloc size out of range");
+        Sp = Base;
+        return unit();
+      }
+      push(Object::fromPointer(newArray(static_cast<uint32_t>(N), Init)));
+      break;
+    }
+    case Op::AGet: {
+      int64_t I = unboxInt(pop());
+      Object *A = Object::asPointer(pop());
+      MPL_DASSERT(A && A->kind() == ObjKind::Array, "get on non-array");
+      if (I < 0 || I >= int64_t(arrLen(A))) {
+        Trap->trap("array index out of bounds");
+        Sp = Base;
+        return unit();
+      }
+      push(arrGet(A, static_cast<uint32_t>(I)));
+      break;
+    }
+    case Op::ASet: {
+      Slot V = pop();
+      int64_t I = unboxInt(pop());
+      Object *A = Object::asPointer(pop());
+      MPL_DASSERT(A && A->kind() == ObjKind::Array, "set on non-array");
+      if (I < 0 || I >= int64_t(arrLen(A))) {
+        Trap->trap("array index out of bounds");
+        Sp = Base;
+        return unit();
+      }
+      arrSet(A, static_cast<uint32_t>(I), V);
+      push(unit());
+      break;
+    }
+    case Op::ALen: {
+      Object *A = Object::asPointer(pop());
+      MPL_DASSERT(A && A->kind() == ObjKind::Array, "length on non-array");
+      push(boxInt(arrLen(A)));
+      break;
+    }
+
+    case Op::ParCall: {
+      // Closures stay rooted on the parent's stack during the fork.
+      BranchEnv EnvA{&P, CaptureOut, Trap, Stack[Sp - 2]};
+      BranchEnv EnvB{&P, CaptureOut, Trap, Stack[Sp - 1]};
+      auto [RA, RB] = rt::par([&] { return VmBranch::run(EnvA); },
+                              [&] { return VmBranch::run(EnvB); });
+      // Results are rooted by re-using the two operand slots.
+      Stack[Sp - 2] = RA;
+      Stack[Sp - 1] = RB;
+      Object *Pr = newRecord(0b11, {Stack[Sp - 2], Stack[Sp - 1]});
+      Sp -= 2;
+      push(Object::fromPointer(Pr));
+      if (Trap->Trapped.load(std::memory_order_relaxed)) {
+        Sp = Base;
+        return unit();
+      }
+      break;
+    }
+
+    case Op::Print: {
+      Object *S = Object::asPointer(pop());
+      MPL_DASSERT(S, "print of non-string");
+      if (CaptureOut)
+        CaptureOut->append(strBytes(S), strLen(S));
+      else
+        std::fwrite(strBytes(S), 1, strLen(S), stdout);
+      push(unit());
+      break;
+    }
+    case Op::PrintInt: {
+      char Buf[32];
+      int Len = std::snprintf(Buf, sizeof(Buf), "%lld\n",
+                              static_cast<long long>(unboxInt(pop())));
+      if (CaptureOut)
+        CaptureOut->append(Buf, static_cast<size_t>(Len));
+      else
+        std::fwrite(Buf, 1, static_cast<size_t>(Len), stdout);
+      push(unit());
+      break;
+    }
+    }
+  }
+}
+
+Vm::Result Vm::run() {
+  Result R;
+  Slot V = execFunction(P.Main, /*Closure=*/0, unit(), 0);
+  if (Trap->Trapped.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> G(Trap->Lock);
+    R.Error = Trap->Message;
+    return R;
+  }
+  R.Ok = true;
+  R.Value = V;
+  return R;
+}
+
+std::string mpl::pml::renderValue(Slot V, Ty *T) {
+  // Resolve through the checker's union-find.
+  while (T && T->Tag == TyTag::Var && T->Link)
+    T = T->Link;
+  if (!T)
+    return "?";
+  switch (T->Tag) {
+  case TyTag::Int:
+    return std::to_string(unboxInt(V));
+  case TyTag::Bool:
+    return unboxBool(V) ? "true" : "false";
+  case TyTag::Unit:
+    return "()";
+  case TyTag::String: {
+    Object *S = Object::asPointer(V);
+    if (!S)
+      return "\"\"";
+    return "\"" + std::string(strBytes(S), strLen(S)) + "\"";
+  }
+  case TyTag::Pair: {
+    Object *Pr = Object::asPointer(V);
+    if (!Pr)
+      return "(?, ?)";
+    return "(" + renderValue(Pr->getSlot(0), T->A) + ", " +
+           renderValue(Pr->getSlot(1), T->B) + ")";
+  }
+  case TyTag::List: {
+    std::string Out = "[";
+    bool First = true;
+    for (Slot Cur = V; Cur != ops::boxInt(0);) {
+      Object *Cell = Object::asPointer(Cur);
+      if (!Cell)
+        break;
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += renderValue(Cell->getSlot(0), T->A);
+      Cur = Cell->getSlot(1);
+    }
+    return Out + "]";
+  }
+  case TyTag::Ref:
+    return "ref";
+  case TyTag::Array:
+    return "<array>";
+  case TyTag::Arrow:
+    return "<fn>";
+  case TyTag::Var:
+    return "<poly>";
+  }
+  return "?";
+}
+
+bool mpl::pml::evalSource(const std::string &Source, std::string &Output,
+                          std::string &Rendered, std::string &TypeStr,
+                          std::vector<std::string> &Errors) {
+  ExprPtr Ast = parseProgram(Source, Errors);
+  if (!Ast)
+    return false;
+  TypeChecker TC;
+  Ty *T = TC.infer(*Ast, Errors);
+  if (!T)
+    return false;
+  TypeStr = TypeChecker::show(T);
+
+  Program Prog;
+  if (!compile(*Ast, Prog, Errors))
+    return false;
+
+  Vm M(Prog, &Output);
+  Vm::Result R = M.run();
+  if (!R.Ok) {
+    Errors.push_back("runtime error: " + R.Error);
+    return false;
+  }
+  Rendered = renderValue(R.Value, T);
+  return true;
+}

@@ -1,0 +1,108 @@
+//===- pml/Vm.h - PML bytecode interpreter ----------------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PML virtual machine. All PML values live in the hierarchical heap:
+/// closures are mutable arrays (slot 0 = function index, then captures),
+/// pairs are immutable records, refs/arrays map directly onto runtime
+/// refs/arrays. Every mutable access goes through the entanglement
+/// barriers, and ParCall maps onto rt::par — so compiled PML programs get
+/// exactly the semantics the paper gives Parallel ML: fork-join
+/// parallelism with unrestricted effects, managed entanglement included.
+///
+/// The VM's value stack is registered as a GC root range; a collection can
+/// safely happen at any allocation point during execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_PML_VM_H
+#define MPL_PML_VM_H
+
+#include "mm/Object.h"
+#include "pml/Compiler.h"
+#include "pml/Types.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mpl {
+namespace pml {
+
+/// Shared trap state: a runtime error in any parallel branch aborts the
+/// whole program evaluation.
+struct TrapState {
+  std::atomic<bool> Trapped{false};
+  std::mutex Lock;
+  std::string Message;
+
+  void trap(const std::string &Msg) {
+    std::lock_guard<std::mutex> G(Lock);
+    if (!Trapped.exchange(true))
+      Message = Msg;
+  }
+};
+
+struct VmBranch;
+
+/// Executes a compiled program. Must run inside rt::Runtime::run (the VM
+/// allocates from the calling task's heap).
+class Vm {
+public:
+  struct Result {
+    bool Ok = false;
+    Slot Value = 0;
+    std::string Error;
+  };
+
+  /// \p CaptureOut, when non-null, receives print output instead of stdout.
+  explicit Vm(const Program &P, std::string *CaptureOut = nullptr);
+  ~Vm();
+
+  Vm(const Vm &) = delete;
+  Vm &operator=(const Vm &) = delete;
+
+  /// Runs the main function to completion.
+  Result run();
+
+private:
+  friend struct VmBranch;
+  Vm(const Program &P, std::string *CaptureOut,
+     std::shared_ptr<TrapState> Trap);
+
+  Slot execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth);
+  void push(Slot V);
+  Slot pop();
+
+  const Program &P;
+  std::string *CaptureOut;
+  std::shared_ptr<TrapState> Trap;
+
+  static constexpr size_t StackCap = 1 << 16;
+  static constexpr int MaxCallDepth = 8000;
+
+  std::unique_ptr<Slot[]> Stack;
+  Slot *StackBase = nullptr;
+  size_t Sp = 0;
+};
+
+/// Renders a PML value of (resolved) type \p T for display, e.g.
+/// "(3, true)". Refs/arrays/functions render opaquely.
+std::string renderValue(Slot V, Ty *T);
+
+/// One-stop evaluation: parse, type-check, compile, and run \p Source.
+/// Must be called inside rt::Runtime::run. On success fills \p Rendered
+/// (the value) and \p TypeStr; print output is appended to \p Output.
+/// Returns false and fills \p Errors otherwise.
+bool evalSource(const std::string &Source, std::string &Output,
+                std::string &Rendered, std::string &TypeStr,
+                std::vector<std::string> &Errors);
+
+} // namespace pml
+} // namespace mpl
+
+#endif // MPL_PML_VM_H

@@ -1,0 +1,98 @@
+//===- sched/Deque.h - Chase-Lev work-stealing deque -----------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic Chase-Lev lock-free work-stealing deque (Chase & Lev, SPAA
+/// 2005), with the C11-style memory orderings of Lê et al. (PPoPP 2013).
+/// The owner pushes and pops at the bottom; thieves steal from the top.
+///
+/// Capacity is fixed: entries outstanding at once are bounded by the fork
+/// depth of the computation (each fork2join holds at most one job), which is
+/// logarithmic for all our workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_SCHED_DEQUE_H
+#define MPL_SCHED_DEQUE_H
+
+#include "support/Assert.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace mpl {
+
+struct Job;
+
+/// Fixed-capacity Chase-Lev deque of Job pointers.
+class Deque {
+public:
+  static constexpr int64_t Capacity = 1 << 13;
+
+  /// Owner-only: pushes a job at the bottom.
+  void push(Job *J) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t T = Top.load(std::memory_order_acquire);
+    MPL_CHECK(B - T < Capacity, "work-stealing deque overflow");
+    Buffer[B & Mask].store(J, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    Bottom.store(B + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pops the most recently pushed job, or returns null when the
+  /// deque is empty or the last job was stolen.
+  Job *pop() {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Bottom.store(B, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t T = Top.load(std::memory_order_relaxed);
+    if (T > B) {
+      // Deque was empty; restore.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Job *J = Buffer[B & Mask].load(std::memory_order_relaxed);
+    if (T != B)
+      return J; // More than one job: no race with thieves.
+    // Exactly one job left: race against thieves for it.
+    if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      J = nullptr; // Lost the race.
+    Bottom.store(B + 1, std::memory_order_relaxed);
+    return J;
+  }
+
+  /// Thief: steals the oldest job, or returns null on empty/conflict.
+  Job *steal() {
+    int64_t T = Top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_acquire);
+    if (T >= B)
+      return nullptr;
+    Job *J = Buffer[T & Mask].load(std::memory_order_relaxed);
+    if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return nullptr; // Another thief (or the owner) won.
+    return J;
+  }
+
+  /// Approximate emptiness check (racy; used only as a steal heuristic).
+  bool looksEmpty() const {
+    return Top.load(std::memory_order_relaxed) >=
+           Bottom.load(std::memory_order_relaxed);
+  }
+
+private:
+  static constexpr int64_t Mask = Capacity - 1;
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Job *> Buffer[Capacity] = {};
+};
+
+} // namespace mpl
+
+#endif // MPL_SCHED_DEQUE_H

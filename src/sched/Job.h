@@ -1,0 +1,33 @@
+//===- sched/Job.h - Stealable fork-join jobs ------------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_SCHED_JOB_H
+#define MPL_SCHED_JOB_H
+
+#include <atomic>
+
+namespace mpl {
+
+/// A type-erased unit of stealable work. Jobs are stack-allocated in the
+/// fork2join frame that creates them, so their lifetime covers execution.
+struct Job {
+  /// Runs the job body. Set by fork2join to a thunk trampoline.
+  void (*Run)(Job *J) = nullptr;
+
+  /// Closure environment for Run.
+  void *Env = nullptr;
+
+  /// Span (critical path) in nanoseconds measured by whoever executed the
+  /// job; written before Done is released.
+  double SpanOutNs = 0;
+
+  /// Set (release) once the job body has finished.
+  std::atomic<uint32_t> Done{0};
+};
+
+} // namespace mpl
+
+#endif // MPL_SCHED_JOB_H

@@ -1,0 +1,180 @@
+//===- sched/Scheduler.cpp - Work-stealing fork-join scheduler ------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Scheduler.h"
+
+#include "support/Assert.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace mpl;
+
+namespace {
+thread_local Scheduler *CurScheduler = nullptr;
+thread_local Worker *CurWorker = nullptr;
+
+Stat NumSteals("sched.steals");
+Stat NumForks("sched.forks");
+} // namespace
+
+Scheduler *Scheduler::current() { return CurScheduler; }
+Worker *Scheduler::currentWorker() { return CurWorker; }
+
+Scheduler::Scheduler(const Config &Cfg) : ProfileEnabled(Cfg.Profile) {
+  int N = std::max(1, Cfg.NumWorkers);
+  Workers.reserve(N);
+  for (int I = 0; I < N; ++I) {
+    Worker *W = new Worker();
+    W->Id = I;
+    W->StealRng = Rng(0x9e3779b9u + static_cast<uint64_t>(I) * 77);
+    Workers.push_back(W);
+  }
+  // Worker 0 is the caller's thread; start threads for the rest.
+  for (int I = 1; I < N; ++I)
+    Threads.emplace_back([this, I] {
+      CurScheduler = this;
+      CurWorker = Workers[I];
+      stealLoop(Workers[I]);
+      CurWorker = nullptr;
+      CurScheduler = nullptr;
+    });
+}
+
+Scheduler::~Scheduler() {
+  ShuttingDown.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+  for (Worker *W : Workers)
+    delete W;
+}
+
+void Scheduler::strandPause(Worker *W) {
+  if (!ProfileEnabled || W->StrandStartNs == 0)
+    return;
+  double Elapsed = static_cast<double>(nowNs() - W->StrandStartNs);
+  W->StrandStartNs = 0;
+  W->SpanAccNs += Elapsed;
+  W->WorkAccNs += Elapsed;
+}
+
+void Scheduler::strandResume(Worker *W) {
+  if (!ProfileEnabled)
+    return;
+  W->StrandStartNs = nowNs();
+}
+
+WorkSpan Scheduler::runImpl(Thunk Root, void *Env) {
+  MPL_CHECK(CurWorker == nullptr, "nested Scheduler::run is not supported");
+  Worker *W = Workers[0];
+  CurScheduler = this;
+  CurWorker = W;
+  for (Worker *Each : Workers) {
+    Each->SpanAccNs = 0;
+    Each->WorkAccNs = 0;
+    Each->StrandStartNs = 0;
+  }
+  Active.store(true, std::memory_order_release);
+
+  strandResume(W);
+  Root(Env);
+  strandPause(W);
+
+  Active.store(false, std::memory_order_release);
+  CurWorker = nullptr;
+  CurScheduler = nullptr;
+
+  Last.SpanSec = W->SpanAccNs * 1e-9;
+  double TotalWork = 0;
+  for (Worker *Each : Workers)
+    TotalWork += Each->WorkAccNs;
+  Last.WorkSec = TotalWork * 1e-9;
+  return Last;
+}
+
+void Scheduler::executeJob(Worker *W, Job *J) {
+  // Strand clock must be paused on entry. Spans of distinct jobs must not
+  // blend, so the accumulator is saved around the body.
+  double Saved = W->SpanAccNs;
+  W->SpanAccNs = 0;
+  strandResume(W);
+  J->Run(J);
+  strandPause(W);
+  J->SpanOutNs = W->SpanAccNs;
+  W->SpanAccNs = Saved;
+  J->Done.store(1, std::memory_order_release);
+}
+
+void Scheduler::forkImpl(Thunk A, void *EnvA, Job &JB) {
+  Worker *W = CurWorker;
+  MPL_CHECK(W != nullptr, "fork2join called outside Scheduler::run");
+  NumForks.inc();
+
+  strandPause(W);
+  double SpanBefore = W->SpanAccNs;
+  W->SpanAccNs = 0;
+
+  W->Dq.push(&JB);
+
+  // Run branch A inline (work-first).
+  strandResume(W);
+  A(EnvA);
+  strandPause(W);
+  double SpanA = W->SpanAccNs;
+
+  double SpanB;
+  Job *Popped = W->Dq.pop();
+  if (Popped == &JB) {
+    // Not stolen: run B inline.
+    executeJob(W, &JB);
+    SpanB = JB.SpanOutNs;
+  } else {
+    MPL_CHECK(Popped == nullptr,
+              "fork2join: unbalanced deque (nested job leaked)");
+    // Stolen: help until the thief finishes.
+    while (!JB.Done.load(std::memory_order_acquire)) {
+      if (!tryStealAndRun(W))
+        std::this_thread::yield();
+    }
+    SpanB = JB.SpanOutNs;
+  }
+
+  W->SpanAccNs = SpanBefore + std::max(SpanA, SpanB);
+  strandResume(W);
+}
+
+bool Scheduler::tryStealAndRun(Worker *W) {
+  int N = numWorkers();
+  if (N <= 1)
+    return false;
+  // A few random probes; returning false lets the caller back off.
+  for (int Attempt = 0; Attempt < 2 * N; ++Attempt) {
+    int Victim =
+        static_cast<int>(W->StealRng.nextBounded(static_cast<uint64_t>(N)));
+    if (Victim == W->Id)
+      continue;
+    Worker *V = Workers[Victim];
+    if (V->Dq.looksEmpty())
+      continue;
+    if (Job *J = V->Dq.steal()) {
+      NumSteals.inc();
+      executeJob(W, J);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::stealLoop(Worker *W) {
+  while (!ShuttingDown.load(std::memory_order_acquire)) {
+    if (!Active.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (!tryStealAndRun(W))
+      std::this_thread::yield();
+  }
+}

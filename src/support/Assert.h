@@ -1,0 +1,50 @@
+//===- support/Assert.h - Runtime invariant checking ----------*- C++ -*-===//
+//
+// Part of mpl-em, a reproduction of "Efficient Parallel Functional
+// Programming with Effects" (Arora, Westrick, Acar; PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers used throughout the runtime. Invariant violations in
+/// the memory manager are programming errors: we abort immediately with a
+/// message rather than attempting recovery (the library never throws).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_SUPPORT_ASSERT_H
+#define MPL_SUPPORT_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpl {
+
+/// Aborts with a formatted message. Used for invariant violations that must
+/// be caught even in release builds (e.g. heap corruption detection).
+[[noreturn]] inline void fatalError(const char *File, int Line,
+                                    const char *Msg) {
+  std::fprintf(stderr, "mpl fatal error at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace mpl
+
+/// Checked in all build modes; the memory-safety invariants of the
+/// hierarchical heap are too important to compile out.
+#define MPL_CHECK(Cond, Msg)                                                   \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::mpl::fatalError(__FILE__, __LINE__, Msg);                              \
+  } while (false)
+
+/// Debug-only assertion for hot paths (barriers, allocation).
+#ifdef NDEBUG
+#define MPL_DASSERT(Cond, Msg) ((void)0)
+#else
+#define MPL_DASSERT(Cond, Msg) MPL_CHECK(Cond, Msg)
+#endif
+
+#define MPL_UNREACHABLE(Msg) ::mpl::fatalError(__FILE__, __LINE__, Msg)
+
+#endif // MPL_SUPPORT_ASSERT_H

@@ -1,0 +1,61 @@
+//===- support/Random.h - Deterministic pseudo-random numbers -*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG. Benchmark workload generation and
+/// property tests must be reproducible across runs and worker counts, so we
+/// never use std::random_device in the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_SUPPORT_RANDOM_H
+#define MPL_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace mpl {
+
+/// Mixes a 64-bit value into a well-distributed hash (SplitMix64 finalizer).
+inline uint64_t hash64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Small deterministic RNG (SplitMix64). Cheap to seed and to fork: parallel
+/// workloads derive per-index streams with \c fork so results do not depend
+/// on the schedule.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x853c49e6748fea9bULL) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    return hash64(State);
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  uint64_t nextBounded(uint64_t Bound) {
+    return Bound == 0 ? 0 : next() % Bound;
+  }
+
+  /// Returns a double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derives an independent stream for element \p Index; used by parallel
+  /// loops so each iteration gets schedule-independent randomness.
+  Rng fork(uint64_t Index) const { return Rng(hash64(State ^ hash64(Index))); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace mpl
+
+#endif // MPL_SUPPORT_RANDOM_H

@@ -1,0 +1,50 @@
+//===- support/Stats.cpp - Named atomic counters --------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace mpl;
+
+Stat::Stat(const char *Name) : StatName(Name) {
+  StatRegistry::get().registerStat(this);
+}
+
+StatRegistry &StatRegistry::get() {
+  // Function-local static avoids global-constructor ordering issues while
+  // still giving Stat instances a registry to attach to on first use.
+  static StatRegistry Instance;
+  return Instance;
+}
+
+void StatRegistry::registerStat(Stat *S) { Stats.push_back(S); }
+
+void StatRegistry::resetAll() {
+  for (Stat *S : Stats)
+    S->set(0);
+}
+
+int64_t StatRegistry::valueOf(const std::string &Name) const {
+  for (const Stat *S : Stats)
+    if (Name == S->name())
+      return S->get();
+  return 0;
+}
+
+std::string StatRegistry::report() const {
+  std::string Out;
+  char Line[256];
+  for (const Stat *S : Stats) {
+    if (S->get() == 0)
+      continue;
+    std::snprintf(Line, sizeof(Line), "%-32s %12lld\n", S->name(),
+                  static_cast<long long>(S->get()));
+    Out += Line;
+  }
+  return Out;
+}

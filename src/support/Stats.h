@@ -1,0 +1,74 @@
+//===- support/Stats.h - Named atomic counters -----------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named atomic counters. The entanglement-management paper
+/// defines cost metrics (entangled reads, pinned objects, pinned bytes,
+/// unpin events); the runtime reports them through this registry so tests
+/// and benches can assert on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_SUPPORT_STATS_H
+#define MPL_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpl {
+
+/// A single named statistic. Instances are expected to have static storage
+/// duration (they register themselves on first use through StatRegistry).
+class Stat {
+public:
+  explicit Stat(const char *Name);
+
+  void add(int64_t Delta) { Value.fetch_add(Delta, std::memory_order_relaxed); }
+  void inc() { add(1); }
+
+  /// Records a high-water mark: keeps the maximum of all observed values.
+  void noteMax(int64_t Observed) {
+    int64_t Cur = Value.load(std::memory_order_relaxed);
+    while (Observed > Cur &&
+           !Value.compare_exchange_weak(Cur, Observed,
+                                        std::memory_order_relaxed))
+      ;
+  }
+
+  int64_t get() const { return Value.load(std::memory_order_relaxed); }
+  void set(int64_t V) { Value.store(V, std::memory_order_relaxed); }
+  const char *name() const { return StatName; }
+
+private:
+  const char *StatName;
+  std::atomic<int64_t> Value{0};
+};
+
+/// Global registry of all statistics; used to reset between benchmark runs
+/// and to dump a report.
+class StatRegistry {
+public:
+  static StatRegistry &get();
+
+  void registerStat(Stat *S);
+  void resetAll();
+
+  /// Returns the current value of the statistic named \p Name, or 0 when no
+  /// such statistic exists.
+  int64_t valueOf(const std::string &Name) const;
+
+  /// Renders "name = value" lines for all non-zero statistics.
+  std::string report() const;
+
+private:
+  std::vector<Stat *> Stats;
+};
+
+} // namespace mpl
+
+#endif // MPL_SUPPORT_STATS_H

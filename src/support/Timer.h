@@ -1,0 +1,48 @@
+//===- support/Timer.h - Wall-clock timing utilities -----------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic timers used by the benchmark harness and by the scheduler's
+/// work-span profiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_SUPPORT_TIMER_H
+#define MPL_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace mpl {
+
+/// Returns monotonic time in nanoseconds.
+inline int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A simple stopwatch measuring elapsed wall-clock time.
+class Timer {
+public:
+  Timer() : Start(nowNs()) {}
+
+  void reset() { Start = nowNs(); }
+
+  /// Elapsed time since construction or the last \c reset, in nanoseconds.
+  int64_t elapsedNs() const { return nowNs() - Start; }
+
+  double elapsedSec() const {
+    return static_cast<double>(elapsedNs()) * 1e-9;
+  }
+
+private:
+  int64_t Start;
+};
+
+} // namespace mpl
+
+#endif // MPL_SUPPORT_TIMER_H

@@ -1,0 +1,112 @@
+//===- workloads/Collections.cpp - Parallel collection operations ---------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Collections.h"
+
+using namespace mpl;
+using namespace mpl::ops;
+
+namespace mpl {
+namespace wl {
+
+Object *scanPlus(Object *A, int64_t Grain) {
+  int64_t N = arrLen(A);
+  int64_t NumBlocks = (N + Grain - 1) / Grain;
+  if (NumBlocks == 0)
+    NumBlocks = 1;
+
+  Local In(A);
+  Local BlockSums(newArray(static_cast<uint32_t>(NumBlocks), boxInt(0)));
+
+  // Pass 1: per-block sums.
+  rt::parFor(0, NumBlocks, 1, [&](int64_t B) {
+    int64_t Lo = B * Grain, Hi = std::min(N, Lo + Grain);
+    int64_t Acc = 0;
+    for (int64_t I = Lo; I < Hi; ++I)
+      Acc += unboxInt(arrGet(In.get(), static_cast<uint32_t>(I)));
+    arrSet(BlockSums.get(), static_cast<uint32_t>(B), boxInt(Acc));
+  });
+
+  // Pass 2: sequential exclusive scan of the (few) block sums.
+  int64_t Total = 0;
+  for (int64_t B = 0; B < NumBlocks; ++B) {
+    int64_t S = unboxInt(arrGet(BlockSums.get(), static_cast<uint32_t>(B)));
+    arrSet(BlockSums.get(), static_cast<uint32_t>(B), boxInt(Total));
+    Total += S;
+  }
+
+  // Pass 3: per-block exclusive prefix fill.
+  Local Out(newArray(static_cast<uint32_t>(N), boxInt(0)));
+  rt::parFor(0, NumBlocks, 1, [&](int64_t B) {
+    int64_t Lo = B * Grain, Hi = std::min(N, Lo + Grain);
+    int64_t Acc = unboxInt(arrGet(BlockSums.get(), static_cast<uint32_t>(B)));
+    for (int64_t I = Lo; I < Hi; ++I) {
+      int64_t V = unboxInt(arrGet(In.get(), static_cast<uint32_t>(I)));
+      arrSet(Out.get(), static_cast<uint32_t>(I), boxInt(Acc));
+      Acc += V;
+    }
+  });
+
+  return newRecord(0b01, {Object::fromPointer(Out.get()), boxInt(Total)});
+}
+
+Object *filterInts(Object *A, bool (*Pred)(int64_t), int64_t Grain) {
+  int64_t N = arrLen(A);
+  int64_t NumBlocks = std::max<int64_t>(1, (N + Grain - 1) / Grain);
+
+  Local In(A);
+  Local Counts(newArray(static_cast<uint32_t>(NumBlocks), boxInt(0)));
+
+  rt::parFor(0, NumBlocks, 1, [&](int64_t B) {
+    int64_t Lo = B * Grain, Hi = std::min(N, Lo + Grain);
+    int64_t C = 0;
+    for (int64_t I = Lo; I < Hi; ++I)
+      C += Pred(unboxInt(arrGet(In.get(), static_cast<uint32_t>(I))));
+    arrSet(Counts.get(), static_cast<uint32_t>(B), boxInt(C));
+  });
+
+  int64_t Total = 0;
+  for (int64_t B = 0; B < NumBlocks; ++B) {
+    int64_t C = unboxInt(arrGet(Counts.get(), static_cast<uint32_t>(B)));
+    arrSet(Counts.get(), static_cast<uint32_t>(B), boxInt(Total));
+    Total += C;
+  }
+
+  Local Out(newArray(static_cast<uint32_t>(Total), boxInt(0)));
+  rt::parFor(0, NumBlocks, 1, [&](int64_t B) {
+    int64_t Lo = B * Grain, Hi = std::min(N, Lo + Grain);
+    int64_t At = unboxInt(arrGet(Counts.get(), static_cast<uint32_t>(B)));
+    for (int64_t I = Lo; I < Hi; ++I) {
+      int64_t V = unboxInt(arrGet(In.get(), static_cast<uint32_t>(I)));
+      if (Pred(V))
+        arrSet(Out.get(), static_cast<uint32_t>(At++), boxInt(V));
+    }
+  });
+  return Out.get();
+}
+
+int64_t maxInts(Object *A, int64_t Grain) {
+  struct Rec {
+    static int64_t go(Object *Arr, int64_t Lo, int64_t Hi, int64_t Grain) {
+      if (Hi - Lo <= Grain) {
+        int64_t M = INT64_MIN;
+        for (int64_t I = Lo; I < Hi; ++I)
+          M = std::max(M, unboxInt(arrGet(Arr, static_cast<uint32_t>(I))));
+        return M;
+      }
+      int64_t Mid = Lo + (Hi - Lo) / 2;
+      Local LArr(Arr);
+      auto [L, R] =
+          rt::par([&] { return boxInt(go(LArr.get(), Lo, Mid, Grain)); },
+                  [&] { return boxInt(go(LArr.get(), Mid, Hi, Grain)); });
+      return std::max(unboxInt(L), unboxInt(R));
+    }
+  };
+  return Rec::go(A, 0, arrLen(A), Grain);
+}
+
+} // namespace wl
+} // namespace mpl

@@ -1,0 +1,88 @@
+//===- workloads/Collections.h - Parallel collection operations -*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat data-parallel combinators of the benchmark suite (tabulate,
+/// map-reduce, scan, filter), written against the public runtime API with
+/// full barriers — these are the operations whose *disentangled* cost the
+/// paper shows to be unaffected by entanglement support.
+///
+/// GC discipline: combinator bodies may allocate; array handles are rooted
+/// across every allocation point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_WORKLOADS_COLLECTIONS_H
+#define MPL_WORKLOADS_COLLECTIONS_H
+
+#include "core/Handles.h"
+#include "core/Ops.h"
+#include "core/Runtime.h"
+
+#include <algorithm>
+
+namespace mpl {
+namespace wl {
+
+/// Default grain for the flat loops; tuned for ~10-100us leaves.
+constexpr int64_t DefaultGrain = 2048;
+
+/// Builds an array of length \p N with element I = Fn(I). Fn returns a
+/// Slot and may allocate.
+template <typename F>
+Object *tabulate(int64_t N, const F &Fn, int64_t Grain = DefaultGrain) {
+  Local Arr(ops::newArray(static_cast<uint32_t>(N), ops::boxInt(0)));
+  rt::parFor(0, N, Grain, [&](int64_t I) {
+    Slot V = Fn(I);
+    ops::arrSet(Arr.get(), static_cast<uint32_t>(I), V);
+  });
+  return Arr.get();
+}
+
+/// Sum of Fn(element) over the array; Fn must not allocate.
+template <typename F>
+int64_t reduceMap(Object *A, const F &Fn, int64_t Grain = DefaultGrain) {
+  struct Rec {
+    static int64_t go(Object *Arr, int64_t Lo, int64_t Hi, const F &Fn,
+                      int64_t Grain) {
+      if (Hi - Lo <= Grain) {
+        int64_t Acc = 0;
+        for (int64_t I = Lo; I < Hi; ++I)
+          Acc += Fn(ops::arrGet(Arr, static_cast<uint32_t>(I)));
+        return Acc;
+      }
+      int64_t Mid = Lo + (Hi - Lo) / 2;
+      Local LArr(Arr);
+      auto [L, R] = rt::par(
+          [&] { return ops::boxInt(go(LArr.get(), Lo, Mid, Fn, Grain)); },
+          [&] { return ops::boxInt(go(LArr.get(), Mid, Hi, Fn, Grain)); });
+      return ops::unboxInt(L) + ops::unboxInt(R);
+    }
+  };
+  return Rec::go(A, 0, ops::arrLen(A), Fn, Grain);
+}
+
+/// Sum of an integer array.
+inline int64_t sumInts(Object *A, int64_t Grain = DefaultGrain) {
+  return reduceMap(A, [](Slot V) { return ops::unboxInt(V); }, Grain);
+}
+
+/// Exclusive prefix sums of an integer array (blocked two-pass scan).
+/// Returns a record {sums array, total}.
+Object *scanPlus(Object *A, int64_t Grain = DefaultGrain);
+
+/// Keeps the elements satisfying \p Pred (on unboxed ints), preserving
+/// order. Returns a (possibly shorter) integer array.
+Object *filterInts(Object *A, bool (*Pred)(int64_t),
+                   int64_t Grain = DefaultGrain);
+
+/// Maximum of an integer array (reduce with max).
+int64_t maxInts(Object *A, int64_t Grain = DefaultGrain);
+
+} // namespace wl
+} // namespace mpl
+
+#endif // MPL_WORKLOADS_COLLECTIONS_H

@@ -1,0 +1,192 @@
+//===- workloads/Entangled.cpp - Effectful (entangled) workloads -----------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Entangled.h"
+
+#include "core/Runtime.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace mpl;
+using namespace mpl::ops;
+
+namespace mpl {
+namespace wl {
+
+// A table is an Array of slots: 0 = empty, otherwise a pointer to an
+// immutable boxed key record {key:int}.
+
+Object *HashSet::create(int64_t ExpectedKeys) {
+  int64_t Cap = 16;
+  while (Cap < 2 * ExpectedKeys)
+    Cap <<= 1;
+  return newArray(static_cast<uint32_t>(Cap), 0);
+}
+
+bool HashSet::insert(Object *Table, int64_t Key) {
+  Local T(Table);
+  // Allocate the box up front; probing never allocates, so raw pointers
+  // below stay valid.
+  Local Box(newRecord(0, {boxInt(Key)}));
+  uint32_t Mask = arrLen(T.get()) - 1;
+  uint32_t I = static_cast<uint32_t>(hash64(static_cast<uint64_t>(Key))) &
+               Mask;
+  for (uint32_t Probes = 0; Probes <= Mask; ++Probes, I = (I + 1) & Mask) {
+    Slot Cur = arrGet(T.get(), I);
+    if (Cur == 0) {
+      // Publish our box: a down-pointer (or cross-pointer) CAS. The write
+      // barrier pins the box before it becomes visible.
+      if (arrCas(T.get(), I, 0, Box.slot()))
+        return true;
+      Cur = arrGet(T.get(), I); // Lost the race; re-examine.
+    }
+    Object *Other = Object::asPointer(Cur);
+    MPL_DASSERT(Other, "table cell holds a non-pointer");
+    // Reading the other task's box: barrier-free immutable field access of
+    // a (pinned) entangled object.
+    if (unboxInt(recGet(Other, 0)) == Key)
+      return false;
+  }
+  MPL_UNREACHABLE("hash set is full");
+}
+
+bool HashSet::contains(Object *Table, int64_t Key) {
+  uint32_t Mask = arrLen(Table) - 1;
+  uint32_t I = static_cast<uint32_t>(hash64(static_cast<uint64_t>(Key))) &
+               Mask;
+  for (uint32_t Probes = 0; Probes <= Mask; ++Probes, I = (I + 1) & Mask) {
+    Slot Cur = arrGet(Table, I);
+    if (Cur == 0)
+      return false;
+    Object *Box = Object::asPointer(Cur);
+    if (Box && unboxInt(recGet(Box, 0)) == Key)
+      return true;
+  }
+  return false;
+}
+
+int64_t HashSet::size(Object *Table) {
+  int64_t C = 0;
+  for (uint32_t I = 0, E = arrLen(Table); I < E; ++I)
+    C += arrGet(Table, I) != 0;
+  return C;
+}
+
+int64_t dedup(Object *Keys, int64_t Grain) {
+  Local LKeys(Keys);
+  int64_t N = arrLen(LKeys.get());
+  Local Table(HashSet::create(N));
+  Local Inserted(newArray(static_cast<uint32_t>(
+                              std::max<int64_t>(1, (N + Grain - 1) / Grain)),
+                          boxInt(0)));
+  int64_t NumBlocks = arrLen(Inserted.get());
+  rt::parFor(0, NumBlocks, 1, [&](int64_t B) {
+    int64_t Lo = B * Grain, Hi = std::min(N, Lo + Grain);
+    int64_t C = 0;
+    for (int64_t I = Lo; I < Hi; ++I) {
+      int64_t Key = unboxInt(arrGet(LKeys.get(), static_cast<uint32_t>(I)));
+      C += HashSet::insert(Table.get(), Key);
+    }
+    arrSet(Inserted.get(), static_cast<uint32_t>(B), boxInt(C));
+  });
+  int64_t Total = 0;
+  for (int64_t B = 0; B < NumBlocks; ++B)
+    Total += unboxInt(arrGet(Inserted.get(), static_cast<uint32_t>(B)));
+  return Total;
+}
+
+int64_t channelPipeline(int64_t N) {
+  // Shared state at the fork's depth: the stack head and a done flag.
+  Local Head(newRef(0));
+  Local Done(newRef(boxInt(0)));
+
+  auto [ProducerRes, ConsumerRes] = rt::par(
+      // Branch A (runs first under sequential scheduling): the producer.
+      [&] {
+        for (int64_t I = 0; I < N; ++I) {
+          // Cons cell {val, next}; next is retried on CAS failure.
+          Local Node(newMutRecord(0b10, {boxInt(I), 0}));
+          while (true) {
+            Slot Cur = refGet(Head.get());
+            recSetMut(Node.get(), 1, Cur);
+            if (refCas(Head.get(), Cur, Node.slot()))
+              break;
+          }
+        }
+        refSet(Done.get(), boxInt(1));
+        return unit();
+      },
+      // Branch B: the consumer drains until done && empty.
+      [&] {
+        int64_t Sum = 0;
+        while (true) {
+          Slot Cur = refGet(Head.get());
+          Object *Node = Object::asPointer(Cur);
+          if (!Node) {
+            if (unboxInt(refGet(Done.get())) == 1 &&
+                !Object::asPointer(refGet(Head.get())))
+              break;
+            std::this_thread::yield();
+            continue;
+          }
+          Slot Next = recGetMut(Node, 1);
+          if (!refCas(Head.get(), Cur, Next))
+            continue;
+          Sum += unboxInt(recGetMut(Node, 0));
+        }
+        return boxInt(Sum);
+      });
+  (void)ProducerRes;
+  return unboxInt(ConsumerRes);
+}
+
+int64_t exchange(int64_t N) {
+  Local Board(newArray(static_cast<uint32_t>(N), 0));
+
+  auto [A, B] = rt::par(
+      // Branch A publishes boxed values.
+      [&] {
+        for (int64_t I = 0; I < N; ++I) {
+          Local Box(newRecord(0, {boxInt(I * 3)}));
+          arrSet(Board.get(), static_cast<uint32_t>(I), Box.slot());
+        }
+        return unit();
+      },
+      // Branch B consumes them (entangled reads), re-boxing into its own
+      // heap and writing back (cross-pointer stores).
+      [&] {
+        int64_t Intact = 0;
+        for (int64_t I = 0; I < N; ++I) {
+          Slot V;
+          while ((V = arrGet(Board.get(), static_cast<uint32_t>(I))) == 0)
+            std::this_thread::yield();
+          Object *Box = Object::asPointer(V);
+          int64_t Val = unboxInt(recGet(Box, 0));
+          if (Val == I * 3)
+            ++Intact;
+          Local Mine(newRecord(0, {boxInt(Val + 1)}));
+          arrSet(Board.get(), static_cast<uint32_t>(I), Mine.slot());
+        }
+        return boxInt(Intact);
+      });
+  (void)A;
+
+  // After the join all boxes are merged and unpinned; validate the board.
+  int64_t Ok = 0;
+  for (int64_t I = 0; I < N; ++I) {
+    Object *Box = Object::asPointer(
+        arrGet(Board.get(), static_cast<uint32_t>(I)));
+    if (Box && unboxInt(recGet(Box, 0)) == I * 3 + 1)
+      ++Ok;
+  }
+  int64_t Intact = unboxInt(B);
+  return Intact == N ? Ok : -1;
+}
+
+} // namespace wl
+} // namespace mpl

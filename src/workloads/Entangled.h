@@ -1,0 +1,70 @@
+//===- workloads/Entangled.h - Effectful (entangled) workloads -*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workloads this paper newly enables: parallel functional programs
+/// whose tasks *communicate through memory effects*, creating entanglement.
+/// Pre-paper MPL (Detect mode) rejects them; with entanglement management
+/// they run safely and efficiently.
+///
+///  - dedup: parallel deduplication through a shared phase-concurrent hash
+///    table (Shun & Blelloch style). Inserting tasks allocate boxed keys
+///    and publish them by CAS into the shared table (down-pointer pins);
+///    probing tasks read concurrent tasks' boxes (entangled reads).
+///  - channel pipeline: producer/consumer over a Treiber stack of cons
+///    cells — futures-with-effects style communication.
+///  - exchange: two sibling tasks that concurrently publish and consume
+///    boxed values through a shared board array (cross-pointer stress).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_WORKLOADS_ENTANGLED_H
+#define MPL_WORKLOADS_ENTANGLED_H
+
+#include "core/Handles.h"
+#include "core/Ops.h"
+
+#include <cstdint>
+
+namespace mpl {
+namespace wl {
+
+/// A phase-concurrent hash set of boxed int keys living in the runtime
+/// heap. Insertions may run concurrently with each other and with lookups
+/// of already-inserted keys.
+class HashSet {
+public:
+  /// Creates a set with capacity for about \p ExpectedKeys.
+  static Object *create(int64_t ExpectedKeys);
+
+  /// Inserts \p Key; returns true when the key was not present. Allocates
+  /// a boxed key record and publishes it into the shared table.
+  static bool insert(Object *Table, int64_t Key);
+
+  /// True when \p Key is in the set.
+  static bool contains(Object *Table, int64_t Key);
+
+  /// Number of occupied cells (sequential scan).
+  static int64_t size(Object *Table);
+};
+
+/// Deduplicates \p Keys (an Array of tagged ints) through a shared HashSet
+/// with a parallel loop; returns the number of distinct keys.
+int64_t dedup(Object *Keys, int64_t Grain = 512);
+
+/// Producer/consumer pipeline: the producer pushes \p N boxed items onto a
+/// shared Treiber stack; the consumer concurrently drains it. Returns the
+/// sum of consumed values (== N*(N-1)/2).
+int64_t channelPipeline(int64_t N);
+
+/// Two sibling tasks exchange \p N boxed values through a shared board;
+/// returns the number of values whose round-trip was intact.
+int64_t exchange(int64_t N);
+
+} // namespace wl
+} // namespace mpl
+
+#endif // MPL_WORKLOADS_ENTANGLED_H

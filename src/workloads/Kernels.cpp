@@ -1,0 +1,395 @@
+//===- workloads/Kernels.cpp - Benchmark kernels ---------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+
+#include "support/Random.h"
+#include "workloads/Collections.h"
+
+#include <algorithm>
+#include <tuple>
+#include <cctype>
+
+using namespace mpl;
+using namespace mpl::ops;
+
+namespace mpl {
+namespace wl {
+
+int64_t fib(int64_t N, int64_t Grain) {
+  if (N < 2)
+    return N;
+  if (N <= Grain)
+    return fib(N - 1, Grain) + fib(N - 2, Grain);
+  auto [A, B] = rt::par([&] { return boxInt(fib(N - 1, Grain)); },
+                        [&] { return boxInt(fib(N - 2, Grain)); });
+  return unboxInt(A) + unboxInt(B);
+}
+
+namespace {
+
+/// Copies In[Lo, Hi) into a fresh array.
+Object *sliceInts(Object *In, int64_t Lo, int64_t Hi) {
+  Local LIn(In);
+  Local Out(newArray(static_cast<uint32_t>(Hi - Lo), boxInt(0)));
+  for (int64_t I = Lo; I < Hi; ++I)
+    Out.get()->setSlot(static_cast<uint32_t>(I - Lo),
+                       LIn.get()->getSlot(static_cast<uint32_t>(I)));
+  return Out.get();
+}
+
+/// Sequentially merges L[Li..Le) and R[Ri..Re) into Out starting at At.
+/// Tagged integers compare like their untagged values, so raw slot
+/// comparison is order-correct.
+void seqMerge(Object *L, int64_t Li, int64_t Le, Object *R, int64_t Ri,
+              int64_t Re, Object *Out, int64_t At) {
+  while (Li < Le && Ri < Re) {
+    int64_t A = unboxInt(L->getSlot(static_cast<uint32_t>(Li)));
+    int64_t B = unboxInt(R->getSlot(static_cast<uint32_t>(Ri)));
+    if (A <= B) {
+      arrSet(Out, static_cast<uint32_t>(At++), boxInt(A));
+      ++Li;
+    } else {
+      arrSet(Out, static_cast<uint32_t>(At++), boxInt(B));
+      ++Ri;
+    }
+  }
+  for (; Li < Le; ++Li)
+    arrSet(Out, static_cast<uint32_t>(At++),
+           L->getSlot(static_cast<uint32_t>(Li)));
+  for (; Ri < Re; ++Ri)
+    arrSet(Out, static_cast<uint32_t>(At++),
+           R->getSlot(static_cast<uint32_t>(Ri)));
+}
+
+/// First index in A[Lo, Hi) with value > Key (upper bound).
+int64_t upperBound(Object *A, int64_t Lo, int64_t Hi, int64_t Key) {
+  while (Lo < Hi) {
+    int64_t Mid = Lo + (Hi - Lo) / 2;
+    if (unboxInt(A->getSlot(static_cast<uint32_t>(Mid))) <= Key)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+/// Parallel merge by binary-search splitting (span O(log^2 n)).
+void parMerge(Object *L, int64_t Li, int64_t Le, Object *R, int64_t Ri,
+              int64_t Re, Object *Out, int64_t At, int64_t Grain) {
+  int64_t Total = (Le - Li) + (Re - Ri);
+  if (Total <= Grain) {
+    seqMerge(L, Li, Le, R, Ri, Re, Out, At);
+    return;
+  }
+  // Split the larger input at its midpoint; find the split in the other.
+  if (Le - Li < Re - Ri) {
+    parMerge(R, Ri, Re, L, Li, Le, Out, At, Grain);
+    return;
+  }
+  int64_t Lm = Li + (Le - Li) / 2;
+  int64_t Key = unboxInt(L->getSlot(static_cast<uint32_t>(Lm)));
+  int64_t Rm = upperBound(R, Ri, Re, Key);
+  int64_t OutMid = At + (Lm - Li) + (Rm - Ri);
+  Local LL(L), LR(R), LOut(Out);
+  rt::par(
+      [&] {
+        parMerge(LL.get(), Li, Lm + 1, LR.get(), Ri, Rm, LOut.get(), At,
+                 Grain);
+        return unit();
+      },
+      [&] {
+        parMerge(LL.get(), Lm + 1, Le, LR.get(), Rm, Re, LOut.get(),
+                 OutMid + 1, Grain);
+        return unit();
+      });
+}
+
+Object *msortRec(Object *A, int64_t Grain, bool Parallel) {
+  Local In(A);
+  int64_t N = arrLen(A);
+  if (N <= Grain) {
+    Object *Out = sliceInts(In.get(), 0, N);
+    // Tagging is monotone in the *signed* domain, so compare as int64.
+    std::sort(Out->slots(), Out->slots() + N, [](Slot A, Slot B) {
+      return static_cast<int64_t>(A) < static_cast<int64_t>(B);
+    });
+    return Out;
+  }
+  int64_t Mid = N / 2;
+  Local L(sliceInts(In.get(), 0, Mid));
+  Local R(sliceInts(In.get(), Mid, N));
+  Slot SL, SR;
+  if (Parallel) {
+    std::tie(SL, SR) = rt::par(
+        [&] { return Object::fromPointer(msortRec(L.get(), Grain, true)); },
+        [&] { return Object::fromPointer(msortRec(R.get(), Grain, true)); });
+  } else {
+    // Sequential-baseline mode: same algorithm and allocation behaviour,
+    // no forks (and so no child heaps).
+    SL = Object::fromPointer(msortRec(L.get(), Grain, false));
+    Local Hold(SL);
+    SR = Object::fromPointer(msortRec(R.get(), Grain, false));
+    SL = Hold.slot();
+  }
+  Local LS(SL), RS(SR);
+  Local Out(newArray(static_cast<uint32_t>(N), boxInt(0)));
+  parMerge(LS.get(), 0, arrLen(LS.get()), RS.get(), 0, arrLen(RS.get()),
+           Out.get(), 0, Parallel ? std::max<int64_t>(Grain, 1024) : N + 1);
+  return Out.get();
+}
+
+} // namespace
+
+Object *mergesortInts(Object *A, int64_t Grain, bool Parallel) {
+  return msortRec(A, Grain, Parallel);
+}
+
+namespace {
+
+Object *qsortRec(Object *A, int64_t Grain, bool Parallel);
+
+/// Parallel filter of A by comparison against Pivot, Mode in {<, ==, >}.
+template <int Mode> Object *partitionBy(Object *A, int64_t Pivot) {
+  int64_t N = arrLen(A);
+  Local In(A);
+  // Sequential partition per call; parallelism comes from sorting the two
+  // sides in parallel (the functional-quicksort shape).
+  Local Out(newArray(static_cast<uint32_t>(N), boxInt(0)));
+  int64_t K = 0;
+  for (int64_t I = 0; I < N; ++I) {
+    int64_t V = unboxInt(arrGet(In.get(), static_cast<uint32_t>(I)));
+    bool Keep = Mode < 0 ? V < Pivot : (Mode == 0 ? V == Pivot : V > Pivot);
+    if (Keep)
+      arrSet(Out.get(), static_cast<uint32_t>(K++), boxInt(V));
+  }
+  return sliceInts(Out.get(), 0, K);
+}
+
+Object *concat3(Object *A, Object *B, Object *C) {
+  Local LA(A), LB(B), LC(C);
+  int64_t N = arrLen(A) + arrLen(B) + arrLen(C);
+  Local Out(newArray(static_cast<uint32_t>(N), boxInt(0)));
+  int64_t At = 0;
+  for (Object *Src : {LA.get(), LB.get(), LC.get()})
+    for (uint32_t I = 0, E = arrLen(Src); I < E; ++I)
+      Out.get()->setSlot(static_cast<uint32_t>(At++), Src->getSlot(I));
+  return Out.get();
+}
+
+Object *qsortRec(Object *A, int64_t Grain, bool Parallel) {
+  Local In(A);
+  int64_t N = arrLen(A);
+  if (N <= Grain) {
+    Object *Out = sliceInts(In.get(), 0, N);
+    std::sort(Out->slots(), Out->slots() + N, [](Slot A, Slot B) {
+      return static_cast<int64_t>(A) < static_cast<int64_t>(B);
+    });
+    return Out;
+  }
+  // Median-of-three pivot.
+  int64_t V0 = unboxInt(In.get()->getSlot(0));
+  int64_t V1 = unboxInt(In.get()->getSlot(static_cast<uint32_t>(N / 2)));
+  int64_t V2 = unboxInt(In.get()->getSlot(static_cast<uint32_t>(N - 1)));
+  int64_t Pivot = std::max(std::min(V0, V1), std::min(std::max(V0, V1), V2));
+
+  Local Less(partitionBy<-1>(In.get(), Pivot));
+  Local Equal(partitionBy<0>(In.get(), Pivot));
+  Local Greater(partitionBy<1>(In.get(), Pivot));
+
+  Slot SL, SG;
+  if (Parallel) {
+    std::tie(SL, SG) = rt::par(
+        [&] {
+          return Object::fromPointer(qsortRec(Less.get(), Grain, true));
+        },
+        [&] {
+          return Object::fromPointer(qsortRec(Greater.get(), Grain, true));
+        });
+  } else {
+    SL = Object::fromPointer(qsortRec(Less.get(), Grain, false));
+    Local Hold(SL);
+    SG = Object::fromPointer(qsortRec(Greater.get(), Grain, false));
+    SL = Hold.slot();
+  }
+  Local A1(SL), A3(SG);
+  return concat3(A1.get(), Equal.get(), A3.get());
+}
+
+} // namespace
+
+Object *quicksortInts(Object *A, int64_t Grain, bool Parallel) {
+  return qsortRec(A, Grain, Parallel);
+}
+
+bool isSortedInts(Object *A) {
+  for (uint32_t I = 1, E = arrLen(A); I < E; ++I)
+    if (unboxInt(A->getSlot(I - 1)) > unboxInt(A->getSlot(I)))
+      return false;
+  return true;
+}
+
+namespace {
+
+/// Board: immutable list node {col:int, rest:ptr}.
+bool queenSafe(Object *Board, int64_t Col) {
+  int64_t Dist = 1;
+  for (Object *Cur = Board; Cur;
+       Cur = Object::asPointer(recGet(Cur, 1)), ++Dist) {
+    int64_t C = unboxInt(recGet(Cur, 0));
+    if (C == Col || C == Col - Dist || C == Col + Dist)
+      return false;
+  }
+  return true;
+}
+
+int64_t queensRec(int N, int Row, Object *Board, bool Parallel) {
+  if (Row == N)
+    return 1;
+  Local LBoard(Board);
+  int64_t Count = 0;
+  if (!Parallel || Row >= 3) {
+    // Deep rows: sequential.
+    for (int64_t Col = 0; Col < N; ++Col) {
+      if (!queenSafe(LBoard.get(), Col))
+        continue;
+      Local Node(newRecord(0b10, {boxInt(Col), LBoard.slot()}));
+      Count += queensRec(N, Row + 1, Node.get(), Parallel);
+    }
+    return Count;
+  }
+  // Shallow rows: parallel over column halves.
+  struct Range {
+    static int64_t go(int N, int Row, Object *Board, int64_t Lo, int64_t Hi) {
+      if (Hi - Lo == 1) {
+        if (!queenSafe(Board, Lo))
+          return 0;
+        Local Node(newRecord(0b10, {boxInt(Lo),
+                                    Object::fromPointer(Board)}));
+        return queensRec(N, Row + 1, Node.get(), /*Parallel=*/true);
+      }
+      int64_t Mid = Lo + (Hi - Lo) / 2;
+      Local LB(Board);
+      auto [A, B] =
+          rt::par([&] { return boxInt(go(N, Row, LB.get(), Lo, Mid)); },
+                  [&] { return boxInt(go(N, Row, LB.get(), Mid, Hi)); });
+      return unboxInt(A) + unboxInt(B);
+    }
+  };
+  return Range::go(N, Row, LBoard.get(), 0, N);
+}
+
+} // namespace
+
+int64_t nqueens(int N, bool Parallel) {
+  return queensRec(N, 0, nullptr, Parallel);
+}
+
+Object *primesUpTo(int64_t N, int64_t Grain) {
+  MPL_CHECK(N >= 2, "primesUpTo needs N >= 2");
+  // Composite flags as raw bytes (no pointers: disentangled by
+  // construction, and races on flag stores are benign).
+  Local Flags(newRawArray(static_cast<size_t>(N + 1)));
+  char *F = reinterpret_cast<char *>(Flags.get()->slots());
+  std::fill(F, F + N + 1, 0);
+
+  for (int64_t P = 2; P * P <= N; ++P) {
+    if (F[P])
+      continue;
+    // Mark multiples of P in parallel blocks.
+    int64_t First = P * P;
+    int64_t Count = (N - First) / P + 1;
+    char *FP = reinterpret_cast<char *>(Flags.get()->slots());
+    rt::parFor(0, Count, 2 * Grain, [FP, First, P](int64_t K) {
+      FP[First + K * P] = 1;
+    });
+  }
+
+  // Collect primes with a parallel count-scan-fill over the flag blocks.
+  int64_t NumBlocks = std::max<int64_t>(1, (N + Grain) / Grain);
+  Local Counts(newArray(static_cast<uint32_t>(NumBlocks), boxInt(0)));
+  rt::parFor(0, NumBlocks, 1, [&](int64_t B) {
+    const char *Fl = reinterpret_cast<const char *>(Flags.get()->slots());
+    int64_t Lo = B * Grain, Hi = std::min<int64_t>(N + 1, Lo + Grain);
+    int64_t C = 0;
+    for (int64_t I = std::max<int64_t>(Lo, 2); I < Hi; ++I)
+      C += !Fl[I];
+    arrSet(Counts.get(), static_cast<uint32_t>(B), boxInt(C));
+  });
+  int64_t Total = 0;
+  for (int64_t B = 0; B < NumBlocks; ++B) {
+    int64_t C = unboxInt(arrGet(Counts.get(), static_cast<uint32_t>(B)));
+    arrSet(Counts.get(), static_cast<uint32_t>(B), boxInt(Total));
+    Total += C;
+  }
+  Local Out(newArray(static_cast<uint32_t>(Total), boxInt(0)));
+  rt::parFor(0, NumBlocks, 1, [&](int64_t B) {
+    const char *Fl = reinterpret_cast<const char *>(Flags.get()->slots());
+    int64_t Lo = B * Grain, Hi = std::min<int64_t>(N + 1, Lo + Grain);
+    int64_t At = unboxInt(arrGet(Counts.get(), static_cast<uint32_t>(B)));
+    for (int64_t I = std::max<int64_t>(Lo, 2); I < Hi; ++I)
+      if (!Fl[I])
+        arrSet(Out.get(), static_cast<uint32_t>(At++), boxInt(I));
+  });
+  return Out.get();
+}
+
+Object *randomText(int64_t Len, uint64_t Seed) {
+  // Build into a host buffer first (strings are immutable raw arrays).
+  std::string Buf(static_cast<size_t>(Len), ' ');
+  Rng R(Seed);
+  size_t I = 0;
+  while (I < Buf.size()) {
+    size_t WordLen = 1 + R.nextBounded(9);
+    for (size_t J = 0; J < WordLen && I < Buf.size(); ++J, ++I)
+      Buf[I] = static_cast<char>('a' + R.nextBounded(26));
+    if (I < Buf.size())
+      Buf[I++] = R.nextBounded(8) == 0 ? '\n' : ' ';
+  }
+  return newString(Buf.data(), Buf.size());
+}
+
+int64_t tokens(Object *Str, int64_t Grain) {
+  Local S(Str);
+  int64_t Len = static_cast<int64_t>(strLen(S.get()));
+  int64_t NumBlocks = std::max<int64_t>(1, (Len + Grain - 1) / Grain);
+  Local Counts(newArray(static_cast<uint32_t>(NumBlocks), boxInt(0)));
+  auto IsSpace = [](char C) { return C == ' ' || C == '\n' || C == '\t'; };
+  rt::parFor(0, NumBlocks, 1, [&](int64_t B) {
+    const char *D = strBytes(S.get());
+    int64_t Lo = B * Grain, Hi = std::min(Len, Lo + Grain);
+    int64_t C = 0;
+    for (int64_t I = Lo; I < Hi; ++I)
+      if (!IsSpace(D[I]) && (I == 0 || IsSpace(D[I - 1])))
+        ++C;
+    arrSet(Counts.get(), static_cast<uint32_t>(B), boxInt(C));
+  });
+  return sumInts(Counts.get(), 64);
+}
+
+Object *randomInts(int64_t N, int64_t Range, uint64_t Seed) {
+  return tabulate(N, [=](int64_t I) {
+    return boxInt(static_cast<int64_t>(hash64(Seed ^ hash64(I)) %
+                                       static_cast<uint64_t>(Range)));
+  });
+}
+
+Object *histogram(Object *A, int64_t Buckets, int64_t Grain) {
+  Local In(A);
+  Local Out(newArray(static_cast<uint32_t>(Buckets), boxInt(0)));
+  int64_t N = arrLen(In.get());
+  rt::parFor(0, N, Grain, [&](int64_t I) {
+    int64_t V = unboxInt(arrGet(In.get(), static_cast<uint32_t>(I)));
+    MPL_DASSERT(V >= 0 && V < Buckets, "histogram value out of range");
+    // Atomic add on a tagged int: adding (delta << 1) preserves the tag.
+    std::atomic_ref<Slot>(Out.get()->slots()[V]).fetch_add(
+        2, std::memory_order_relaxed);
+  });
+  return Out.get();
+}
+
+} // namespace wl
+} // namespace mpl

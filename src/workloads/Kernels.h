@@ -1,0 +1,68 @@
+//===- workloads/Kernels.h - Benchmark kernels ------------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark kernels of the evaluation (Section 6 of the paper). The
+/// disentangled suite mirrors the PBBS-derived Parallel ML benchmarks:
+/// irregular fork-join (fib, nqueens), sorting (mergesort, quicksort), flat
+/// data parallelism (primes, tokens, histogram). All kernels run on the
+/// hierarchical runtime with full barriers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_WORKLOADS_KERNELS_H
+#define MPL_WORKLOADS_KERNELS_H
+
+#include "core/Handles.h"
+#include "core/Ops.h"
+#include "core/Runtime.h"
+
+namespace mpl {
+namespace wl {
+
+/// Exponential Fibonacci via nested par (the classic scheduler stressor).
+int64_t fib(int64_t N, int64_t Grain = 18);
+
+/// Out-of-place parallel mergesort of an integer array; returns a new
+/// sorted array (functional style — heavy allocation, the paper's GC
+/// stressor).
+Object *mergesortInts(Object *A, int64_t Grain = 4096,
+                      bool Parallel = true);
+
+/// Functional quicksort via parallel partition (filter-based); returns a
+/// new sorted array.
+Object *quicksortInts(Object *A, int64_t Grain = 4096,
+                      bool Parallel = true);
+
+/// Returns true when \p A is sorted ascending (sequential check).
+bool isSortedInts(Object *A);
+
+/// Number of solutions to the N-queens problem (parallel tree search over
+/// immutable board lists); pass Parallel=false for the sequential-runtime
+/// baseline (same allocation behaviour, no forks).
+int64_t nqueens(int N, bool Parallel = true);
+
+/// Array of all primes <= N (parallel sieve on a raw byte array, then a
+/// parallel filter). Pass Grain >= N for a sequential run.
+Object *primesUpTo(int64_t N, int64_t Grain = 8192);
+
+/// Number of whitespace-separated tokens in a string object.
+int64_t tokens(Object *Str, int64_t Grain = 8192);
+
+/// Builds a deterministic pseudo-random text of \p Len bytes.
+Object *randomText(int64_t Len, uint64_t Seed);
+
+/// Builds a deterministic random integer array with values in [0, Range).
+Object *randomInts(int64_t N, int64_t Range, uint64_t Seed);
+
+/// Histogram: counts of A's values into \p Buckets buckets; values must be
+/// in [0, Buckets). Uses concurrent atomic updates on a shared array.
+Object *histogram(Object *A, int64_t Buckets, int64_t Grain = 2048);
+
+} // namespace wl
+} // namespace mpl
+
+#endif // MPL_WORKLOADS_KERNELS_H

@@ -1,0 +1,171 @@
+//===- workloads/Quickhull.cpp - 2D convex hull ------------------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Quickhull.h"
+
+#include "core/Runtime.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <tuple>
+
+using namespace mpl;
+using namespace mpl::ops;
+
+namespace mpl {
+namespace wl {
+
+namespace {
+
+struct PointsView {
+  int64_t N;
+  const int64_t *Xs;
+  const int64_t *Ys;
+
+  static PointsView of(Object *P) {
+    PointsView V;
+    V.N = unboxInt(recGet(P, 0));
+    V.Xs = reinterpret_cast<const int64_t *>(
+        Object::asPointer(recGet(P, 1))->slots());
+    V.Ys = reinterpret_cast<const int64_t *>(
+        Object::asPointer(recGet(P, 2))->slots());
+    return V;
+  }
+};
+
+/// Twice the signed area of triangle (a, b, c): > 0 when c is left of ab.
+int64_t cross(int64_t Ax, int64_t Ay, int64_t Bx, int64_t By, int64_t Cx,
+              int64_t Cy) {
+  return (Bx - Ax) * (Cy - Ay) - (By - Ay) * (Cx - Ax);
+}
+
+/// Candidate index arrays are runtime int arrays (indices into the point
+/// set); each recursion allocates the filtered flank sets functionally.
+int64_t hullRec(Object *Points, Object *Candidates, int64_t Ax, int64_t Ay,
+                int64_t Bx, int64_t By, int64_t Grain) {
+  Local LP(Points), LC(Candidates);
+  int64_t N = arrLen(LC.get());
+  if (N == 0)
+    return 0;
+
+  // Find the farthest point from line ab (sequential scan per node; the
+  // recursion supplies the parallelism, as in the PBBS version).
+  PointsView V = PointsView::of(LP.get());
+  int64_t BestIdx = -1, BestDist = -1;
+  for (int64_t I = 0; I < N; ++I) {
+    int64_t P = unboxInt(LC.get()->getSlot(static_cast<uint32_t>(I)));
+    int64_t D = cross(Ax, Ay, Bx, By, V.Xs[P], V.Ys[P]);
+    if (D > BestDist) {
+      BestDist = D;
+      BestIdx = P;
+    }
+  }
+  if (BestDist <= 0)
+    return 0; // No point strictly outside: ab is a hull edge.
+
+  int64_t Px = V.Xs[BestIdx], Py = V.Ys[BestIdx];
+
+  // Partition candidates into the two flanks (functional filters).
+  auto filterFlank = [&](int64_t Qax, int64_t Qay, int64_t Qbx,
+                         int64_t Qby) -> Object * {
+    Local Out(newArray(static_cast<uint32_t>(N), boxInt(0)));
+    PointsView W = PointsView::of(LP.get());
+    int64_t K = 0;
+    for (int64_t I = 0; I < N; ++I) {
+      int64_t P = unboxInt(LC.get()->getSlot(static_cast<uint32_t>(I)));
+      if (cross(Qax, Qay, Qbx, Qby, W.Xs[P], W.Ys[P]) > 0)
+        Out.get()->setSlot(static_cast<uint32_t>(K++), boxInt(P));
+    }
+    // Shrink-copy to the exact size.
+    Local Exact(newArray(static_cast<uint32_t>(K), boxInt(0)));
+    for (int64_t I = 0; I < K; ++I)
+      Exact.get()->setSlot(static_cast<uint32_t>(I),
+                           Out.get()->getSlot(static_cast<uint32_t>(I)));
+    return Exact.get();
+  };
+
+  Local Left(filterFlank(Ax, Ay, Px, Py));
+  Local Right(filterFlank(Px, Py, Bx, By));
+
+  int64_t CL, CR;
+  if (N > Grain) {
+    auto [SL, SR] = rt::par(
+        [&] {
+          return boxInt(hullRec(LP.get(), Left.get(), Ax, Ay, Px, Py,
+                                Grain));
+        },
+        [&] {
+          return boxInt(hullRec(LP.get(), Right.get(), Px, Py, Bx, By,
+                                Grain));
+        });
+    CL = unboxInt(SL);
+    CR = unboxInt(SR);
+  } else {
+    CL = hullRec(LP.get(), Left.get(), Ax, Ay, Px, Py, Grain);
+    CR = hullRec(LP.get(), Right.get(), Px, Py, Bx, By, Grain);
+  }
+  return CL + CR + 1; // The farthest point is a hull vertex.
+}
+
+} // namespace
+
+Object *randomPoints(int64_t N, uint64_t Seed) {
+  MPL_CHECK(N >= 3, "need at least 3 points");
+  Local Xs(newRawArray(static_cast<size_t>(N) * 8));
+  Local Ys(newRawArray(static_cast<size_t>(N) * 8));
+  int64_t *X = reinterpret_cast<int64_t *>(Xs.get()->slots());
+  int64_t *Y = reinterpret_cast<int64_t *>(Ys.get()->slots());
+  // Re-read after the second allocation.
+  X = reinterpret_cast<int64_t *>(Xs.get()->slots());
+  for (int64_t I = 0; I < N; ++I) {
+    // Points in a disc (rejection-free approximation: square then clamp
+    // radius by resampling the ring) — keeps hull size O(n^(1/3)).
+    Rng R(hash64(Seed ^ static_cast<uint64_t>(I)));
+    int64_t Vx, Vy;
+    do {
+      Vx = static_cast<int64_t>(R.nextBounded(2000001)) - 1000000;
+      Vy = static_cast<int64_t>(R.nextBounded(2000001)) - 1000000;
+    } while (Vx * Vx + Vy * Vy > 1000000ll * 1000000ll);
+    X[I] = Vx;
+    Y[I] = Vy;
+  }
+  return newRecord(0b110, {boxInt(N), Object::fromPointer(Xs.get()),
+                           Object::fromPointer(Ys.get())});
+}
+
+int64_t quickhullCount(Object *Points, int64_t Grain) {
+  Local LP(Points);
+  PointsView V = PointsView::of(LP.get());
+  // Extremal points in x (ties by y) anchor the two half-hulls.
+  int64_t MinI = 0, MaxI = 0;
+  for (int64_t I = 1; I < V.N; ++I) {
+    if (std::make_pair(V.Xs[I], V.Ys[I]) <
+        std::make_pair(V.Xs[MinI], V.Ys[MinI]))
+      MinI = I;
+    if (std::make_pair(V.Xs[I], V.Ys[I]) >
+        std::make_pair(V.Xs[MaxI], V.Ys[MaxI]))
+      MaxI = I;
+  }
+  int64_t Ax = V.Xs[MinI], Ay = V.Ys[MinI];
+  int64_t Bx = V.Xs[MaxI], By = V.Ys[MaxI];
+
+  // All indices as the initial candidate set.
+  Local All(newArray(static_cast<uint32_t>(V.N), boxInt(0)));
+  for (int64_t I = 0; I < V.N; ++I)
+    All.get()->setSlot(static_cast<uint32_t>(I), boxInt(I));
+
+  auto [Upper, Lower] = rt::par(
+      [&] {
+        return boxInt(hullRec(LP.get(), All.get(), Ax, Ay, Bx, By, Grain));
+      },
+      [&] {
+        return boxInt(hullRec(LP.get(), All.get(), Bx, By, Ax, Ay, Grain));
+      });
+  return unboxInt(Upper) + unboxInt(Lower) + 2; // + the two anchors.
+}
+
+} // namespace wl
+} // namespace mpl

@@ -1,0 +1,36 @@
+//===- workloads/Quickhull.h - 2D convex hull -------------------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel quickhull over integer 2D points — the irregular geometric
+/// member of the paper's benchmark suite. Points are stored as two raw
+/// arrays (x, y); each recursion step partitions the candidate set with a
+/// functional filter and recurses on both flanks in parallel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_WORKLOADS_QUICKHULL_H
+#define MPL_WORKLOADS_QUICKHULL_H
+
+#include "core/Handles.h"
+#include "core/Ops.h"
+
+#include <cstdint>
+
+namespace mpl {
+namespace wl {
+
+/// A point set: record {n:int, xs:RawArray, ys:RawArray}.
+Object *randomPoints(int64_t N, uint64_t Seed);
+
+/// Number of points on the convex hull of the set. \p Grain bounds the
+/// sequential cutoff; pass >= N for a sequential run.
+int64_t quickhullCount(Object *Points, int64_t Grain = 4096);
+
+} // namespace wl
+} // namespace mpl
+
+#endif // MPL_WORKLOADS_QUICKHULL_H

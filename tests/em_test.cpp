@@ -1,0 +1,438 @@
+//===- tests/em_test.cpp - Entanglement-management semantics --------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+// Tests the barrier semantics case by case against the paper's rules:
+// down-pointer writes pin at the holder's depth, cross-pointer writes pin
+// at the LCA, stores into pinned holders inherit exposure, entangled reads
+// are detected exactly when the pointee's heap is not an ancestor of the
+// reader's, pins deepen monotonically, and joins unpin exactly at the
+// depth where entanglement dies.
+//
+// All scenarios run with one worker so the interleavings are exact:
+// branch A of every rt::par runs to completion before branch B starts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Em.h"
+#include "core/Handles.h"
+#include "core/Ops.h"
+#include "core/Runtime.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpl;
+using namespace mpl::ops;
+
+namespace {
+rt::Config cfg1() {
+  rt::Config C;
+  C.NumWorkers = 1;
+  C.Profile = false;
+  C.GcMinBytes = 1 << 16;
+  return C;
+}
+
+int64_t stat(const char *Name) {
+  return StatRegistry::get().valueOf(Name);
+}
+} // namespace
+
+TEST(EmSemantics, UpPointerWritesNeverPin) {
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shallow(newRef(boxInt(1))); // Depth 0.
+    rt::par(
+        [&] {
+          // Depth-1 ref stores a pointer to a depth-0 object: up-pointer.
+          Local Mine(newRef(Shallow.slot()));
+          EXPECT_FALSE(Shallow.get()->isPinned());
+          return unit();
+        },
+        [&] { return unit(); });
+  });
+  EXPECT_EQ(stat("em.pins.down"), 0);
+  EXPECT_EQ(stat("em.pins.cross"), 0);
+}
+
+TEST(EmSemantics, IntraHeapWritesNeverPin) {
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local A(newRef(boxInt(1)));
+    Local B(newRef(A.slot())); // Same heap.
+    refSet(B.get(), A.slot());
+    EXPECT_FALSE(A.get()->isPinned());
+  });
+  EXPECT_EQ(stat("em.pins.down") + stat("em.pins.cross") +
+                stat("em.pins.holder"),
+            0);
+}
+
+TEST(EmSemantics, DownPointerPinDepthIsHolderDepth) {
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shared0(newRef(boxInt(0))); // Depth 0.
+    rt::par(
+        [&] {
+          rt::par(
+              [&] {
+                // Depth 2 object published into a depth-0 ref.
+                Local Mine(newRef(boxInt(5)));
+                refSet(Shared0.get(), Mine.slot());
+                EXPECT_TRUE(Mine.get()->isPinned());
+                EXPECT_EQ(Mine.get()->unpinDepth(), 0u);
+                return unit();
+              },
+              [&] { return unit(); });
+          // After the inner join (to depth 1), still pinned: unpin depth 0
+          // has not been reached.
+          Object *P = Object::asPointer(refGet(Shared0.get()));
+          EXPECT_TRUE(P && P->isPinned());
+          return unit();
+        },
+        [&] { return unit(); });
+    // After the outer join (to depth 0): unpinned.
+    Object *P = Object::asPointer(refGet(Shared0.get()));
+    ASSERT_NE(P, nullptr);
+    EXPECT_FALSE(P->isPinned());
+    EXPECT_EQ(unboxInt(refGet(P)), 5);
+  });
+}
+
+TEST(EmSemantics, IntermediateDepthPinReleasesAtItsJoin) {
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    rt::par(
+        [&] {
+          Local Shared1(newRef(boxInt(0))); // Depth 1.
+          rt::par(
+              [&] {
+                Local Mine(newRef(boxInt(9))); // Depth 2.
+                refSet(Shared1.get(), Mine.slot());
+                EXPECT_EQ(Mine.get()->unpinDepth(), 1u);
+                return unit();
+              },
+              [&] { return unit(); });
+          // Join merged depth 2 into depth 1 == unpin depth: released.
+          Object *P = Object::asPointer(refGet(Shared1.get()));
+          EXPECT_TRUE(P && !P->isPinned());
+          return unit();
+        },
+        [&] { return unit(); });
+  });
+  EXPECT_GT(stat("em.unpins"), 0);
+}
+
+TEST(EmSemantics, PinDepthDeepensToMinimum) {
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shared0(newRef(boxInt(0)));
+    rt::par(
+        [&] {
+          Local Shared1(newRef(boxInt(0))); // Depth 1.
+          rt::par(
+              [&] {
+                Local Mine(newRef(boxInt(7))); // Depth 2.
+                // First published at depth 1, then at depth 0: the pin
+                // must keep the minimum unpin depth.
+                refSet(Shared1.get(), Mine.slot());
+                EXPECT_EQ(Mine.get()->unpinDepth(), 1u);
+                refSet(Shared0.get(), Mine.slot());
+                EXPECT_EQ(Mine.get()->unpinDepth(), 0u);
+                // Publishing at depth 1 again must NOT shallow the pin.
+                refSet(Shared1.get(), Mine.slot());
+                EXPECT_EQ(Mine.get()->unpinDepth(), 0u);
+                return unit();
+              },
+              [&] { return unit(); });
+          return unit();
+        },
+        [&] { return unit(); });
+  });
+}
+
+TEST(EmSemantics, StoreIntoPinnedHolderInheritsExposure) {
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shared0(newRef(boxInt(0)));
+    rt::par(
+        [&] {
+          // Publish a mutable record, then store a fresh object into it:
+          // the fresh object becomes reachable by concurrent readers of
+          // the record, so it must inherit the pin.
+          Local Rec(newMutRecord(0b1, {boxInt(0)}));
+          refSet(Shared0.get(), Rec.slot());
+          EXPECT_TRUE(Rec.get()->isPinned());
+          Local Fresh(newRef(boxInt(11)));
+          recSetMut(Rec.get(), 0, Fresh.slot());
+          EXPECT_TRUE(Fresh.get()->isPinned());
+          EXPECT_LE(Fresh.get()->unpinDepth(), Rec.get()->unpinDepth());
+          return unit();
+        },
+        [&] { return unit(); });
+  });
+  EXPECT_GT(stat("em.pins.holder"), 0);
+}
+
+TEST(EmSemantics, ReadBarrierFiresOnlyOnEntangledValues) {
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shared(newRef(boxInt(0)));
+    rt::par(
+        [&] {
+          // A's own reads of ancestor data: never entangled.
+          Slot V = refGet(Shared.get());
+          (void)V;
+          Local Mine(newRef(boxInt(3)));
+          refSet(Shared.get(), Mine.slot());
+          // Reading back one's own published object: its heap is the
+          // reader's own heap — not entangled.
+          Slot Back = refGet(Shared.get());
+          (void)Back;
+          return unit();
+        },
+        [&] { return unit(); });
+  });
+  EXPECT_EQ(stat("em.reads.entangled"), 0)
+      << "only cross-task reads are entangled";
+}
+
+TEST(EmSemantics, SiblingReadIsEntangledExactlyOnce) {
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shared(newRef(boxInt(0)));
+    rt::par(
+        [&] {
+          Local Mine(newRef(boxInt(3)));
+          refSet(Shared.get(), Mine.slot());
+          return unit();
+        },
+        [&] {
+          Slot V = refGet(Shared.get()); // Entangled (A's object).
+          (void)V;
+          return unit();
+        });
+    // After the join the object merged into this heap: reads of it are
+    // plain ancestor reads again.
+    Slot V = refGet(Shared.get());
+    (void)V;
+  });
+  EXPECT_EQ(stat("em.reads.entangled"), 1);
+}
+
+TEST(EmSemantics, ReadBarrierDeepensPinToReaderLca) {
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shared0(newRef(boxInt(0)));
+    rt::par(
+        [&] {
+          rt::par(
+              [&] {
+                Local Mine(newRef(boxInt(5)));
+                refSet(Shared0.get(), Mine.slot());
+                return unit();
+              },
+              [&] { return unit(); });
+          return unit();
+        },
+        [&] {
+          // Reader at depth 1 in the *other* subtree: LCA depth 0. The
+          // pin is already at 0 (holder depth); reading keeps it there.
+          Object *P = Object::asPointer(refGet(Shared0.get()));
+          if (P) {
+            EXPECT_TRUE(P->isPinned());
+            EXPECT_EQ(P->unpinDepth(), 0u);
+          }
+          return unit();
+        });
+  });
+}
+
+TEST(EmSemantics, OffModeSkipsAllBookkeeping) {
+  StatRegistry::get().resetAll();
+  rt::Config C = cfg1();
+  C.Mode = em::Mode::Off;
+  rt::Runtime R(C);
+  R.run([&] {
+    Local Shared(newRef(boxInt(0)));
+    // Disentangled mutation only (Off is unsound for entanglement).
+    for (int I = 0; I < 100; ++I)
+      refSet(Shared.get(), boxInt(I));
+    rt::par([&] { return refGet(Shared.get()); },
+            [&] { return unit(); });
+  });
+  EXPECT_EQ(stat("em.pins.down") + stat("em.pins.cross") +
+                stat("em.reads.entangled"),
+            0);
+}
+
+TEST(EmSemantics, CrossPointerViaFreshImmutableRecord) {
+  // B embeds an entangled pointer into a fresh immutable record and
+  // publishes the record; A's object must survive B's GC and the record
+  // must stay traversable after both branches' work.
+  rt::Runtime R(cfg1());
+  int64_t Got = 0;
+  R.run([&] {
+    Local SharedA(newRef(boxInt(0)));
+    Local SharedB(newRef(boxInt(0)));
+    rt::par(
+        [&] {
+          Local Mine(newRef(boxInt(21)));
+          refSet(SharedA.get(), Mine.slot());
+          return unit();
+        },
+        [&] {
+          Object *FromA = Object::asPointer(refGet(SharedA.get()));
+          if (!FromA)
+            return unit();
+          Local LA(FromA);
+          Local Wrap(newRecord(0b1, {LA.slot()}));
+          refSet(SharedB.get(), Wrap.slot());
+          // Churn + collect in B.
+          for (int I = 0; I < 30000; ++I)
+            newRecord(0, {boxInt(I)});
+          rt::Runtime::current()->maybeCollect(/*Force=*/true);
+          return unit();
+        });
+    Object *Wrap = Object::asPointer(refGet(SharedB.get()));
+    ASSERT_NE(Wrap, nullptr);
+    Object *Inner = Object::asPointer(recGet(Wrap, 0));
+    ASSERT_NE(Inner, nullptr);
+    Got = unboxInt(refGet(Inner)) * 2;
+  });
+  EXPECT_EQ(Got, 42);
+}
+
+TEST(EmSemantics, DeepTreePinsReleaseLevelByLevel) {
+  // A chain of nested forks publishing at every level; every pin must be
+  // gone when the whole tree joins.
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shared(newArray(8, boxInt(0)));
+    struct Rec {
+      static Slot go(Object *SharedArr, int Depth) {
+        if (Depth == 8)
+          return unit();
+        Local LS(SharedArr);
+        rt::par(
+            [&] {
+              Local Mine(newRef(boxInt(Depth)));
+              arrSet(LS.get(), static_cast<uint32_t>(Depth), Mine.slot());
+              return go(LS.get(), Depth + 1);
+            },
+            [&] { return unit(); });
+        return unit();
+      }
+    };
+    Rec::go(Shared.get(), 0);
+    for (uint32_t I = 0; I < 8; ++I) {
+      Object *P = Object::asPointer(arrGet(Shared.get(), I));
+      ASSERT_NE(P, nullptr) << "level " << I;
+      EXPECT_FALSE(P->isPinned()) << "level " << I;
+      EXPECT_EQ(unboxInt(refGet(P)), I);
+    }
+  });
+  EXPECT_EQ(stat("em.pins.down"), 8);
+  EXPECT_EQ(stat("em.unpins"), 8);
+}
+
+TEST(EmSemantics, PinnedBytesBalanceUnpinnedBytes) {
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shared(newArray(64, boxInt(0)));
+    rt::par(
+        [&] {
+          for (uint32_t I = 0; I < 64; ++I) {
+            Local Box(newRef(boxInt(I)));
+            arrSet(Shared.get(), I, Box.slot());
+          }
+          return unit();
+        },
+        [&] { return unit(); });
+  });
+  EXPECT_GT(stat("em.pinned.bytes"), 0);
+  EXPECT_EQ(stat("em.pinned.bytes"), stat("em.unpins.bytes"))
+      << "every pinned byte must be released by a join";
+}
+
+//===----------------------------------------------------------------------===//
+// Cost-model validation (the paper's Section 4 bounds, empirically)
+//===----------------------------------------------------------------------===//
+
+namespace {
+class EmCostModel : public ::testing::TestWithParam<int64_t> {};
+} // namespace
+
+TEST_P(EmCostModel, PinnedBytesLinearInEntangledObjects) {
+  // The space cost of entanglement is bounded by the entangled data: K
+  // published boxes must pin exactly K objects and K * sizeof(box) bytes,
+  // independent of how much *disentangled* allocation happens around them.
+  const int64_t K = GetParam();
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Board(newArray(static_cast<uint32_t>(K), 0));
+    rt::par(
+        [&] {
+          for (int64_t I = 0; I < K; ++I) {
+            Local Box(newRef(boxInt(I)));
+            arrSet(Board.get(), static_cast<uint32_t>(I), Box.slot());
+            // Disentangled churn between publishes must not add pins.
+            for (int J = 0; J < 20; ++J)
+              newRecord(0, {boxInt(J)});
+          }
+          return unit();
+        },
+        [&] { return unit(); });
+  });
+  const int64_t BoxBytes = 16; // Ref: 8B header + 1 slot.
+  EXPECT_EQ(stat("em.pins.objects"), K);
+  EXPECT_EQ(stat("em.pinned.bytes"), K * BoxBytes);
+  EXPECT_EQ(stat("em.unpins"), K);
+  EXPECT_EQ(stat("em.unpins.bytes"), K * BoxBytes);
+}
+
+TEST_P(EmCostModel, EntangledReadsCountExactly) {
+  // The time cost of detection is one event per entangled load: reading a
+  // sibling's box N times must count exactly N entangled reads.
+  const int64_t N = GetParam();
+  StatRegistry::get().resetAll();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Shared(newRef(boxInt(0)));
+    rt::par(
+        [&] {
+          Local Box(newRef(boxInt(7)));
+          refSet(Shared.get(), Box.slot());
+          return unit();
+        },
+        [&] {
+          int64_t Acc = 0;
+          for (int64_t I = 0; I < N; ++I) {
+            Object *P = Object::asPointer(refGet(Shared.get()));
+            if (P)
+              Acc += unboxInt(refGet(P));
+          }
+          return boxInt(Acc);
+        });
+  });
+  // Each iteration performs two barriered loads: the shared ref (pointer
+  // into a concurrent heap -> entangled) and the box's own cell (also in
+  // the concurrent heap, but holding an immediate -> not entangled).
+  EXPECT_EQ(stat("em.reads.entangled"), N);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EmCostModel,
+                         ::testing::Values(1, 4, 16, 64, 256, 1024),
+                         [](const ::testing::TestParamInfo<int64_t> &I) {
+                           return "K" + std::to_string(I.param);
+                         });

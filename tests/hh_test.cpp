@@ -1,0 +1,185 @@
+//===- tests/hh_test.cpp - Unit tests for hierarchical heaps --------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hh/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpl;
+
+namespace {
+struct HierarchyFixture : ::testing::Test {
+  HeapManager HM;
+};
+} // namespace
+
+TEST_F(HierarchyFixture, RootAndChildrenDepths) {
+  Heap *Root = HM.createRoot();
+  EXPECT_EQ(Root->depth(), 0u);
+  EXPECT_EQ(Root->parent(), nullptr);
+  Heap *A = HM.forkChild(Root);
+  Heap *B = HM.forkChild(Root);
+  EXPECT_EQ(A->depth(), 1u);
+  EXPECT_EQ(B->depth(), 1u);
+  EXPECT_EQ(A->parent(), Root);
+  Heap *AA = HM.forkChild(A);
+  EXPECT_EQ(AA->depth(), 2u);
+}
+
+TEST_F(HierarchyFixture, AncestorQueries) {
+  Heap *Root = HM.createRoot();
+  Heap *A = HM.forkChild(Root);
+  Heap *B = HM.forkChild(Root);
+  Heap *AA = HM.forkChild(A);
+
+  EXPECT_TRUE(Heap::isAncestorOf(Root, Root));
+  EXPECT_TRUE(Heap::isAncestorOf(Root, AA));
+  EXPECT_TRUE(Heap::isAncestorOf(A, AA));
+  EXPECT_FALSE(Heap::isAncestorOf(AA, A));
+  EXPECT_FALSE(Heap::isAncestorOf(A, B));  // Concurrent siblings.
+  EXPECT_FALSE(Heap::isAncestorOf(B, AA)); // Concurrent cousin.
+}
+
+TEST_F(HierarchyFixture, LcaDepth) {
+  Heap *Root = HM.createRoot();
+  Heap *A = HM.forkChild(Root);
+  Heap *B = HM.forkChild(Root);
+  Heap *AA = HM.forkChild(A);
+  Heap *AB = HM.forkChild(A);
+
+  EXPECT_EQ(Heap::lcaDepth(A, B), 0u);
+  EXPECT_EQ(Heap::lcaDepth(AA, AB), 1u);
+  EXPECT_EQ(Heap::lcaDepth(AA, B), 0u);
+  EXPECT_EQ(Heap::lcaDepth(AA, AA), 2u);
+  EXPECT_EQ(Heap::lcaDepth(Root, AA), 0u);
+}
+
+TEST_F(HierarchyFixture, AllocationBumpsWithinChunk) {
+  Heap *Root = HM.createRoot();
+  void *P1 = Root->allocate(32);
+  void *P2 = Root->allocate(32);
+  EXPECT_EQ(static_cast<char *>(P2) - static_cast<char *>(P1), 32);
+  EXPECT_EQ(Chunk::chunkOf(P1), Chunk::chunkOf(P2));
+  Root->releaseAllChunks();
+}
+
+TEST_F(HierarchyFixture, AllocationRoundsUpToSlotSize) {
+  Heap *Root = HM.createRoot();
+  void *P1 = Root->allocate(5);
+  void *P2 = Root->allocate(8);
+  EXPECT_EQ(static_cast<char *>(P2) - static_cast<char *>(P1), 8);
+  Root->releaseAllChunks();
+}
+
+TEST_F(HierarchyFixture, AllocationSpillsToNewChunk) {
+  Heap *Root = HM.createRoot();
+  size_t Big = Chunk::SizeBytes / 4;
+  void *First = Root->allocate(Big);
+  for (int I = 0; I < 8; ++I)
+    Root->allocate(Big);
+  EXPECT_GT(Root->footprintBytes(), Chunk::SizeBytes);
+  EXPECT_NE(Chunk::chunkOf(First)->Owner.load(), nullptr);
+  Root->releaseAllChunks();
+}
+
+TEST_F(HierarchyFixture, LargeObjectGetsOwnChunk) {
+  Heap *Root = HM.createRoot();
+  void *Small = Root->allocate(64);
+  void *Huge = Root->allocate(Chunk::SizeBytes); // > half a chunk
+  EXPECT_NE(Chunk::chunkOf(Small), Chunk::chunkOf(Huge));
+  EXPECT_TRUE(Chunk::chunkOf(Huge)->Large);
+  // Small allocations continue in the bump chunk.
+  void *Small2 = Root->allocate(64);
+  EXPECT_EQ(Chunk::chunkOf(Small), Chunk::chunkOf(Small2));
+  Root->releaseAllChunks();
+}
+
+TEST_F(HierarchyFixture, HeapOfMapsObjects) {
+  Heap *Root = HM.createRoot();
+  Heap *A = HM.forkChild(Root);
+  Object *O1 = Root->allocateObject(ObjKind::Ref, true, 1, 0);
+  Object *O2 = A->allocateObject(ObjKind::Ref, true, 1, 0);
+  EXPECT_EQ(Heap::of(O1), Root);
+  EXPECT_EQ(Heap::of(O2), A);
+  Root->releaseAllChunks();
+  A->releaseAllChunks();
+}
+
+TEST_F(HierarchyFixture, JoinRehomesChunksAndObjects) {
+  Heap *Root = HM.createRoot();
+  Heap *A = HM.forkChild(Root);
+  Object *O = A->allocateObject(ObjKind::Ref, true, 1, 0);
+  EXPECT_EQ(Heap::of(O), A);
+  HM.join(Root, A);
+  EXPECT_EQ(Heap::of(O), Root);
+  EXPECT_TRUE(A->isDead());
+  Root->releaseAllChunks();
+}
+
+TEST_F(HierarchyFixture, JoinUnpinsAtUnpinDepth) {
+  Heap *Root = HM.createRoot();
+  Heap *A = HM.forkChild(Root);
+  Object *O = A->allocateObject(ObjKind::Ref, true, 1, 0);
+  // Pinned at depth 0: a depth-0 holder can reach it; entanglement dies
+  // when the object reaches depth 0.
+  A->addPinned(O, 0);
+  EXPECT_TRUE(O->isPinned());
+  int64_t Unpinned = HM.join(Root, A);
+  EXPECT_EQ(Unpinned, 1);
+  EXPECT_FALSE(O->isPinned());
+  Root->releaseAllChunks();
+}
+
+TEST_F(HierarchyFixture, JoinKeepsDeeperPinsAlive) {
+  Heap *Root = HM.createRoot();
+  Heap *A = HM.forkChild(Root);
+  Heap *AA = HM.forkChild(A);
+  Object *O = AA->allocateObject(ObjKind::Ref, true, 1, 0);
+  // Pinned at depth 0, but we join only to depth 1: the pin must survive
+  // and transfer to the parent's pinned set.
+  AA->addPinned(O, 0);
+  int64_t Unpinned = HM.join(A, AA);
+  EXPECT_EQ(Unpinned, 0);
+  EXPECT_TRUE(O->isPinned());
+  ASSERT_EQ(A->Pinned.size(), 1u);
+  EXPECT_EQ(A->Pinned[0], O);
+  // Joining to depth 0 releases it.
+  Unpinned = HM.join(Root, A);
+  EXPECT_EQ(Unpinned, 1);
+  EXPECT_FALSE(O->isPinned());
+  Root->releaseAllChunks();
+}
+
+TEST_F(HierarchyFixture, AddPinnedIsIdempotent) {
+  Heap *Root = HM.createRoot();
+  Object *O = Root->allocateObject(ObjKind::Ref, true, 1, 0);
+  Root->addPinned(O, 3);
+  Root->addPinned(O, 1); // Deepens, must not duplicate.
+  Root->addPinned(O, 5); // Shallower than current: ignored.
+  EXPECT_EQ(Root->Pinned.size(), 1u);
+  EXPECT_EQ(O->unpinDepth(), 1u);
+  Root->releaseAllChunks();
+}
+
+TEST_F(HierarchyFixture, ActiveForksLifecycle) {
+  Heap *Root = HM.createRoot();
+  EXPECT_EQ(Root->activeForks(), 0);
+  Root->setActiveForks(2);
+  EXPECT_EQ(Root->activeForks(), 2);
+  Root->decActiveForks();
+  EXPECT_EQ(Root->activeForks(), 1);
+  Root->setActiveForks(0);
+  EXPECT_EQ(Root->activeForks(), 0);
+}
+
+TEST_F(HierarchyFixture, FootprintReflectsAllocation) {
+  Heap *Root = HM.createRoot();
+  EXPECT_EQ(Root->footprintBytes(), 0u);
+  Root->allocate(128);
+  EXPECT_EQ(Root->footprintBytes(), Chunk::SizeBytes);
+  Root->releaseAllChunks();
+  EXPECT_EQ(Root->footprintBytes(), 0u);
+}

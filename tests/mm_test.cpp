@@ -1,0 +1,163 @@
+//===- tests/mm_test.cpp - Unit tests for the memory substrate ------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/Chunk.h"
+#include "mm/Object.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpl;
+
+TEST(ChunkTest, AcquireGivesAlignedUsableChunk) {
+  Chunk *C = ChunkPool::get().acquire();
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(C) % Chunk::SizeBytes, 0u);
+  EXPECT_EQ(C->usedBytes(), 0u);
+  void *P = C->tryAllocate(64);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(Chunk::chunkOf(P), C);
+  EXPECT_EQ(C->usedBytes(), 64u);
+  ChunkPool::get().release(C);
+}
+
+TEST(ChunkTest, AllocationFailsWhenFull) {
+  Chunk *C = ChunkPool::get().acquire();
+  size_t Avail = static_cast<size_t>(C->Limit - C->Frontier);
+  EXPECT_NE(C->tryAllocate(Avail), nullptr);
+  EXPECT_EQ(C->tryAllocate(8), nullptr);
+  ChunkPool::get().release(C);
+}
+
+TEST(ChunkTest, ReleaseReusesMemory) {
+  Chunk *C1 = ChunkPool::get().acquire();
+  ChunkPool::get().release(C1);
+  Chunk *C2 = ChunkPool::get().acquire();
+  EXPECT_EQ(C1, C2); // LIFO free list reuses the chunk.
+  ChunkPool::get().release(C2);
+}
+
+TEST(ChunkTest, LargeChunksAlignedAndSized) {
+  constexpr size_t Payload = 5 * Chunk::SizeBytes;
+  Chunk *C = ChunkPool::get().acquireLarge(Payload);
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(C->Large);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(C) % Chunk::SizeBytes, 0u);
+  void *P = C->tryAllocate(Payload);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(Chunk::chunkOf(P), C); // Header address maps back.
+  ChunkPool::get().releaseLarge(C);
+}
+
+TEST(ChunkTest, OutstandingBytesTracksLifetime) {
+  int64_t Before = ChunkPool::get().outstandingBytes();
+  Chunk *C = ChunkPool::get().acquire();
+  EXPECT_EQ(ChunkPool::get().outstandingBytes(),
+            Before + static_cast<int64_t>(Chunk::SizeBytes));
+  ChunkPool::get().release(C);
+  EXPECT_EQ(ChunkPool::get().outstandingBytes(), Before);
+}
+
+namespace {
+/// Builds a standalone object inside a raw buffer for header tests.
+struct FakeObject {
+  alignas(8) unsigned char Buf[sizeof(Object) + 8 * sizeof(Slot)];
+  Object *obj() { return reinterpret_cast<Object *>(Buf); }
+  FakeObject(ObjKind K, bool Mut, uint32_t Len, uint16_t Map) {
+    obj()->initHeader(Object::makeHeader(K, Mut, Len, Map));
+  }
+};
+} // namespace
+
+TEST(ObjectTest, HeaderRoundTrips) {
+  FakeObject F(ObjKind::Array, /*Mut=*/true, 7, 0);
+  Object *O = F.obj();
+  EXPECT_EQ(O->kind(), ObjKind::Array);
+  EXPECT_TRUE(O->isMutable());
+  EXPECT_FALSE(O->isPinned());
+  EXPECT_FALSE(O->isForwarded());
+  EXPECT_EQ(O->length(), 7u);
+  EXPECT_EQ(O->sizeBytes(), sizeof(Object) + 7 * sizeof(Slot));
+}
+
+TEST(ObjectTest, RecordPtrMap) {
+  FakeObject F(ObjKind::Record, /*Mut=*/false, 3, 0b101);
+  Object *O = F.obj();
+  EXPECT_TRUE(O->slotHoldsPointer(0));
+  EXPECT_FALSE(O->slotHoldsPointer(1));
+  EXPECT_TRUE(O->slotHoldsPointer(2));
+}
+
+TEST(ObjectTest, RawArrayHoldsNoPointers) {
+  FakeObject F(ObjKind::RawArray, /*Mut=*/true, 4, 0);
+  for (uint32_t I = 0; I < 4; ++I)
+    EXPECT_FALSE(F.obj()->slotHoldsPointer(I));
+}
+
+TEST(ObjectTest, PinUnpinLifecycle) {
+  FakeObject F(ObjKind::Ref, /*Mut=*/true, 1, 0);
+  Object *O = F.obj();
+  EXPECT_TRUE(O->pinMin(5));
+  EXPECT_TRUE(O->isPinned());
+  EXPECT_EQ(O->unpinDepth(), 5u);
+  // Re-pin deepens only downward (minimum wins).
+  EXPECT_FALSE(O->pinMin(7));
+  EXPECT_EQ(O->unpinDepth(), 5u);
+  EXPECT_FALSE(O->pinMin(2));
+  EXPECT_EQ(O->unpinDepth(), 2u);
+  O->unpin();
+  EXPECT_FALSE(O->isPinned());
+  EXPECT_EQ(O->unpinDepth(), 0u);
+}
+
+TEST(ObjectTest, PinPreservesOtherHeaderFields) {
+  FakeObject F(ObjKind::Record, /*Mut=*/true, 9, 0x1ff);
+  Object *O = F.obj();
+  O->pinMin(3);
+  EXPECT_EQ(O->kind(), ObjKind::Record);
+  EXPECT_EQ(O->length(), 9u);
+  EXPECT_EQ(O->ptrMap(), 0x1ff);
+  EXPECT_TRUE(O->isMutable());
+  O->unpin();
+  EXPECT_EQ(O->length(), 9u);
+}
+
+TEST(ObjectTest, ForwardingRoundTrips) {
+  FakeObject F(ObjKind::Array, true, 2, 0);
+  FakeObject G(ObjKind::Array, true, 2, 0);
+  F.obj()->forwardTo(G.obj());
+  EXPECT_TRUE(F.obj()->isForwarded());
+  EXPECT_EQ(F.obj()->forwardee(), G.obj());
+}
+
+TEST(ObjectTest, MarkBit) {
+  FakeObject F(ObjKind::Array, true, 2, 0);
+  EXPECT_FALSE(F.obj()->isMarked());
+  F.obj()->setMark();
+  EXPECT_TRUE(F.obj()->isMarked());
+  EXPECT_EQ(F.obj()->length(), 2u);
+  F.obj()->clearMark();
+  EXPECT_FALSE(F.obj()->isMarked());
+}
+
+TEST(ObjectTest, PointerTaggingDiscriminates) {
+  FakeObject F(ObjKind::Ref, true, 1, 0);
+  Slot P = Object::fromPointer(F.obj());
+  EXPECT_EQ(Object::asPointer(P), F.obj());
+  EXPECT_EQ(Object::asPointer(0), nullptr);            // null
+  EXPECT_EQ(Object::asPointer((42 << 1) | 1), nullptr); // tagged int
+  EXPECT_EQ(Object::asPointer(7), nullptr);             // misaligned
+}
+
+TEST(ObjectTest, SlotAccess) {
+  FakeObject F(ObjKind::Array, true, 8, 0);
+  Object *O = F.obj();
+  for (uint32_t I = 0; I < 8; ++I)
+    O->setSlot(I, I * 3);
+  for (uint32_t I = 0; I < 8; ++I)
+    EXPECT_EQ(O->getSlot(I), I * 3);
+  O->storeSlotRelease(2, 99);
+  EXPECT_EQ(O->loadSlotAcquire(2), 99u);
+}

@@ -1,0 +1,273 @@
+//===- tests/property_test.cpp - Model-checked GC property tests ----------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+// Randomized property testing of the heap/GC/entanglement core against a
+// shadow model. A random sequence of operations — allocations with random
+// (discipline-respecting, pin-accompanied) edges, root creation/removal,
+// heap forks, joins, and chain collections — runs simultaneously on the
+// real runtime substrate and on a plain-C++ model graph. After every
+// mutation batch, the reachable object graph must be isomorphic to the
+// model: same tags, same shape, same sharing. Pinned objects must never
+// move across a collection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Collector.h"
+#include "gc/ShadowStack.h"
+#include "hh/Heap.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+using namespace mpl;
+
+namespace {
+
+struct ModelNode {
+  int64_t Tag;
+  std::vector<ModelNode *> Children;
+};
+
+class PropertyHarness {
+public:
+  explicit PropertyHarness(uint64_t Seed) : R(Seed) {
+    HeapOf.push_back(HM.createRoot());
+    ParentOf.push_back(-1);
+    Alive.push_back(true);
+    LiveKids.push_back(0);
+    RootBase = nullptr;
+    Stack.pushRange(&RootBase, &NumRoots);
+  }
+
+  ~PropertyHarness() { Stack.popRange(&RootBase); }
+
+  void step() {
+    uint64_t Dice = R.nextBounded(100);
+    if (Dice < 45)
+      allocateObject();
+    else if (Dice < 60)
+      addRoot();
+    else if (Dice < 70)
+      dropRoot();
+    else if (Dice < 80)
+      forkHeap();
+    else if (Dice < 90)
+      joinHeap();
+    else
+      collect();
+  }
+
+  /// Full isomorphism check of every root against the model.
+  void validate() {
+    std::map<const Object *, const ModelNode *> Seen;
+    for (size_t I = 0; I < NumRoots; ++I)
+      checkIso(Object::asPointer(RootSlots[I]), ModelRoots[I], Seen);
+  }
+
+  int64_t collections() const { return NumCollections; }
+  int64_t allocations() const { return NextTag; }
+
+private:
+  //===-- Heap-tree management -------------------------------------------===
+
+  int randomAliveHeap() {
+    std::vector<int> Candidates;
+    for (size_t I = 0; I < Alive.size(); ++I)
+      if (Alive[I])
+        Candidates.push_back(static_cast<int>(I));
+    return Candidates[R.nextBounded(Candidates.size())];
+  }
+
+  int randomLeafHeap() {
+    std::vector<int> Candidates;
+    for (size_t I = 0; I < Alive.size(); ++I)
+      if (Alive[I] && LiveKids[I] == 0)
+        Candidates.push_back(static_cast<int>(I));
+    return Candidates[R.nextBounded(Candidates.size())];
+  }
+
+  void forkHeap() {
+    if (Alive.size() > 24)
+      return;
+    int P = randomAliveHeap();
+    Heap *H = HM.forkChild(HeapOf[static_cast<size_t>(P)]);
+    HeapOf.push_back(H);
+    ParentOf.push_back(P);
+    Alive.push_back(true);
+    LiveKids.push_back(0);
+    LiveKids[static_cast<size_t>(P)]++;
+    HeapOf[static_cast<size_t>(P)]->setActiveForks(
+        LiveKids[static_cast<size_t>(P)]);
+  }
+
+  void joinHeap() {
+    int C = randomLeafHeap();
+    if (C == 0)
+      return; // Root never joins.
+    int P = ParentOf[static_cast<size_t>(C)];
+    HM.join(HeapOf[static_cast<size_t>(P)], HeapOf[static_cast<size_t>(C)]);
+    Alive[static_cast<size_t>(C)] = false;
+    LiveKids[static_cast<size_t>(P)]--;
+    HeapOf[static_cast<size_t>(P)]->setActiveForks(
+        LiveKids[static_cast<size_t>(P)]);
+  }
+
+  void collect() {
+    int L = randomLeafHeap();
+    GC.collectChain(HeapOf[static_cast<size_t>(L)], Stack);
+    ++NumCollections;
+  }
+
+  //===-- Object management ----------------------------------------------===
+
+  /// Picks a random live object by walking a short random path from a
+  /// random root. Null when no roots exist.
+  std::pair<Object *, ModelNode *> randomLiveObject() {
+    if (NumRoots == 0)
+      return {nullptr, nullptr};
+    size_t I = R.nextBounded(NumRoots);
+    Object *O = Object::asPointer(RootSlots[I]);
+    ModelNode *M = ModelRoots[I];
+    for (int Hop = 0; Hop < 3 && O; ++Hop) {
+      if (M->Children.empty() || R.nextBounded(2) == 0)
+        break;
+      size_t K = R.nextBounded(M->Children.size());
+      O = Object::asPointer(O->getSlot(static_cast<uint32_t>(K) + 1));
+      M = M->Children[K];
+    }
+    return {O, M};
+  }
+
+  /// Allocates a node with a tag and up to 3 edges to existing objects,
+  /// pinning targets exactly as the write barrier would.
+  void allocateObject() {
+    uint32_t NumEdges = static_cast<uint32_t>(R.nextBounded(4));
+    // Collect targets BEFORE allocating (allocation cannot move anything
+    // here — no collection runs inside allocate — but keep the discipline
+    // obvious).
+    std::vector<std::pair<Object *, ModelNode *>> Targets;
+    for (uint32_t I = 0; I < NumEdges; ++I) {
+      auto T = randomLiveObject();
+      if (T.first)
+        Targets.push_back(T);
+    }
+    int HIdx = randomAliveHeap();
+    Heap *H = HeapOf[static_cast<size_t>(HIdx)];
+    Object *O = H->allocateObject(
+        ObjKind::Array, /*Mutable=*/true,
+        static_cast<uint32_t>(Targets.size()) + 1, 0);
+    auto Node = std::make_unique<ModelNode>();
+    Node->Tag = NextTag++;
+    O->setSlot(0, (static_cast<uint64_t>(Node->Tag) << 1) | 1);
+
+    for (size_t I = 0; I < Targets.size(); ++I) {
+      Object *P = Targets[I].first;
+      Heap *HP = Heap::of(P);
+      // The write-barrier discipline: pointers into non-ancestor heaps pin
+      // the target at the LCA depth (down-pointers: the holder's depth).
+      if (HP != H && !Heap::isAncestorOf(HP, H))
+        HP->addPinned(P, Heap::lcaDepth(H, HP));
+      O->setSlot(static_cast<uint32_t>(I) + 1, Object::fromPointer(P));
+      Node->Children.push_back(Targets[I].second);
+    }
+
+    // New objects become roots half the time (else they are reachable
+    // only if someone points at them — i.e. garbage here).
+    if (R.nextBounded(2) == 0 || NumRoots == 0)
+      addRootFor(O, Node.get());
+    ModelArena.push_back(std::move(Node));
+  }
+
+  void addRootFor(Object *O, ModelNode *M) {
+    RootSlots.push_back(Object::fromPointer(O));
+    ModelRoots.push_back(M);
+    RootBase = RootSlots.data();
+    NumRoots = RootSlots.size();
+  }
+
+  void addRoot() {
+    auto T = randomLiveObject();
+    if (T.first)
+      addRootFor(T.first, T.second);
+  }
+
+  void dropRoot() {
+    if (NumRoots <= 1)
+      return;
+    size_t I = R.nextBounded(NumRoots);
+    RootSlots.erase(RootSlots.begin() + static_cast<long>(I));
+    ModelRoots.erase(ModelRoots.begin() + static_cast<long>(I));
+    RootBase = RootSlots.data();
+    NumRoots = RootSlots.size();
+  }
+
+  //===-- Validation ------------------------------------------------------===
+
+  void checkIso(const Object *O, const ModelNode *M,
+                std::map<const Object *, const ModelNode *> &Seen) {
+    ASSERT_NE(O, nullptr);
+    auto It = Seen.find(O);
+    if (It != Seen.end()) {
+      // Sharing must agree with the model.
+      ASSERT_EQ(It->second, M) << "sharing mismatch at tag " << M->Tag;
+      return;
+    }
+    Seen.emplace(O, M);
+    ASSERT_FALSE(O->isForwarded()) << "dangling forwarded object";
+    ASSERT_EQ(O->kind(), ObjKind::Array);
+    ASSERT_EQ(O->length(), M->Children.size() + 1);
+    ASSERT_EQ(static_cast<int64_t>(O->getSlot(0)) >> 1, M->Tag);
+    for (size_t I = 0; I < M->Children.size(); ++I)
+      checkIso(Object::asPointer(O->getSlot(static_cast<uint32_t>(I) + 1)),
+               M->Children[I], Seen);
+  }
+
+  Rng R;
+  HeapManager HM;
+  Collector GC;
+  ShadowStack Stack;
+
+  std::vector<Heap *> HeapOf;
+  std::vector<int> ParentOf;
+  std::vector<bool> Alive;
+  std::vector<int> LiveKids;
+
+  std::vector<Slot> RootSlots;
+  std::vector<ModelNode *> ModelRoots;
+  Slot *RootBase = nullptr;
+  size_t NumRoots = 0;
+
+  std::vector<std::unique_ptr<ModelNode>> ModelArena;
+  int64_t NextTag = 0;
+  int64_t NumCollections = 0;
+};
+
+class GcPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(GcPropertyTest, ReachableGraphAlwaysIsomorphicToModel) {
+  PropertyHarness H(GetParam());
+  for (int Batch = 0; Batch < 40; ++Batch) {
+    for (int S = 0; S < 25; ++S)
+      H.step();
+    H.validate();
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  // The run must actually have exercised collection.
+  EXPECT_GT(H.collections(), 0);
+  EXPECT_GT(H.allocations(), 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89, 144, 233),
+                         [](const ::testing::TestParamInfo<uint64_t> &I) {
+                           return "seed" + std::to_string(I.param);
+                         });

@@ -1,0 +1,151 @@
+//===- tests/support_test.cpp - Unit tests for src/support ---------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cli.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+using namespace mpl;
+
+TEST(RandomTest, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 3);
+}
+
+TEST(RandomTest, BoundedStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBounded(17), 17u);
+}
+
+TEST(RandomTest, ForkIsScheduleIndependent) {
+  Rng Base(99);
+  // Forking the same index twice gives the same stream regardless of what
+  // happened to the parent in between.
+  Rng F1 = Base.fork(5);
+  Base.next();
+  Base.next();
+  Rng F2 = Rng(99).fork(5);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(F1.next(), F2.next());
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, Hash64Injective) {
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I < 10000; ++I)
+    Seen.insert(hash64(I));
+  EXPECT_EQ(Seen.size(), 10000u);
+}
+
+TEST(StatsTest, AddAndReport) {
+  static Stat S("test.counter");
+  S.set(0);
+  S.add(5);
+  S.inc();
+  EXPECT_EQ(S.get(), 6);
+  EXPECT_EQ(StatRegistry::get().valueOf("test.counter"), 6);
+  EXPECT_NE(StatRegistry::get().report().find("test.counter"),
+            std::string::npos);
+}
+
+TEST(StatsTest, NoteMaxKeepsMaximum) {
+  static Stat S("test.max");
+  S.set(0);
+  S.noteMax(10);
+  S.noteMax(3);
+  S.noteMax(12);
+  EXPECT_EQ(S.get(), 12);
+}
+
+TEST(StatsTest, ConcurrentAdds) {
+  static Stat S("test.concurrent");
+  S.set(0);
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([] {
+      for (int I = 0; I < 10000; ++I)
+        S.inc();
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(S.get(), 40000);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer T;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(T.elapsedNs(), 5'000'000);
+  EXPECT_LT(T.elapsedSec(), 5.0);
+}
+
+TEST(CliTest, ParsesFlagsAndPositional) {
+  // A bare flag followed by a non-flag token consumes it as a value, so
+  // positional arguments are listed first (documented in Cli.h).
+  const char *Argv[] = {"prog", "input.txt", "-n", "42", "-name=msort",
+                        "-verbose"};
+  Cli C(6, const_cast<char **>(Argv));
+  EXPECT_EQ(C.getInt("n", 0), 42);
+  EXPECT_EQ(C.getString("name", ""), "msort");
+  EXPECT_TRUE(C.getBool("verbose"));
+  EXPECT_FALSE(C.getBool("quiet"));
+  EXPECT_EQ(C.getInt("missing", 7), 7);
+  ASSERT_EQ(C.positional().size(), 1u);
+  EXPECT_EQ(C.positional()[0], "input.txt");
+}
+
+TEST(CliTest, DoubleFlags) {
+  const char *Argv[] = {"prog", "-factor", "2.5"};
+  Cli C(3, const_cast<char **>(Argv));
+  EXPECT_DOUBLE_EQ(C.getDouble("factor", 0.0), 2.5);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table T({"name", "time"});
+  T.addRow({"fib", "1.5s"});
+  T.addRow({"mergesort", "0.3s"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("mergesort"), std::string::npos);
+  // Column 2 aligned: both time cells start at the same offset.
+  size_t Line1 = Out.find("fib");
+  size_t Line2 = Out.find("mergesort");
+  EXPECT_NE(Line1, std::string::npos);
+  EXPECT_NE(Line2, std::string::npos);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::fmtRatio(2.0), "2.00x");
+  EXPECT_EQ(Table::fmtInt(42), "42");
+  EXPECT_EQ(Table::fmtBytes(512), "512B");
+  EXPECT_EQ(Table::fmtBytes(2048), "2.0K");
+  EXPECT_NE(Table::fmtSec(0.5).find("ms"), std::string::npos);
+  EXPECT_NE(Table::fmtSec(2.0).find("s"), std::string::npos);
+}
