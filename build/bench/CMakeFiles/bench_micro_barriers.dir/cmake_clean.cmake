@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_barriers.dir/bench_micro_barriers.cpp.o"
+  "CMakeFiles/bench_micro_barriers.dir/bench_micro_barriers.cpp.o.d"
+  "bench_micro_barriers"
+  "bench_micro_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

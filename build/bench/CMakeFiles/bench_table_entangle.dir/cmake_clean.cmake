@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_entangle.dir/bench_table_entangle.cpp.o"
+  "CMakeFiles/bench_table_entangle.dir/bench_table_entangle.cpp.o.d"
+  "bench_table_entangle"
+  "bench_table_entangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_entangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

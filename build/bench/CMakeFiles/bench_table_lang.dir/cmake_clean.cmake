@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_lang.dir/bench_table_lang.cpp.o"
+  "CMakeFiles/bench_table_lang.dir/bench_table_lang.cpp.o.d"
+  "bench_table_lang"
+  "bench_table_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

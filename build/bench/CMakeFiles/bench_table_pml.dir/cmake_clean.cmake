@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_pml.dir/bench_table_pml.cpp.o"
+  "CMakeFiles/bench_table_pml.dir/bench_table_pml.cpp.o.d"
+  "bench_table_pml"
+  "bench_table_pml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_pml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

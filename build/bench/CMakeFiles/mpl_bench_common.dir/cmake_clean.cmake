@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libmpl_bench_common.a"
+  "../lib/libmpl_bench_common.pdb"
+  "CMakeFiles/mpl_bench_common.dir/Common.cpp.o"
+  "CMakeFiles/mpl_bench_common.dir/Common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libmpl_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_hashtable.dir/dedup_hashtable.cpp.o"
+  "CMakeFiles/dedup_hashtable.dir/dedup_hashtable.cpp.o.d"
+  "dedup_hashtable"
+  "dedup_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

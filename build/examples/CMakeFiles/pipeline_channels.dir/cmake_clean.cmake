@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_channels.dir/pipeline_channels.cpp.o"
+  "CMakeFiles/pipeline_channels.dir/pipeline_channels.cpp.o.d"
+  "pipeline_channels"
+  "pipeline_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

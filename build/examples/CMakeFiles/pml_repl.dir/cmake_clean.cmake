@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pml_repl.dir/pml_repl.cpp.o"
+  "CMakeFiles/pml_repl.dir/pml_repl.cpp.o.d"
+  "pml_repl"
+  "pml_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pml_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

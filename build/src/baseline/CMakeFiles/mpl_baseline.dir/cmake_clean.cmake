@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_baseline.dir/Native.cpp.o"
+  "CMakeFiles/mpl_baseline.dir/Native.cpp.o.d"
+  "libmpl_baseline.a"
+  "libmpl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_core.dir/Em.cpp.o"
+  "CMakeFiles/mpl_core.dir/Em.cpp.o.d"
+  "CMakeFiles/mpl_core.dir/Runtime.cpp.o"
+  "CMakeFiles/mpl_core.dir/Runtime.cpp.o.d"
+  "libmpl_core.a"
+  "libmpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

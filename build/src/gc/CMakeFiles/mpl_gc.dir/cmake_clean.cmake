@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_gc.dir/Collector.cpp.o"
+  "CMakeFiles/mpl_gc.dir/Collector.cpp.o.d"
+  "libmpl_gc.a"
+  "libmpl_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

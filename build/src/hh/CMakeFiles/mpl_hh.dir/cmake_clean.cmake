@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_hh.dir/Heap.cpp.o"
+  "CMakeFiles/mpl_hh.dir/Heap.cpp.o.d"
+  "libmpl_hh.a"
+  "libmpl_hh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_hh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

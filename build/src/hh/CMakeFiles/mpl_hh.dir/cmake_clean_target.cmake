@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpl_hh.a"
+)

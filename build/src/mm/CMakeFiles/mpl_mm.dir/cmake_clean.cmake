@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_mm.dir/Chunk.cpp.o"
+  "CMakeFiles/mpl_mm.dir/Chunk.cpp.o.d"
+  "libmpl_mm.a"
+  "libmpl_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

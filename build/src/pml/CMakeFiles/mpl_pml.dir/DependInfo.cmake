@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pml/Compiler.cpp" "src/pml/CMakeFiles/mpl_pml.dir/Compiler.cpp.o" "gcc" "src/pml/CMakeFiles/mpl_pml.dir/Compiler.cpp.o.d"
+  "/root/repo/src/pml/Lexer.cpp" "src/pml/CMakeFiles/mpl_pml.dir/Lexer.cpp.o" "gcc" "src/pml/CMakeFiles/mpl_pml.dir/Lexer.cpp.o.d"
+  "/root/repo/src/pml/Parser.cpp" "src/pml/CMakeFiles/mpl_pml.dir/Parser.cpp.o" "gcc" "src/pml/CMakeFiles/mpl_pml.dir/Parser.cpp.o.d"
+  "/root/repo/src/pml/Types.cpp" "src/pml/CMakeFiles/mpl_pml.dir/Types.cpp.o" "gcc" "src/pml/CMakeFiles/mpl_pml.dir/Types.cpp.o.d"
+  "/root/repo/src/pml/Vm.cpp" "src/pml/CMakeFiles/mpl_pml.dir/Vm.cpp.o" "gcc" "src/pml/CMakeFiles/mpl_pml.dir/Vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/mpl_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hh/CMakeFiles/mpl_hh.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/mpl_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mpl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

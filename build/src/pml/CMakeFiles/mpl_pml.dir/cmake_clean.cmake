@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_pml.dir/Compiler.cpp.o"
+  "CMakeFiles/mpl_pml.dir/Compiler.cpp.o.d"
+  "CMakeFiles/mpl_pml.dir/Lexer.cpp.o"
+  "CMakeFiles/mpl_pml.dir/Lexer.cpp.o.d"
+  "CMakeFiles/mpl_pml.dir/Parser.cpp.o"
+  "CMakeFiles/mpl_pml.dir/Parser.cpp.o.d"
+  "CMakeFiles/mpl_pml.dir/Types.cpp.o"
+  "CMakeFiles/mpl_pml.dir/Types.cpp.o.d"
+  "CMakeFiles/mpl_pml.dir/Vm.cpp.o"
+  "CMakeFiles/mpl_pml.dir/Vm.cpp.o.d"
+  "libmpl_pml.a"
+  "libmpl_pml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_pml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

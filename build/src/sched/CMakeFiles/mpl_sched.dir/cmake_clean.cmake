@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_sched.dir/Scheduler.cpp.o"
+  "CMakeFiles/mpl_sched.dir/Scheduler.cpp.o.d"
+  "libmpl_sched.a"
+  "libmpl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_support.dir/Cli.cpp.o"
+  "CMakeFiles/mpl_support.dir/Cli.cpp.o.d"
+  "CMakeFiles/mpl_support.dir/Stats.cpp.o"
+  "CMakeFiles/mpl_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/mpl_support.dir/Table.cpp.o"
+  "CMakeFiles/mpl_support.dir/Table.cpp.o.d"
+  "libmpl_support.a"
+  "libmpl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_workloads.dir/Collections.cpp.o"
+  "CMakeFiles/mpl_workloads.dir/Collections.cpp.o.d"
+  "CMakeFiles/mpl_workloads.dir/Entangled.cpp.o"
+  "CMakeFiles/mpl_workloads.dir/Entangled.cpp.o.d"
+  "CMakeFiles/mpl_workloads.dir/Graph.cpp.o"
+  "CMakeFiles/mpl_workloads.dir/Graph.cpp.o.d"
+  "CMakeFiles/mpl_workloads.dir/Kernels.cpp.o"
+  "CMakeFiles/mpl_workloads.dir/Kernels.cpp.o.d"
+  "CMakeFiles/mpl_workloads.dir/Quickhull.cpp.o"
+  "CMakeFiles/mpl_workloads.dir/Quickhull.cpp.o.d"
+  "libmpl_workloads.a"
+  "libmpl_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

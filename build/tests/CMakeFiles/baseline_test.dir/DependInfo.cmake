@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/mpl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mpl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/mpl_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hh/CMakeFiles/mpl_hh.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/mpl_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mpl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_test.dir/hh_test.cpp.o"
+  "CMakeFiles/hh_test.dir/hh_test.cpp.o.d"
+  "hh_test"
+  "hh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

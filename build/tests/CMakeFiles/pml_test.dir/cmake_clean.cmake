@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pml_test.dir/pml_test.cpp.o"
+  "CMakeFiles/pml_test.dir/pml_test.cpp.o.d"
+  "pml_test"
+  "pml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

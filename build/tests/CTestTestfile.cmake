@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[support_test]=] "/root/repo/build/tests/support_test")
+set_tests_properties([=[support_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[sched_test]=] "/root/repo/build/tests/sched_test")
+set_tests_properties([=[sched_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[mm_test]=] "/root/repo/build/tests/mm_test")
+set_tests_properties([=[mm_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[hh_test]=] "/root/repo/build/tests/hh_test")
+set_tests_properties([=[hh_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[gc_test]=] "/root/repo/build/tests/gc_test")
+set_tests_properties([=[gc_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[core_test]=] "/root/repo/build/tests/core_test")
+set_tests_properties([=[core_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[workloads_test]=] "/root/repo/build/tests/workloads_test")
+set_tests_properties([=[workloads_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[ops_test]=] "/root/repo/build/tests/ops_test")
+set_tests_properties([=[ops_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[baseline_test]=] "/root/repo/build/tests/baseline_test")
+set_tests_properties([=[baseline_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[pml_test]=] "/root/repo/build/tests/pml_test")
+set_tests_properties([=[pml_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[em_test]=] "/root/repo/build/tests/em_test")
+set_tests_properties([=[em_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[property_test]=] "/root/repo/build/tests/property_test")
+set_tests_properties([=[property_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[stress_test]=] "/root/repo/build/tests/stress_test")
+set_tests_properties([=[stress_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[samples_test]=] "/root/repo/build/tests/samples_test")
+set_tests_properties([=[samples_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;mpl_add_test;/root/repo/tests/CMakeLists.txt;0;")
