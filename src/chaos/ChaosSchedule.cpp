@@ -1,0 +1,187 @@
+//===- chaos/ChaosSchedule.cpp - Seeded schedule fuzzing ------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/ChaosSchedule.h"
+
+#include "support/Assert.h"
+#include "support/Random.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace mpl;
+using namespace mpl::chaos;
+
+namespace {
+
+Config ActiveConfig;
+
+/// Bumped by every enable(); per-thread streams reseed when they see a new
+/// epoch, so decision streams are a pure function of (seed, thread index).
+std::atomic<uint64_t> Epoch{0};
+
+/// Dense thread indices in arrival order. With a fixed worker count the
+/// scheduler's threads enumerate identically across runs, so the index — and
+/// with it the whole per-thread decision stream — replays from the seed.
+std::atomic<uint32_t> NextThreadIndex{0};
+
+std::atomic<int64_t> TotalPreemptions{0};
+std::atomic<int64_t> TotalForcedVictims{0};
+std::atomic<int64_t> TotalForcedGcs{0};
+std::atomic<int64_t> TotalFaultsInjected{0};
+
+/// Global fault-opportunity counter (fires on every FaultEveryN-th).
+std::atomic<uint64_t> FaultOpportunities{0};
+
+/// Per-thread decision streams, one per Point plus one for victim choice
+/// and one for GC forcing, all derived from (seed, thread index).
+struct ThreadStreams {
+  uint64_t SeenEpoch = ~0ull;
+  uint32_t Index = 0;
+  Rng PointRng[static_cast<size_t>(Point::NumPoints)];
+  Rng VictimRng;
+  Rng GcRng;
+
+  void reseed(uint64_t E, uint64_t Seed) {
+    SeenEpoch = E;
+    uint64_t Base = hash64(Seed ^ hash64(Index));
+    for (size_t I = 0; I < static_cast<size_t>(Point::NumPoints); ++I)
+      PointRng[I] = Rng(hash64(Base + I));
+    VictimRng = Rng(hash64(Base ^ 0x51c71ull));
+    GcRng = Rng(hash64(Base ^ 0x6cull));
+  }
+};
+
+ThreadStreams &streams() {
+  // A pointer keeps the TLS segment small (the struct itself would blow
+  // the static-library TPOFF32 relocation range). One leak per thread,
+  // ~100 bytes, threads are few and long-lived.
+  thread_local ThreadStreams *TS = nullptr;
+  if (!TS) {
+    TS = new ThreadStreams();
+    TS->Index = NextThreadIndex.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t E = Epoch.load(std::memory_order_acquire);
+  if (TS->SeenEpoch != E)
+    TS->reseed(E, ActiveConfig.Seed);
+  return *TS;
+}
+
+} // namespace
+
+namespace mpl {
+namespace chaos {
+namespace detail {
+
+std::atomic<uint32_t> ActiveFlag{0};
+
+void preemptPointSlow(Point P) {
+  ThreadStreams &TS = streams();
+  Rng &R = TS.PointRng[static_cast<size_t>(P)];
+  if (R.nextBounded(1000) >= ActiveConfig.PreemptPermille)
+    return;
+  TotalPreemptions.fetch_add(1, std::memory_order_relaxed);
+  // Mostly plain yields; occasionally a real delay, long enough to push a
+  // racing thread through the window this point guards.
+  if (R.nextBounded(8) == 0)
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(1 + R.nextBounded(50)));
+  else
+    std::this_thread::yield();
+}
+
+int pickVictimSlow(int Self, int NumWorkers) {
+  if (!ActiveConfig.ForceVictim || NumWorkers <= 1)
+    return -1;
+  ThreadStreams &TS = streams();
+  // Draw over the other workers so the choice is always valid.
+  int V = static_cast<int>(
+      TS.VictimRng.nextBounded(static_cast<uint64_t>(NumWorkers - 1)));
+  if (V >= Self)
+    ++V;
+  TotalForcedVictims.fetch_add(1, std::memory_order_relaxed);
+  return V;
+}
+
+uint32_t delayedJoinSpinsSlow() { return ActiveConfig.DelayedJoinSpins; }
+
+bool forceGcNowSlow() {
+  if (ActiveConfig.GcAtAllocPermille == 0)
+    return false;
+  ThreadStreams &TS = streams();
+  if (TS.GcRng.nextBounded(1000) >= ActiveConfig.GcAtAllocPermille)
+    return false;
+  TotalForcedGcs.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool stealStormSlow() { return ActiveConfig.StealStorm; }
+
+bool faultFiresSlow(Fault F) {
+  if (ActiveConfig.InjectFault != F)
+    return false;
+  uint64_t N = FaultOpportunities.fetch_add(1, std::memory_order_relaxed);
+  uint32_t Every = ActiveConfig.FaultEveryN ? ActiveConfig.FaultEveryN : 1;
+  if ((N + 1) % Every != 0)
+    return false;
+  TotalFaultsInjected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+} // namespace detail
+
+Config Config::fromSeed(uint64_t Seed) {
+  // Everything about the run — perturbation mix and worker count — is a
+  // pure function of the seed, so printing the seed is a full repro.
+  Rng R(hash64(Seed ^ 0xc4a05ull));
+  Config C;
+  C.Seed = Seed;
+  static constexpr uint32_t PreemptChoices[] = {0, 5, 25, 120};
+  static constexpr uint32_t JoinSpinChoices[] = {0, 1, 8, 64};
+  static constexpr uint32_t GcChoices[] = {0, 2, 20, 200};
+  C.PreemptPermille = PreemptChoices[R.nextBounded(4)];
+  C.DelayedJoinSpins = JoinSpinChoices[R.nextBounded(4)];
+  C.GcAtAllocPermille = GcChoices[R.nextBounded(4)];
+  C.ForceVictim = R.nextBounded(2) == 0;
+  C.StealStorm = R.nextBounded(4) == 0;
+  // Never derive faults from a seed: faults are armed explicitly by tests.
+  C.InjectFault = Fault::None;
+  return C;
+}
+
+int Config::suggestedWorkers() const {
+  return 1 + static_cast<int>(hash64(Seed ^ 0x90bbull) % 4);
+}
+
+void enable(const Config &C) {
+  MPL_CHECK(!active(), "chaos::enable while already active");
+  ActiveConfig = C;
+  TotalPreemptions.store(0, std::memory_order_relaxed);
+  TotalForcedVictims.store(0, std::memory_order_relaxed);
+  TotalForcedGcs.store(0, std::memory_order_relaxed);
+  TotalFaultsInjected.store(0, std::memory_order_relaxed);
+  FaultOpportunities.store(0, std::memory_order_relaxed);
+  Epoch.fetch_add(1, std::memory_order_acq_rel);
+  detail::ActiveFlag.store(1, std::memory_order_release);
+}
+
+void disable() {
+  detail::ActiveFlag.store(0, std::memory_order_release);
+}
+
+const Config &config() { return ActiveConfig; }
+
+Totals totals() {
+  Totals T;
+  T.Preemptions = TotalPreemptions.load(std::memory_order_relaxed);
+  T.ForcedVictims = TotalForcedVictims.load(std::memory_order_relaxed);
+  T.ForcedGcs = TotalForcedGcs.load(std::memory_order_relaxed);
+  T.FaultsInjected = TotalFaultsInjected.load(std::memory_order_relaxed);
+  return T;
+}
+
+} // namespace chaos
+} // namespace mpl

@@ -1,0 +1,182 @@
+//===- chaos/ChaosSchedule.h - Seeded schedule fuzzing ---------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic schedule fuzzing for the entanglement runtime. The bugs
+/// this runtime can have live in rare interleavings — a remote pin racing a
+/// local collection, a join lowering an unpin depth while a barrier reads
+/// the heap, a steal landing mid-merge. Wall-clock stress alone reaches
+/// those windows by accident; this layer reaches them on purpose.
+///
+/// The scheduler, the barriers, the join rule and the collection policy
+/// each expose *decision points* that consult this layer when it is active:
+///
+///  - Scheduler::tryStealAndRun asks pickVictim() — victim choices come
+///    from the seed instead of the per-worker steal RNG;
+///  - Scheduler::forkImpl / the join-wait loop / the steal loop call
+///    preemptPoint() — the seed decides where extra yields and delays are
+///    injected (delayed joins, steal storms);
+///  - Runtime::maybeCollect asks forceGcNow() — the seed can force a
+///    collection at any allocation poll, up to GC-at-every-allocation;
+///  - the write barrier, read barrier, join merge, and collector entry are
+///    preemption points too, so the windows *between* lock acquisitions
+///    get stretched.
+///
+/// Every decision is drawn from a per-thread SplitMix64 stream derived from
+/// (seed, thread index, decision counter) — no std::random_device, no
+/// wall-clock. Re-running with the same seed and worker count replays the
+/// same decision stream; with one worker the entire interleaving is exactly
+/// reproducible, which is what the targeted fault-injection tests rely on.
+///
+/// Fault injection (test-only): Fault::SkipPin makes the write barrier
+/// deliberately skip a pin, Fault::SkipUnpin makes a join deliberately skip
+/// a release. These exist so the fuzz suite can prove it would catch a real
+/// barrier regression — a clean tree never takes these paths, and they are
+/// compiled in (not ifdef'd) so the fuzz binary exercises exactly the
+/// production barrier code around them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_CHAOS_CHAOSSCHEDULE_H
+#define MPL_CHAOS_CHAOSSCHEDULE_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace mpl {
+namespace chaos {
+
+/// Where a decision is being made. Each point has its own per-thread
+/// decision stream so adding a hook never perturbs unrelated decisions.
+enum class Point : uint8_t {
+  Fork,         ///< Scheduler::forkImpl, after the child is stealable.
+  JoinWait,     ///< Parent helping/waiting for a stolen child.
+  StealLoop,    ///< Idle worker between steal attempts.
+  WriteBarrier, ///< em::writeBarrierSlow entry (before the pin).
+  ReadBarrier,  ///< em::readBarrierSlow entry (before the deepen).
+  JoinMerge,    ///< HeapManager::join entry (before taking pin locks).
+  GcStart,      ///< Collector::collectChain entry (before taking locks).
+  NumPoints
+};
+
+/// Deliberate bugs the fuzz suite must catch (see file comment).
+enum class Fault : uint8_t {
+  None,
+  SkipPin,   ///< Write barrier skips addPinned for one victim object.
+  SkipUnpin, ///< Join keeps an object pinned past its unpin depth.
+};
+
+/// One seed fully describes a perturbation mix. Either fill the fields by
+/// hand (targeted tests) or derive them all from the seed (fuzz corpus).
+struct Config {
+  uint64_t Seed = 1;
+
+  /// Per-point probability (permille) of injecting a yield/short delay.
+  uint32_t PreemptPermille = 0;
+
+  /// Extra yields injected each time the join-wait loop polls Done.
+  uint32_t DelayedJoinSpins = 0;
+
+  /// Steal victims come from the seed stream instead of the worker RNG.
+  bool ForceVictim = false;
+
+  /// Idle workers retry stealing without yielding (steal storm).
+  bool StealStorm = false;
+
+  /// Probability (permille) that an allocation poll forces a collection;
+  /// 1000 means GC at every allocation.
+  uint32_t GcAtAllocPermille = 0;
+
+  /// Test-only fault injection; fires on every FaultEveryN-th opportunity.
+  Fault InjectFault = Fault::None;
+  uint32_t FaultEveryN = 1;
+
+  /// Derives a full perturbation mix from the seed alone, so a single
+  /// printed uint64 reproduces a corpus run.
+  static Config fromSeed(uint64_t Seed);
+
+  /// Worker count a corpus run should use for this seed (1..4).
+  int suggestedWorkers() const;
+};
+
+/// Decision/injection totals, for logging and for asserting that a
+/// perturbation actually exercised its target.
+struct Totals {
+  int64_t Preemptions = 0;
+  int64_t ForcedVictims = 0;
+  int64_t ForcedGcs = 0;
+  int64_t FaultsInjected = 0;
+};
+
+namespace detail {
+extern std::atomic<uint32_t> ActiveFlag;
+void preemptPointSlow(Point P);
+int pickVictimSlow(int Self, int NumWorkers);
+uint32_t delayedJoinSpinsSlow();
+bool forceGcNowSlow();
+bool stealStormSlow();
+bool faultFiresSlow(Fault F);
+} // namespace detail
+
+/// Arms the layer with \p C. Not reentrant: one chaos session at a time.
+/// Resets per-thread decision streams and the injection totals.
+void enable(const Config &C);
+
+/// Disarms every hook (they return to zero-cost no-ops).
+void disable();
+
+/// The active configuration (valid only while active()).
+const Config &config();
+
+/// Decision/injection totals since the last enable().
+Totals totals();
+
+/// Fast-path check compiled into every hook site.
+inline bool active() {
+  return detail::ActiveFlag.load(std::memory_order_acquire) != 0;
+}
+
+/// Maybe injects a yield or a short delay at \p P.
+inline void preemptPoint(Point P) {
+  if (active())
+    detail::preemptPointSlow(P);
+}
+
+/// Steal-victim choice for worker \p Self of \p NumWorkers. Returns -1 when
+/// the scheduler should use its own RNG (layer inactive or not forcing).
+inline int pickVictim(int Self, int NumWorkers) {
+  if (!active())
+    return -1;
+  return detail::pickVictimSlow(Self, NumWorkers);
+}
+
+/// Number of extra yields the join-wait loop should insert this poll.
+inline uint32_t delayedJoinSpins() {
+  if (!active())
+    return 0;
+  return detail::delayedJoinSpinsSlow();
+}
+
+/// True when the collection policy must collect at this allocation poll.
+inline bool forceGcNow() {
+  return active() && detail::forceGcNowSlow();
+}
+
+/// True when idle workers should retry stealing without yielding.
+inline bool stealStorm() {
+  return active() && detail::stealStormSlow();
+}
+
+/// True when the \p F fault is armed and fires at this opportunity.
+/// Clean-tree behaviour: always false.
+inline bool faultFires(Fault F) {
+  return active() && detail::faultFiresSlow(F);
+}
+
+} // namespace chaos
+} // namespace mpl
+
+#endif // MPL_CHAOS_CHAOSSCHEDULE_H

@@ -6,6 +6,7 @@
 
 #include "core/Em.h"
 
+#include "chaos/ChaosSchedule.h"
 #include "support/Assert.h"
 #include "support/Stats.h"
 
@@ -17,7 +18,6 @@ namespace mpl {
 namespace em {
 
 std::atomic<Mode> CurrentMode{Mode::Manage};
-Counters Counts;
 
 namespace {
 Stat StatEntangledReads("em.reads.entangled");
@@ -31,6 +31,9 @@ Stat StatPinnedBytes("em.pinned.bytes");
 void setMode(Mode M) { CurrentMode.store(M, std::memory_order_relaxed); }
 
 void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
+  // Schedule fuzzing: stretch the window between the depth comparison and
+  // the pin, where a concurrent join could re-home P's chunk.
+  chaos::preemptPoint(chaos::Point::WriteBarrier);
   Heap *HP = Heap::of(P);
   uint32_t PinDepth = UINT32_MAX;
 
@@ -68,7 +71,10 @@ void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
     // case) but has no mechanism for cross-pointers.
     MPL_CHECK(false, "entanglement created by write (Detect mode)");
   }
+  if (chaos::faultFires(chaos::Fault::SkipPin))
+    return; // Test-only injected bug: publish without pinning.
   if (HP->addPinned(P, PinDepth)) {
+    Counts.PinnedObjects.fetch_add(1, std::memory_order_relaxed);
     Counts.PinnedBytes.fetch_add(static_cast<int64_t>(P->sizeBytes()),
                                  std::memory_order_relaxed);
     StatPinnedObjects.inc();
@@ -77,6 +83,9 @@ void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
 }
 
 void readBarrierSlow(Heap *Reader, Object *P, Heap *HP) {
+  // Schedule fuzzing: hold the reader between detection and the deepen so
+  // joins/collections can race the pin adjustment.
+  chaos::preemptPoint(chaos::Point::ReadBarrier);
   Counts.EntangledReads.fetch_add(1, std::memory_order_relaxed);
   StatEntangledReads.inc();
   MPL_CHECK(mode() != Mode::Detect,
@@ -86,10 +95,16 @@ void readBarrierSlow(Heap *Reader, Object *P, Heap *HP) {
   // write that made it visible pinned it). Deepen the pin to the LCA of
   // the reader and the object's heap in case the reader escapes higher
   // than the writer anticipated.
+  if (!P->isPinned())
+    // Pin-before-publish violated: a write barrier lost this object's pin.
+    // Count it (the fuzz suite asserts zero) and fall through to the
+    // defensive re-pin below so the mutator can still make progress.
+    Counts.EntangledReadsUnpinned.fetch_add(1, std::memory_order_relaxed);
   uint32_t Lca = Heap::lcaDepth(Reader, HP);
   if (P->isPinned() && P->unpinDepth() <= Lca)
     return;
   if (HP->addPinned(P, Lca)) {
+    Counts.PinnedObjects.fetch_add(1, std::memory_order_relaxed);
     Counts.PinnedBytes.fetch_add(static_cast<int64_t>(P->sizeBytes()),
                                  std::memory_order_relaxed);
     StatPinnedObjects.inc();

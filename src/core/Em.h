@@ -36,9 +36,12 @@
 
 #include "hh/Heap.h"
 #include "mm/Object.h"
+#include "support/EmCounters.h"
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace mpl {
 namespace em {
@@ -56,15 +59,41 @@ extern std::atomic<Mode> CurrentMode;
 inline Mode mode() { return CurrentMode.load(std::memory_order_relaxed); }
 void setMode(Mode M);
 
-/// Counters exposed for tests/benches (see also support/Stats registry).
-struct Counters {
-  std::atomic<int64_t> EntangledReads{0};
-  std::atomic<int64_t> DownPointerPins{0};
-  std::atomic<int64_t> CrossPointerPins{0};
-  std::atomic<int64_t> PinnedHolderPins{0};
-  std::atomic<int64_t> PinnedBytes{0};
+// Counters / CounterSnapshot (and the global `Counts`) live in
+// support/EmCounters.h so the join rule in hh/ can account unpins into the
+// same structure the barriers pin into.
+
+/// One invariant-checker run: empty Violations means every cross-checked
+/// runtime invariant held.
+struct InvariantReport {
+  std::vector<std::string> Violations;
+  bool ok() const { return Violations.empty(); }
+  /// All violations joined into one printable block.
+  std::string str() const;
 };
-extern Counters Counts;
+
+/// Cross-checks the runtime's entanglement and heap invariants:
+///  - every live pinned object's unpin depth is <= the depth of the heap
+///    holding it (a pin survives exactly until its join);
+///  - the PinnedBytes/UnpinnedBytes counters balance the live pinned sets
+///    byte for byte;
+///  - dead (joined) heaps own no chunks and no pinned entries;
+///  - ActiveForks values are sane and chunk ownership is consistent;
+///  - counters are monotone (pins >= unpins, nothing negative).
+///
+/// With \p ExpectFullyJoined, additionally requires that no live pin
+/// remains anywhere — true exactly when the task tree has joined back to
+/// the root (every unpin depth has been reached), e.g. between top-level
+/// phases. This is what catches a join that "forgets" to release.
+///
+/// Takes each heap's PinLock one at a time; call it at quiescent points
+/// (between top-level phases, after joins) — not from inside a barrier.
+InvariantReport verifyInvariants(HeapManager &HM,
+                                 bool ExpectFullyJoined = false);
+
+/// Convenience overload for the current Runtime's heaps (aborts outside a
+/// Runtime). Declared here, implemented in Verify.cpp.
+InvariantReport verifyInvariants(bool ExpectFullyJoined = false);
 
 /// Slow path of the write barrier; see writeBarrier.
 void writeBarrierSlow(Object *X, Heap *HX, Object *P);

@@ -6,6 +6,7 @@
 
 #include "core/Runtime.h"
 
+#include "chaos/ChaosSchedule.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -62,6 +63,10 @@ bool Runtime::maybeCollect(bool Force) {
   WorkerCtx *C = ctx();
   if (!C->CurrentHeap)
     return false;
+  // Schedule fuzzing: the seed can force a collection at any poll, up to
+  // GC-at-every-allocation.
+  if (chaos::forceGcNow())
+    Force = true;
   int64_t Budget =
       std::max(Cfg.GcMinBytes,
                static_cast<int64_t>(Cfg.GcFactor *

@@ -6,6 +6,7 @@
 
 #include "gc/Collector.h"
 
+#include "chaos/ChaosSchedule.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 
@@ -106,6 +107,10 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
   Timer Pause;
   ChainState CS;
 
+  // Schedule fuzzing: stretch the window between the collection being
+  // decided and the chain locks being taken — remote pins may land here.
+  chaos::preemptPoint(chaos::Point::GcStart);
+
   // Discover the private chain: leaf upward while heaps are unshared.
   for (Heap *H = Leaf; H && H->activeForks() == 0; H = H->parent())
     CS.Chain.push_back(H);
@@ -129,8 +134,17 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
   // Phase A: pinned closures stay in place.
   markInPlaceClosure(CS);
 
-  // Phase B: evacuate everything reachable from the mutator roots.
-  Roots.forEachRoot([&](Slot *S) { *S = traceSlot(CS, *S); });
+  // Phase B: evacuate everything reachable from the mutator roots. Slots
+  // whose target did not move (out-of-chain, marked, or pinned objects)
+  // must not be stored back: unchanged slots are exactly the ones a
+  // concurrent task may be reading (shared ancestor roots, pinned
+  // survivors), and a same-value blind store is still a data race.
+  Roots.forEachRoot([&](Slot *S) {
+    Slot V = *S;
+    Slot NV = traceSlot(CS, V);
+    if (NV != V)
+      *S = NV;
+  });
   while (!CS.ScanQueue.empty()) {
     Object *O = CS.ScanQueue.back();
     CS.ScanQueue.pop_back();
@@ -138,8 +152,12 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
       continue;
     uint32_t Len = O->length();
     for (uint32_t I = 0; I < Len; ++I)
-      if (O->slotHoldsPointer(I))
-        O->setSlot(I, traceSlot(CS, O->getSlot(I)));
+      if (O->slotHoldsPointer(I)) {
+        Slot V = O->getSlot(I);
+        Slot NV = traceSlot(CS, V);
+        if (NV != V)
+          O->setSlot(I, NV);
+      }
   }
 
   // Phase C: reclaim from-space chunks with no in-place survivors; retire

@@ -6,7 +6,9 @@
 
 #include "hh/Heap.h"
 
+#include "chaos/ChaosSchedule.h"
 #include "support/Assert.h"
+#include "support/EmCounters.h"
 #include "support/Stats.h"
 
 using namespace mpl;
@@ -144,6 +146,11 @@ int64_t HeapManager::join(Heap *Parent, Heap *Child) {
   MPL_CHECK(Child->activeForks() == 0, "joining a heap with live forks");
   JoinsPerformed.inc();
 
+  // Schedule fuzzing: stretch the window between a join being decided and
+  // the pin locks being taken — barriers may still be resolving Heap::of
+  // against the child.
+  chaos::preemptPoint(chaos::Point::JoinMerge);
+
   // Lock order: shallower heap first (matches the local collector).
   std::scoped_lock G(Parent->PinLock, Child->PinLock);
 
@@ -185,11 +192,17 @@ int64_t HeapManager::join(Heap *Parent, Heap *Child) {
   for (Object *O : Child->Pinned) {
     if (!O->isPinned())
       continue; // Already unpinned by an earlier join (duplicate entry).
-    if (O->unpinDepth() >= Parent->Depth) {
+    if (O->unpinDepth() >= Parent->Depth &&
+        !chaos::faultFires(chaos::Fault::SkipUnpin)) {
       BytesUnpinned.add(static_cast<int64_t>(O->sizeBytes()));
+      em::Counts.UnpinnedObjects.fetch_add(1, std::memory_order_relaxed);
+      em::Counts.UnpinnedBytes.fetch_add(static_cast<int64_t>(O->sizeBytes()),
+                                         std::memory_order_relaxed);
       O->unpin();
       ++Unpinned;
     } else {
+      // Entanglement still (possibly) live at the parent's depth — or a
+      // test-only SkipUnpin fault leaking the release on purpose.
       Parent->Pinned.push_back(O);
     }
   }
@@ -203,4 +216,9 @@ int64_t HeapManager::join(Heap *Parent, Heap *Child) {
 size_t HeapManager::heapCount() const {
   std::lock_guard<std::mutex> G(Lock);
   return AllHeaps.size();
+}
+
+std::vector<Heap *> HeapManager::snapshotHeaps() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return AllHeaps;
 }

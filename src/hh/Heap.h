@@ -144,6 +144,11 @@ public:
   /// Number of heaps ever created (stats).
   size_t heapCount() const;
 
+  /// Every heap ever created (live and dead), copied under the manager
+  /// lock. Heaps are never freed before the manager, so the pointers stay
+  /// valid; used by the invariant checker (em::verifyInvariants).
+  std::vector<Heap *> snapshotHeaps() const;
+
 private:
   mutable std::mutex Lock;
   std::vector<Heap *> AllHeaps;

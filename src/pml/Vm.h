@@ -83,7 +83,21 @@ private:
   std::shared_ptr<TrapState> Trap;
 
   static constexpr size_t StackCap = 1 << 16;
+  // The guest call-depth guard must trip before the *native* stack runs
+  // out (execFunction recurses for guest calls). ASan redzones inflate
+  // each native frame by roughly an order of magnitude, so the guard has
+  // to be proportionally lower there.
+#if defined(__SANITIZE_ADDRESS__)
+  static constexpr int MaxCallDepth = 3000;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  static constexpr int MaxCallDepth = 3000;
+#else
   static constexpr int MaxCallDepth = 8000;
+#endif
+#else
+  static constexpr int MaxCallDepth = 8000;
+#endif
 
   std::unique_ptr<Slot[]> Stack;
   Slot *StackBase = nullptr;

@@ -38,8 +38,10 @@ public:
     int64_t T = Top.load(std::memory_order_acquire);
     MPL_CHECK(B - T < Capacity, "work-stealing deque overflow");
     Buffer[B & Mask].store(J, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_release);
-    Bottom.store(B + 1, std::memory_order_relaxed);
+    // Release store (not fence + relaxed, as in the x86-tuned original):
+    // publishing Bottom must carry the job body the owner just wrote, and
+    // the release store is the form of that edge ThreadSanitizer models.
+    Bottom.store(B + 1, std::memory_order_release);
   }
 
   /// Owner-only: pops the most recently pushed job, or returns null when the

@@ -6,6 +6,7 @@
 
 #include "sched/Scheduler.h"
 
+#include "chaos/ChaosSchedule.h"
 #include "support/Assert.h"
 #include "support/Stats.h"
 
@@ -118,6 +119,8 @@ void Scheduler::forkImpl(Thunk A, void *EnvA, Job &JB) {
   W->SpanAccNs = 0;
 
   W->Dq.push(&JB);
+  // Schedule fuzzing: widen the window in which JB is stealable.
+  chaos::preemptPoint(chaos::Point::Fork);
 
   // Run branch A inline (work-first).
   strandResume(W);
@@ -136,6 +139,11 @@ void Scheduler::forkImpl(Thunk A, void *EnvA, Job &JB) {
               "fork2join: unbalanced deque (nested job leaked)");
     // Stolen: help until the thief finishes.
     while (!JB.Done.load(std::memory_order_acquire)) {
+      // Schedule fuzzing: delayed joins hold the parent here so the thief
+      // (and its heap) outlive the window the join rule expects.
+      for (uint32_t S = chaos::delayedJoinSpins(); S > 0; --S)
+        std::this_thread::yield();
+      chaos::preemptPoint(chaos::Point::JoinWait);
       if (!tryStealAndRun(W))
         std::this_thread::yield();
     }
@@ -152,8 +160,11 @@ bool Scheduler::tryStealAndRun(Worker *W) {
     return false;
   // A few random probes; returning false lets the caller back off.
   for (int Attempt = 0; Attempt < 2 * N; ++Attempt) {
-    int Victim =
-        static_cast<int>(W->StealRng.nextBounded(static_cast<uint64_t>(N)));
+    // Schedule fuzzing: victim choices come from the seed when forced.
+    int Victim = chaos::pickVictim(W->Id, N);
+    if (Victim < 0)
+      Victim =
+          static_cast<int>(W->StealRng.nextBounded(static_cast<uint64_t>(N)));
     if (Victim == W->Id)
       continue;
     Worker *V = Workers[Victim];
@@ -174,7 +185,8 @@ void Scheduler::stealLoop(Worker *W) {
       std::this_thread::yield();
       continue;
     }
-    if (!tryStealAndRun(W))
+    chaos::preemptPoint(chaos::Point::StealLoop);
+    if (!tryStealAndRun(W) && !chaos::stealStorm())
       std::this_thread::yield();
   }
 }

@@ -1,0 +1,15 @@
+//===- support/EmCounters.cpp - Entanglement cost counters ----------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EmCounters.h"
+
+namespace mpl {
+namespace em {
+
+Counters Counts;
+
+} // namespace em
+} // namespace mpl

@@ -19,6 +19,7 @@
 #include "core/Ops.h"
 #include "core/Runtime.h"
 #include "support/Stats.h"
+#include "workloads/Kernels.h"
 
 #include <gtest/gtest.h>
 
@@ -345,7 +346,7 @@ TEST(EmSemantics, DeepTreePinsReleaseLevelByLevel) {
 }
 
 TEST(EmSemantics, PinnedBytesBalanceUnpinnedBytes) {
-  StatRegistry::get().resetAll();
+  em::Counts.reset();
   rt::Runtime R(cfg1());
   R.run([&] {
     Local Shared(newArray(64, boxInt(0)));
@@ -359,9 +360,194 @@ TEST(EmSemantics, PinnedBytesBalanceUnpinnedBytes) {
         },
         [&] { return unit(); });
   });
-  EXPECT_GT(stat("em.pinned.bytes"), 0);
-  EXPECT_EQ(stat("em.pinned.bytes"), stat("em.unpins.bytes"))
+  em::CounterSnapshot S = em::Counts.snapshot();
+  EXPECT_GT(S.PinnedBytes, 0);
+  EXPECT_EQ(S.PinnedBytes, S.UnpinnedBytes)
       << "every pinned byte must be released by a join";
+  EXPECT_EQ(S.livePinnedObjects(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Join-time unpin at every depth
+//===----------------------------------------------------------------------===//
+
+namespace {
+class JoinUnpinAtDepth : public ::testing::TestWithParam<int> {};
+
+/// Forks a nest \p Depth levels deep; the innermost branch publishes one
+/// box per level it passed through into the depth-0 \p Board, so a single
+/// run creates pins with unpin depth 0 held across 1..Depth joins.
+Slot publishChain(Object *Board, int Level, int Depth) {
+  Local LB(Board);
+  Local Box(newRef(boxInt(Level)));
+  arrSet(LB.get(), static_cast<uint32_t>(Level), Box.slot());
+  EXPECT_EQ(Box.get()->unpinDepth(), 0u) << "level " << Level;
+  if (Level + 1 < Depth)
+    rt::par([&] { return publishChain(LB.get(), Level + 1, Depth); },
+            [&] { return unit(); });
+  return unit();
+}
+} // namespace
+
+TEST_P(JoinUnpinAtDepth, AllPinsReleasedByFinalJoin) {
+  const int Depth = GetParam();
+  em::Counts.reset();
+  rt::Runtime R(cfg1());
+  R.run([&] {
+    Local Board(newArray(static_cast<uint32_t>(Depth), boxInt(0)));
+    rt::par([&] { return publishChain(Board.get(), 0, Depth); },
+            [&] { return unit(); });
+    // Mid-run invariant pass: the tree has fully joined back to the root
+    // task, so every pin (unpin depth 0) must have been released.
+    em::InvariantReport Rep = em::verifyInvariants(/*ExpectFullyJoined=*/true);
+    EXPECT_TRUE(Rep.ok()) << Rep.str();
+    for (int L = 0; L < Depth; ++L) {
+      Object *Box =
+          Object::asPointer(arrGet(Board.get(), static_cast<uint32_t>(L)));
+      ASSERT_NE(Box, nullptr) << "level " << L;
+      EXPECT_FALSE(Box->isPinned()) << "level " << L;
+      EXPECT_EQ(unboxInt(refGet(Box)), L);
+    }
+  });
+  em::CounterSnapshot S = em::Counts.snapshot();
+  EXPECT_EQ(S.PinnedObjects, Depth);
+  EXPECT_EQ(S.UnpinnedObjects, Depth)
+      << "one release per published level, all at the final join";
+  EXPECT_EQ(S.livePinnedObjects(), 0);
+  EXPECT_EQ(S.livePinnedBytes(), 0)
+      << "PinnedBytes must return to zero after the final join";
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, JoinUnpinAtDepth, ::testing::Range(1, 7),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           return "Depth" + std::to_string(I.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Detect mode: pre-paper MPL rejects entangled executions
+//===----------------------------------------------------------------------===//
+
+namespace {
+rt::Config cfgDetect() {
+  rt::Config C = cfg1();
+  C.Mode = em::Mode::Detect;
+  return C;
+}
+} // namespace
+
+TEST(EmDetectMode, EntangledReadAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        rt::Runtime R(cfgDetect());
+        R.run([&] {
+          Local Shared(newRef(boxInt(0)));
+          rt::par(
+              [&] {
+                Local Mine(newRef(boxInt(3)));
+                refSet(Shared.get(), Mine.slot());
+                return unit();
+              },
+              [&] {
+                // Sibling read of A's object: entangled -> Detect aborts.
+                return refGet(Shared.get());
+              });
+        });
+      },
+      "entanglement detected");
+}
+
+TEST(EmDetectMode, CrossPointerWriteAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        rt::Runtime R(cfgDetect());
+        R.run([&] {
+          // Leak A's object to B through a C++-side channel: no runtime
+          // read is involved, so the write barrier is the first (and only)
+          // place the entanglement can be caught.
+          Object *Leak = nullptr;
+          rt::par(
+              [&] {
+                Local Mine(newRef(boxInt(5)));
+                Leak = Mine.get();
+                return unit();
+              },
+              [&] {
+                Local B(newRef(boxInt(0)));
+                Local LA(Leak);
+                refSet(B.get(), LA.slot()); // Cross-pointer write.
+                return unit();
+              });
+        });
+      },
+      "entanglement created by write");
+}
+
+TEST(EmDetectMode, DisentangledProgramsRun) {
+  // Detect mode permits down-pointers (the remembered-set case) and any
+  // program whose concurrent tasks never observe each other's data.
+  em::Counts.reset();
+  rt::Runtime R(cfgDetect());
+  int64_t Fib = 0;
+  R.run([&] {
+    Local Shared(newArray(4, boxInt(0)));
+    rt::par(
+        [&] {
+          // Down-pointer publish, never read by the concurrent sibling.
+          Local Mine(newRef(boxInt(17)));
+          arrSet(Shared.get(), 0, Mine.slot());
+          return unit();
+        },
+        [&] { return unit(); });
+    // Read after the join: disentangled, allowed.
+    Object *P = Object::asPointer(arrGet(Shared.get(), 0));
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(unboxInt(refGet(P)), 17);
+    Fib = wl::fib(18);
+  });
+  EXPECT_EQ(Fib, 2584);
+  em::CounterSnapshot S = em::Counts.snapshot();
+  EXPECT_GT(S.DownPointerPins, 0);
+  EXPECT_EQ(S.EntangledReads, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Off mode: the ablation must stay sound on disentangled programs
+//===----------------------------------------------------------------------===//
+
+TEST(EmOffMode, DisentangledKernelsMatchManageMode) {
+  // Off disables every barrier, so it is only sound for disentangled
+  // programs — on those it must compute the same answers as Manage with
+  // zero entanglement bookkeeping.
+  auto runKernels = [](em::Mode M) {
+    rt::Config C = cfg1();
+    C.Mode = M;
+    rt::Runtime R(C);
+    std::pair<int64_t, bool> Out{0, false};
+    R.run([&] {
+      Out.first = wl::fib(20);
+      Local In(wl::randomInts(4000, 1 << 30, 42));
+      Local Sorted(wl::mergesortInts(In.get()));
+      Out.second = wl::isSortedInts(Sorted.get());
+    });
+    return Out;
+  };
+
+  em::Counts.reset();
+  auto Off = runKernels(em::Mode::Off);
+  em::CounterSnapshot OffCounts = em::Counts.snapshot();
+  auto Manage = runKernels(em::Mode::Manage);
+
+  EXPECT_EQ(Off.first, Manage.first);
+  EXPECT_TRUE(Off.second);
+  EXPECT_TRUE(Manage.second);
+  EXPECT_EQ(OffCounts.PinnedObjects, 0)
+      << "Off mode must run no barrier bookkeeping at all";
+  EXPECT_EQ(OffCounts.EntangledReads, 0);
+  EXPECT_EQ(OffCounts.DownPointerPins + OffCounts.CrossPointerPins +
+                OffCounts.PinnedHolderPins,
+            0);
 }
 
 //===----------------------------------------------------------------------===//

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Em.h"
 #include "core/Handles.h"
 #include "core/Ops.h"
 #include "core/Runtime.h"
@@ -62,6 +63,7 @@ TEST(StressTest, DeepNestedParWithChurn) {
 }
 
 TEST(StressTest, ManyRoundsOfEntangledExchange) {
+  em::Counts.reset();
   rt::Runtime R(stressCfg(4));
   int64_t Bad = 0;
   R.run([&] {
@@ -71,8 +73,10 @@ TEST(StressTest, ManyRoundsOfEntangledExchange) {
   });
   EXPECT_EQ(Bad, 0);
   // Everything pinned must have been released by the joins.
-  EXPECT_EQ(StatRegistry::get().valueOf("em.pinned.bytes"),
-            StatRegistry::get().valueOf("em.unpins.bytes"));
+  em::CounterSnapshot S = em::Counts.snapshot();
+  EXPECT_GT(S.PinnedBytes, 0);
+  EXPECT_EQ(S.livePinnedBytes(), 0);
+  EXPECT_EQ(S.livePinnedObjects(), 0);
 }
 
 TEST(StressTest, ConcurrentDedupUnderTinyGcBudget) {

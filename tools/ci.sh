@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+#===- tools/ci.sh - Build + test all configs the way CI does --------------===#
+#
+# Part of mpl-em (PLDI 2023 reproduction).
+#
+# Builds the Release, ThreadSanitizer and AddressSanitizer configurations
+# (CMakePresets.json) and runs the tier-1 tests plus the schedule-fuzz
+# suite with the fixed seed corpus in each. Any fuzz failure prints a
+# MPL_CHAOS_SEED line; see DESIGN.md §8 for how to replay it locally.
+#
+# Usage:
+#   tools/ci.sh                # all three configs
+#   tools/ci.sh release        # one config: release | tsan | asan
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Seed-corpus size per config. TSan is the config the fuzz suite exists
+# for, so it gets the big corpus; the others keep CI time reasonable.
+RELEASE_SEEDS=${RELEASE_SEEDS:-25}
+TSAN_SEEDS=${TSAN_SEEDS:-50}
+ASAN_SEEDS=${ASAN_SEEDS:-25}
+
+run_config() {
+  local preset=$1 seeds=$2
+  echo "==== [$preset] configure + build ===="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+
+  echo "==== [$preset] tier-1 tests ===="
+  ctest --preset "$preset" -j "$(nproc)" -E '^fuzz_sched_test$'
+
+  echo "==== [$preset] schedule-fuzz, $seeds seeds ===="
+  MPL_FUZZ_SEEDS=$seeds ctest --preset "$preset" -R '^fuzz_sched_test$'
+}
+
+case "${1:-all}" in
+release) run_config release "$RELEASE_SEEDS" ;;
+tsan) run_config tsan "$TSAN_SEEDS" ;;
+asan) run_config asan "$ASAN_SEEDS" ;;
+all)
+  run_config release "$RELEASE_SEEDS"
+  run_config tsan "$TSAN_SEEDS"
+  run_config asan "$ASAN_SEEDS"
+  ;;
+*)
+  echo "usage: $0 [release|tsan|asan|all]" >&2
+  exit 2
+  ;;
+esac
+
+echo "==== all requested configs passed ===="
