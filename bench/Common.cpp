@@ -6,7 +6,11 @@
 
 #include "bench/Common.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
+#include <cstdlib>
 
 using namespace mpl;
 using namespace mpl::ops;
@@ -173,17 +177,61 @@ StatSnap StatSnap::read() {
   return S;
 }
 
+namespace {
+/// MPL_TRACE_DIR / MPL_METRICS_DIR: after the timed repetitions, run one
+/// extra instrumented repetition and write <dir>/<name>.trace.json and/or
+/// <dir>/<name>.metrics.json. Kept out of the timed reps so the published
+/// numbers are never measured with the tracer armed.
+void dumpObservability(const SuiteEntry &Entry, bool Sequential,
+                       const rt::Config &Cfg) {
+  const char *TraceDir = std::getenv("MPL_TRACE_DIR");
+  const char *MetricsDir = std::getenv("MPL_METRICS_DIR");
+  if (!TraceDir && !MetricsDir)
+    return;
+  auto &Tr = obs::Tracer::get();
+  auto &Ms = obs::MetricsSampler::get();
+  Tr.clear();
+  Ms.clearSeries();
+  if (TraceDir)
+    Tr.enable(obs::TraceOptions{});
+  bool StartedSampler = false;
+  if (MetricsDir && !Ms.running()) {
+    Ms.start(/*IntervalUs=*/1000);
+    StartedSampler = true;
+  }
+  {
+    rt::Runtime R(Cfg);
+    R.run([&] { (void)Entry.Run(Sequential); });
+    // A run shorter than one sampling interval would leave the series
+    // empty; take a final sample while the runtime's gauges are live.
+    if (MetricsDir)
+      Ms.sampleOnce();
+  }
+  if (StartedSampler)
+    Ms.stop();
+  if (TraceDir) {
+    Tr.disable();
+    Tr.writeChromeTrace(std::string(TraceDir) + "/" + Entry.Name +
+                        ".trace.json");
+    Tr.clear();
+  }
+  if (MetricsDir)
+    Ms.writeJson(std::string(MetricsDir) + "/" + Entry.Name +
+                 ".metrics.json");
+}
+} // namespace
+
 RunResult measure(const SuiteEntry &Entry, bool Sequential, int Workers,
                   em::Mode Mode, bool Profile, int Reps) {
   RunResult Best;
   Best.Seconds = 1e100;
+  rt::Config Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.Mode = Mode;
+  Cfg.Profile = Profile;
   // Rep -1 is an untimed warmup: it populates the chunk pool and faults in
   // the pages, so later configurations are not advantaged by reuse.
   for (int Rep = -1; Rep < Reps; ++Rep) {
-    rt::Config Cfg;
-    Cfg.NumWorkers = Workers;
-    Cfg.Mode = Mode;
-    Cfg.Profile = Profile;
     rt::Runtime R(Cfg);
     StatRegistry::get().resetAll();
     int64_t Checksum = 0;
@@ -201,6 +249,7 @@ RunResult measure(const SuiteEntry &Entry, bool Sequential, int Workers,
     }
     Best.Checksum = Checksum;
   }
+  dumpObservability(Entry, Sequential, Cfg);
   return Best;
 }
 

@@ -8,11 +8,19 @@
 // that the managed read barrier is a single predictable ancestor check on
 // disentangled data.
 //
+// The second benchmark argument arms the obs tracer (src/obs/Trace.h) for
+// the measured loop: `manage` vs `manage+trace` is the per-op cost of the
+// tracing hooks (disabled: one relaxed load + predictable branch; enabled:
+// a 32-byte ring-buffer store). Recorded in results/M1_barriers.txt.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Common.h"
+#include "obs/Trace.h"
 
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 using namespace mpl;
 using namespace mpl::ops;
@@ -34,7 +42,31 @@ const char *modeName(int64_t I) {
   return I == 0 ? "off" : (I == 1 ? "detect" : "manage");
 }
 
+/// RAII for the tracer configuration of one benchmark run; labels the
+/// state "<mode>" or "<mode>+trace".
+class TracerConfig {
+public:
+  TracerConfig(benchmark::State &State) : Traced(State.range(1) != 0) {
+    if (Traced) {
+      obs::Tracer::get().clear();
+      obs::Tracer::get().enable(obs::TraceOptions{});
+    }
+    State.SetLabel(std::string(modeName(State.range(0))) +
+                   (Traced ? "+trace" : ""));
+  }
+  ~TracerConfig() {
+    if (Traced) {
+      obs::Tracer::get().disable();
+      obs::Tracer::get().clear();
+    }
+  }
+
+private:
+  bool Traced;
+};
+
 void BM_RefGetDisentangled(benchmark::State &State) {
+  TracerConfig TC(State);
   rt::Config Cfg;
   Cfg.NumWorkers = 1;
   Cfg.Profile = false;
@@ -48,10 +80,10 @@ void BM_RefGetDisentangled(benchmark::State &State) {
       benchmark::DoNotOptimize(V);
     }
   });
-  State.SetLabel(modeName(State.range(0)));
 }
 
 void BM_RefSetDisentangled(benchmark::State &State) {
+  TracerConfig TC(State);
   rt::Config Cfg;
   Cfg.NumWorkers = 1;
   Cfg.Profile = false;
@@ -65,10 +97,10 @@ void BM_RefSetDisentangled(benchmark::State &State) {
       benchmark::ClobberMemory();
     }
   });
-  State.SetLabel(modeName(State.range(0)));
 }
 
 void BM_ArrayGetInt(benchmark::State &State) {
+  TracerConfig TC(State);
   rt::Config Cfg;
   Cfg.NumWorkers = 1;
   Cfg.Profile = false;
@@ -83,11 +115,11 @@ void BM_ArrayGetInt(benchmark::State &State) {
       I = (I + 1) & 1023;
     }
   });
-  State.SetLabel(modeName(State.range(0)));
 }
 
 void BM_ImmutableRecordGet(benchmark::State &State) {
   // Immutable loads are barrier-free in every mode — the shielded path.
+  TracerConfig TC(State);
   rt::Config Cfg;
   Cfg.NumWorkers = 1;
   Cfg.Profile = false;
@@ -100,10 +132,10 @@ void BM_ImmutableRecordGet(benchmark::State &State) {
       benchmark::DoNotOptimize(V);
     }
   });
-  State.SetLabel(modeName(State.range(0)));
 }
 
 void BM_Allocation(benchmark::State &State) {
+  TracerConfig TC(State);
   rt::Config Cfg;
   Cfg.NumWorkers = 1;
   Cfg.Profile = false;
@@ -115,15 +147,16 @@ void BM_Allocation(benchmark::State &State) {
       benchmark::DoNotOptimize(O);
     }
   });
-  State.SetLabel(modeName(State.range(0)));
 }
 
 } // namespace
 
-BENCHMARK(BM_RefGetDisentangled)->Arg(0)->Arg(1)->Arg(2);
-BENCHMARK(BM_RefSetDisentangled)->Arg(0)->Arg(1)->Arg(2);
-BENCHMARK(BM_ArrayGetInt)->Arg(0)->Arg(1)->Arg(2);
-BENCHMARK(BM_ImmutableRecordGet)->Arg(0)->Arg(1)->Arg(2);
-BENCHMARK(BM_Allocation)->Arg(0)->Arg(1)->Arg(2);
+#define MPL_BARRIER_ARGS \
+  Args({0, 0})->Args({1, 0})->Args({2, 0})->Args({2, 1})
+BENCHMARK(BM_RefGetDisentangled)->MPL_BARRIER_ARGS;
+BENCHMARK(BM_RefSetDisentangled)->MPL_BARRIER_ARGS;
+BENCHMARK(BM_ArrayGetInt)->MPL_BARRIER_ARGS;
+BENCHMARK(BM_ImmutableRecordGet)->MPL_BARRIER_ARGS;
+BENCHMARK(BM_Allocation)->MPL_BARRIER_ARGS;
 
 BENCHMARK_MAIN();

@@ -7,6 +7,7 @@
 #include "core/Em.h"
 
 #include "chaos/ChaosSchedule.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/Stats.h"
 
@@ -31,6 +32,7 @@ Stat StatPinnedBytes("em.pinned.bytes");
 void setMode(Mode M) { CurrentMode.store(M, std::memory_order_relaxed); }
 
 void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
+  obs::emit(obs::Ev::WriteBarrierSlow);
   // Schedule fuzzing: stretch the window between the depth comparison and
   // the pin, where a concurrent join could re-home P's chunk.
   chaos::preemptPoint(chaos::Point::WriteBarrier);
@@ -83,6 +85,7 @@ void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
 }
 
 void readBarrierSlow(Heap *Reader, Object *P, Heap *HP) {
+  obs::emit(obs::Ev::ReadBarrierSlow);
   // Schedule fuzzing: hold the reader between detection and the deepen so
   // joins/collections can race the pin adjustment.
   chaos::preemptPoint(chaos::Point::ReadBarrier);

@@ -7,6 +7,8 @@
 #include "core/Runtime.h"
 
 #include "chaos/ChaosSchedule.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -19,6 +21,9 @@ Runtime *TheRuntime = nullptr;
 thread_local WorkerCtx *TlsCtx = nullptr;
 
 Stat PeakResidency("rt.residency.peak");
+
+/// Gauge ids registered by the live Runtime (empty when none exists).
+std::vector<int> RtGaugeIds;
 } // namespace
 
 Runtime::Runtime(const Config &C)
@@ -26,9 +31,27 @@ Runtime::Runtime(const Config &C)
   MPL_CHECK(TheRuntime == nullptr, "only one Runtime may exist at a time");
   em::setMode(Cfg.Mode);
   TheRuntime = this;
+  // Observability: honour MPL_TRACE / MPL_METRICS on the first Runtime and
+  // expose the memory-side gauges to the sampler.
+  obs::initFromEnv();
+  auto &Sampler = obs::MetricsSampler::get();
+  RtGaugeIds.push_back(
+      Sampler.registerGauge("mm.residency.bytes", [] { return residencyBytes(); }));
+  RtGaugeIds.push_back(Sampler.registerGauge(
+      "hh.heaps", [this] { return static_cast<int64_t>(Heaps.heapCount()); }));
 }
 
-Runtime::~Runtime() { TheRuntime = nullptr; }
+Runtime::~Runtime() {
+  auto &Sampler = obs::MetricsSampler::get();
+  for (int Id : RtGaugeIds)
+    Sampler.unregisterGauge(Id);
+  RtGaugeIds.clear();
+  TheRuntime = nullptr;
+  // Flush env-configured sinks now, at quiescence: the workers still exist
+  // (Sched is destroyed after this body) but are idle outside run(), and
+  // idle workers emit no trace events.
+  obs::flushEnvSinks();
+}
 
 Runtime *Runtime::current() { return TheRuntime; }
 

@@ -7,6 +7,8 @@
 #include "gc/Collector.h"
 
 #include "chaos/ChaosSchedule.h"
+#include "obs/Trace.h"
+#include "support/Histogram.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 
@@ -19,6 +21,7 @@ Stat TotalBytesInPlace("gc.bytes.inplace");
 Stat TotalBytesReclaimed("gc.bytes.reclaimed");
 Stat TotalPauseNs("gc.pause.ns");
 Stat MaxPauseNs("gc.pause.max.ns");
+Histogram GcPauseHist("gc.pause.hist.ns");
 } // namespace
 
 /// Per-collection working state.
@@ -116,6 +119,7 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
     CS.Chain.push_back(H);
   if (CS.Chain.empty())
     return CS.Out;
+  obs::emit(obs::Ev::GcBegin, CS.Chain.size());
 
   // Lock shallowest-first (the global heap-lock order), flip heaps into
   // collection mode, and detach from-space.
@@ -132,13 +136,16 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
   }
 
   // Phase A: pinned closures stay in place.
+  obs::emit(obs::Ev::GcMarkBegin);
   markInPlaceClosure(CS);
+  obs::emit(obs::Ev::GcMarkEnd, static_cast<uint64_t>(CS.Out.ObjectsInPlace));
 
   // Phase B: evacuate everything reachable from the mutator roots. Slots
   // whose target did not move (out-of-chain, marked, or pinned objects)
   // must not be stored back: unchanged slots are exactly the ones a
   // concurrent task may be reading (shared ancestor roots, pinned
   // survivors), and a same-value blind store is still a data race.
+  obs::emit(obs::Ev::GcEvacBegin);
   Roots.forEachRoot([&](Slot *S) {
     Slot V = *S;
     Slot NV = traceSlot(CS, V);
@@ -159,9 +166,11 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
           O->setSlot(I, NV);
       }
   }
+  obs::emit(obs::Ev::GcEvacEnd, static_cast<uint64_t>(CS.Out.BytesCopied));
 
   // Phase C: reclaim from-space chunks with no in-place survivors; retire
   // the rest (they stay resident — the space cost of entanglement).
+  obs::emit(obs::Ev::GcReclaimBegin);
   for (Chunk *C : CS.OldChunks) {
     if (C->PinnedCount == 0) {
       CS.Out.BytesReclaimed += static_cast<int64_t>(C->TotalBytes);
@@ -179,6 +188,7 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
     if (!H->Current)
       H->Current = nullptr; // Allocation will open a fresh chunk.
   }
+  obs::emit(obs::Ev::GcReclaimEnd, static_cast<uint64_t>(CS.Out.BytesReclaimed));
 
   // Clear transient marks; pinned bits persist until their unpin join.
   for (Object *O : CS.InPlace)
@@ -193,6 +203,9 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
 
   CS.Out.HeapsCollected = static_cast<int64_t>(CS.Chain.size());
   CS.Out.PauseNs = Pause.elapsedNs();
+  obs::emit(obs::Ev::GcEnd, static_cast<uint64_t>(CS.Out.BytesCopied),
+            static_cast<uint64_t>(CS.Out.BytesReclaimed));
+  GcPauseHist.record(CS.Out.PauseNs);
   NumCollections.inc();
   TotalBytesCopied.add(CS.Out.BytesCopied);
   TotalBytesInPlace.add(CS.Out.BytesInPlace);

@@ -7,6 +7,7 @@
 #include "hh/Heap.h"
 
 #include "chaos/ChaosSchedule.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/EmCounters.h"
 #include "support/Stats.h"
@@ -92,6 +93,7 @@ bool Heap::addPinned(Object *O, uint32_t UnpinDepth) {
   if (!O->pinMin(UnpinDepth))
     return false;
   Pinned.push_back(O);
+  obs::emit(obs::Ev::Pin, O->sizeBytes(), UnpinDepth);
   return true;
 }
 
@@ -145,6 +147,7 @@ int64_t HeapManager::join(Heap *Parent, Heap *Child) {
   MPL_CHECK(Child->Parent == Parent, "join of a non-child heap");
   MPL_CHECK(Child->activeForks() == 0, "joining a heap with live forks");
   JoinsPerformed.inc();
+  obs::emit(obs::Ev::HeapJoinBegin, Child->Depth);
 
   // Schedule fuzzing: stretch the window between a join being decided and
   // the pin locks being taken — barriers may still be resolving Heap::of
@@ -198,6 +201,7 @@ int64_t HeapManager::join(Heap *Parent, Heap *Child) {
       em::Counts.UnpinnedObjects.fetch_add(1, std::memory_order_relaxed);
       em::Counts.UnpinnedBytes.fetch_add(static_cast<int64_t>(O->sizeBytes()),
                                          std::memory_order_relaxed);
+      obs::emit(obs::Ev::Unpin, O->sizeBytes());
       O->unpin();
       ++Unpinned;
     } else {
@@ -210,6 +214,7 @@ int64_t HeapManager::join(Heap *Parent, Heap *Child) {
   ObjectsUnpinned.add(Unpinned);
 
   Child->Dead.store(true, std::memory_order_release);
+  obs::emit(obs::Ev::HeapJoinEnd, static_cast<uint64_t>(Unpinned));
   return Unpinned;
 }
 

@@ -1,0 +1,274 @@
+//===- obs/Metrics.cpp - Cost-metric time-series sampler ------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Histogram.h"
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace mpl;
+using namespace mpl::obs;
+
+MetricsSampler &MetricsSampler::get() {
+  static MetricsSampler Instance;
+  return Instance;
+}
+
+int MetricsSampler::registerGauge(std::string Name,
+                                  std::function<int64_t()> Fn) {
+  std::lock_guard<std::mutex> G(Mu);
+  int Id = NextGaugeId++;
+  Gauges.push_back(Gauge{Id, std::move(Name), std::move(Fn)});
+  return Id;
+}
+
+void MetricsSampler::unregisterGauge(int Id) {
+  // Taking Mu also excludes an in-flight sample: after this returns the
+  // callback will never run again, so its captures may be destroyed.
+  std::lock_guard<std::mutex> G(Mu);
+  Gauges.erase(std::remove_if(Gauges.begin(), Gauges.end(),
+                              [Id](const Gauge &Ga) { return Ga.Id == Id; }),
+               Gauges.end());
+}
+
+void MetricsSampler::start(int64_t IntervalUs, std::string P) {
+  std::lock_guard<std::mutex> G(Mu);
+  if (!P.empty())
+    Path = std::move(P);
+  if (Running)
+    return;
+  Running = true;
+  StopRequested = false;
+  Thread = std::thread([this, IntervalUs] { threadMain(IntervalUs); });
+}
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard<std::mutex> G(Mu);
+    if (!Running)
+      return;
+    StopRequested = true;
+  }
+  Cv.notify_all();
+  Thread.join();
+  std::lock_guard<std::mutex> G(Mu);
+  Running = false;
+}
+
+bool MetricsSampler::running() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Running;
+}
+
+void MetricsSampler::threadMain(int64_t IntervalUs) {
+  std::unique_lock<std::mutex> L(Mu);
+  while (!StopRequested) {
+    Cv.wait_for(L, std::chrono::microseconds(IntervalUs),
+                [this] { return StopRequested; });
+    if (StopRequested)
+      break;
+    recordSampleLocked();
+  }
+}
+
+MetricsSample MetricsSampler::sampleOnce() {
+  std::lock_guard<std::mutex> G(Mu);
+  return recordSampleLocked();
+}
+
+MetricsSample MetricsSampler::recordSampleLocked() {
+  MetricsSample S;
+  S.TimeNs = nowNs();
+  S.Em = em::Counts.snapshot();
+  S.Gauges.reserve(Gauges.size());
+  for (const Gauge &Ga : Gauges)
+    S.Gauges.emplace_back(Ga.Name, Ga.Fn());
+  Series.push_back(S);
+  return S;
+}
+
+std::vector<MetricsSample> MetricsSampler::series() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Series;
+}
+
+size_t MetricsSampler::sampleCount() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Series.size();
+}
+
+void MetricsSampler::clearSeries() {
+  std::lock_guard<std::mutex> G(Mu);
+  Series.clear();
+}
+
+namespace {
+
+void appendEmJson(std::string &Out, const em::CounterSnapshot &E) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"entangled_reads\":%lld,\"entangled_reads_unpinned\":%lld,"
+      "\"pins_down\":%lld,\"pins_cross\":%lld,\"pins_holder\":%lld,"
+      "\"pinned_objects\":%lld,\"pinned_bytes\":%lld,"
+      "\"unpinned_objects\":%lld,\"unpinned_bytes\":%lld,"
+      "\"live_pinned_objects\":%lld,\"live_pinned_bytes\":%lld}",
+      static_cast<long long>(E.EntangledReads),
+      static_cast<long long>(E.EntangledReadsUnpinned),
+      static_cast<long long>(E.DownPointerPins),
+      static_cast<long long>(E.CrossPointerPins),
+      static_cast<long long>(E.PinnedHolderPins),
+      static_cast<long long>(E.PinnedObjects),
+      static_cast<long long>(E.PinnedBytes),
+      static_cast<long long>(E.UnpinnedObjects),
+      static_cast<long long>(E.UnpinnedBytes),
+      static_cast<long long>(E.livePinnedObjects()),
+      static_cast<long long>(E.livePinnedBytes()));
+  Out += Buf;
+}
+
+const char *const EmCsvColumns =
+    "entangled_reads,entangled_reads_unpinned,pins_down,pins_cross,"
+    "pins_holder,pinned_objects,pinned_bytes,unpinned_objects,"
+    "unpinned_bytes,live_pinned_objects,live_pinned_bytes";
+
+void appendEmCsv(std::string &Out, const em::CounterSnapshot &E) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld",
+                static_cast<long long>(E.EntangledReads),
+                static_cast<long long>(E.EntangledReadsUnpinned),
+                static_cast<long long>(E.DownPointerPins),
+                static_cast<long long>(E.CrossPointerPins),
+                static_cast<long long>(E.PinnedHolderPins),
+                static_cast<long long>(E.PinnedObjects),
+                static_cast<long long>(E.PinnedBytes),
+                static_cast<long long>(E.UnpinnedObjects),
+                static_cast<long long>(E.UnpinnedBytes),
+                static_cast<long long>(E.livePinnedObjects()),
+                static_cast<long long>(E.livePinnedBytes()));
+  Out += Buf;
+}
+
+bool writeFile(const std::string &Path, const std::string &Data) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Data.data(), 1, Data.size(), F);
+  std::fclose(F);
+  return Written == Data.size();
+}
+
+} // namespace
+
+std::string MetricsSampler::jsonDump() const {
+  std::vector<MetricsSample> Snap = series();
+  std::string Out;
+  Out.reserve(256 + Snap.size() * 256);
+  char Buf[128];
+  Out += "{\"samples\":[\n";
+  bool First = true;
+  for (const MetricsSample &S : Snap) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    std::snprintf(Buf, sizeof(Buf), "{\"t_ns\":%lld,\"em\":",
+                  static_cast<long long>(S.TimeNs));
+    Out += Buf;
+    appendEmJson(Out, S.Em);
+    Out += ",\"gauges\":{";
+    bool FirstG = true;
+    for (const auto &[Name, V] : S.Gauges) {
+      if (!FirstG)
+        Out += ",";
+      FirstG = false;
+      Out += "\"" + json::escape(Name) + "\":";
+      std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+      Out += Buf;
+    }
+    Out += "}}";
+  }
+  Out += "\n],\"histograms\":[\n";
+  bool FirstH = true;
+  HistogramRegistry::get().forEach([&](const Histogram &H) {
+    if (!FirstH)
+      Out += ",\n";
+    FirstH = false;
+    Out += "{\"name\":\"" + json::escape(H.name()) + "\",";
+    std::snprintf(Buf, sizeof(Buf), "\"count\":%lld,\"sum\":%lld,",
+                  static_cast<long long>(H.count()),
+                  static_cast<long long>(H.sum()));
+    Out += Buf;
+    Out += "\"buckets\":[";
+    bool FirstB = true;
+    for (int B = 0; B < Histogram::NumBuckets; ++B) {
+      int64_t C = H.bucketCount(B);
+      if (C == 0)
+        continue;
+      if (!FirstB)
+        Out += ",";
+      FirstB = false;
+      std::snprintf(Buf, sizeof(Buf), "{\"lo\":%lld,\"n\":%lld}",
+                    static_cast<long long>(Histogram::bucketLo(B)),
+                    static_cast<long long>(C));
+      Out += Buf;
+    }
+    Out += "]}";
+  });
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool MetricsSampler::writeJson(const std::string &P) const {
+  return writeFile(P, jsonDump());
+}
+
+bool MetricsSampler::writeCsv(const std::string &P) const {
+  std::vector<MetricsSample> Snap = series();
+
+  // Union of gauge columns, in first-seen order (the gauge set can change
+  // mid-run as runtimes come and go).
+  std::vector<std::string> GaugeCols;
+  for (const MetricsSample &S : Snap)
+    for (const auto &[Name, V] : S.Gauges)
+      if (std::find(GaugeCols.begin(), GaugeCols.end(), Name) ==
+          GaugeCols.end())
+        GaugeCols.push_back(Name);
+
+  std::string Out = "t_ns,";
+  Out += EmCsvColumns;
+  for (const std::string &C : GaugeCols)
+    Out += "," + C;
+  Out += "\n";
+  char Buf[64];
+  for (const MetricsSample &S : Snap) {
+    std::snprintf(Buf, sizeof(Buf), "%lld,", static_cast<long long>(S.TimeNs));
+    Out += Buf;
+    appendEmCsv(Out, S.Em);
+    for (const std::string &C : GaugeCols) {
+      Out += ",";
+      for (const auto &[Name, V] : S.Gauges)
+        if (Name == C) {
+          std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+          Out += Buf;
+          break;
+        }
+    }
+    Out += "\n";
+  }
+  return writeFile(P, Out);
+}
+
+bool MetricsSampler::writeAuto(const std::string &P) const {
+  if (P.size() >= 4 && P.compare(P.size() - 4, 4, ".csv") == 0)
+    return writeCsv(P);
+  return writeJson(P);
+}

@@ -1,0 +1,324 @@
+//===- obs/Trace.cpp - Per-worker ring-buffer event tracer ----------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Metrics.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+using namespace mpl;
+using namespace mpl::obs;
+
+namespace mpl {
+namespace obs {
+namespace detail {
+std::atomic<uint32_t> TraceActiveFlag{0};
+} // namespace detail
+} // namespace obs
+} // namespace mpl
+
+namespace {
+
+/// Thread-local buffer handle. The destructor retires (does not free) the
+/// buffer so a flush after the thread joined still sees its events.
+struct TlsSlot {
+  TraceBuffer *B = nullptr;
+  ~TlsSlot() {
+    if (B)
+      B->Retired.store(true, std::memory_order_release);
+  }
+};
+thread_local TlsSlot Tls;
+thread_local int TlsTrackId = -1;
+
+/// Static description of each Ev: display name, Chrome phase ('i' instant,
+/// 'B' begin, 'E' end), and names for the two payload args (null = omit).
+struct KindInfo {
+  const char *Name;
+  char Phase;
+  const char *Arg0;
+  const char *Arg1;
+};
+
+constexpr KindInfo Kinds[] = {
+    /* Fork             */ {"fork", 'i', nullptr, nullptr},
+    /* Steal            */ {"steal", 'i', "victim", nullptr},
+    /* StrandBegin      */ {"strand", 'B', nullptr, nullptr},
+    /* StrandEnd        */ {"strand", 'E', nullptr, nullptr},
+    /* JoinWaitBegin    */ {"join_wait", 'B', nullptr, nullptr},
+    /* JoinWaitEnd      */ {"join_wait", 'E', nullptr, nullptr},
+    /* WriteBarrierSlow */ {"write_barrier_slow", 'i', nullptr, nullptr},
+    /* ReadBarrierSlow  */ {"read_barrier_slow", 'i', nullptr, nullptr},
+    /* Pin              */ {"pin", 'i', "bytes", "unpin_depth"},
+    /* Unpin            */ {"unpin", 'i', "bytes", nullptr},
+    /* HeapJoinBegin    */ {"heap_join", 'B', "child_depth", nullptr},
+    /* HeapJoinEnd      */ {"heap_join", 'E', "unpinned", nullptr},
+    /* GcBegin          */ {"gc", 'B', "chain_heaps", nullptr},
+    /* GcEnd            */ {"gc", 'E', "copied_bytes", "reclaimed_bytes"},
+    /* GcMarkBegin      */ {"gc_mark", 'B', nullptr, nullptr},
+    /* GcMarkEnd        */ {"gc_mark", 'E', nullptr, nullptr},
+    /* GcEvacBegin      */ {"gc_evac", 'B', nullptr, nullptr},
+    /* GcEvacEnd        */ {"gc_evac", 'E', nullptr, nullptr},
+    /* GcReclaimBegin   */ {"gc_reclaim", 'B', nullptr, nullptr},
+    /* GcReclaimEnd     */ {"gc_reclaim", 'E', nullptr, nullptr},
+};
+static_assert(sizeof(Kinds) / sizeof(Kinds[0]) ==
+                  static_cast<size_t>(Ev::NumKinds),
+              "KindInfo table out of sync with Ev");
+
+uint64_t roundUpPow2(uint64_t V) {
+  if (V < 2)
+    return 2;
+  return std::bit_ceil(V);
+}
+
+void appendEventJson(std::string &Out, const KindInfo &KI, int Track,
+                     double TsUs, const TraceEvent &E, bool &First) {
+  char Buf[256];
+  if (!First)
+    Out += ",\n";
+  First = false;
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":0,\"tid\":%d,"
+                "\"ts\":%.3f",
+                KI.Name, KI.Phase, Track, TsUs);
+  Out += Buf;
+  if (KI.Phase == 'i')
+    Out += ",\"s\":\"t\""; // Thread-scoped instant.
+  if (KI.Arg0) {
+    std::snprintf(Buf, sizeof(Buf), ",\"args\":{\"%s\":%llu", KI.Arg0,
+                  static_cast<unsigned long long>(E.Arg0));
+    Out += Buf;
+    if (KI.Arg1) {
+      std::snprintf(Buf, sizeof(Buf), ",\"%s\":%llu", KI.Arg1,
+                    static_cast<unsigned long long>(E.Arg1));
+      Out += Buf;
+    }
+    Out += "}";
+  }
+  Out += "}";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TraceBuffer / Tracer
+//===----------------------------------------------------------------------===//
+
+TraceBuffer::TraceBuffer(uint64_t CapacityPow2)
+    : Mask(CapacityPow2 - 1), Slots(new TraceEvent[CapacityPow2]) {}
+
+Tracer &Tracer::get() {
+  static Tracer Instance;
+  return Instance;
+}
+
+void Tracer::enable(const TraceOptions &O) {
+  {
+    std::lock_guard<std::mutex> G(Mu);
+    Opts = O;
+    Opts.Capacity = roundUpPow2(O.Capacity);
+    BaseTimeNs = nowNs();
+    // Buffers of still-live threads persist across enable() calls; bring
+    // them to the new capacity (producers are quiescent by contract).
+    for (auto &B : Buffers)
+      if (B->capacity() != Opts.Capacity)
+        B->resize(Opts.Capacity);
+  }
+  detail::TraceActiveFlag.store(1, std::memory_order_release);
+}
+
+void Tracer::disable() {
+  detail::TraceActiveFlag.store(0, std::memory_order_release);
+}
+
+bool Tracer::enabled() const {
+  return detail::TraceActiveFlag.load(std::memory_order_acquire) != 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> G(Mu);
+  Buffers.erase(std::remove_if(Buffers.begin(), Buffers.end(),
+                               [](const std::unique_ptr<TraceBuffer> &B) {
+                                 return B->Retired.load(
+                                     std::memory_order_acquire);
+                               }),
+                Buffers.end());
+  for (auto &B : Buffers)
+    B->reset();
+}
+
+uint64_t Tracer::totalEvents() const {
+  std::lock_guard<std::mutex> G(Mu);
+  uint64_t N = 0;
+  for (const auto &B : Buffers)
+    N += B->size();
+  return N;
+}
+
+uint64_t Tracer::totalDropped() const {
+  std::lock_guard<std::mutex> G(Mu);
+  uint64_t N = 0;
+  for (const auto &B : Buffers)
+    N += B->dropped();
+  return N;
+}
+
+void Tracer::forEachBuffer(
+    const std::function<void(const TraceBuffer &)> &Fn) const {
+  std::lock_guard<std::mutex> G(Mu);
+  for (const auto &B : Buffers)
+    Fn(*B);
+}
+
+TraceBuffer *Tracer::threadBuffer() {
+  if (Tls.B)
+    return Tls.B;
+  std::lock_guard<std::mutex> G(Mu);
+  auto B = std::make_unique<TraceBuffer>(Opts.Capacity);
+  B->TrackId = TlsTrackId >= 0 ? TlsTrackId : NextForeignTrack++;
+  Tls.B = B.get();
+  Buffers.push_back(std::move(B));
+  return Tls.B;
+}
+
+void Tracer::labelThread(int TrackId) {
+  TlsTrackId = TrackId;
+  if (Tls.B)
+    Tls.B->TrackId = TrackId;
+}
+
+std::string Tracer::chromeTraceJson() const {
+  std::lock_guard<std::mutex> G(Mu);
+
+  // Export timestamps relative to the earliest retained event so traces
+  // open centered in Perfetto regardless of process uptime.
+  int64_t Base = INT64_MAX;
+  for (const auto &B : Buffers)
+    for (uint64_t I = B->first(), E = B->head(); I != E; ++I)
+      Base = std::min(Base, B->at(I).TimeNs);
+  if (Base == INT64_MAX)
+    Base = 0;
+
+  uint64_t NEvents = 0;
+  for (const auto &B : Buffers)
+    NEvents += B->size();
+
+  std::string Out;
+  Out.reserve(1024 + NEvents * 96);
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool First = true;
+  char Buf[256];
+  uint64_t Dropped = 0;
+  for (const auto &B : Buffers) {
+    Dropped += B->dropped();
+    // Track metadata: name the per-worker rows.
+    if (!First)
+      Out += ",\n";
+    First = false;
+    const char *Label = B->TrackId < 1000 ? "worker" : "thread";
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s %d\"}}",
+                  B->TrackId, Label, B->TrackId);
+    Out += Buf;
+
+    // Ring wrap can orphan an 'E' whose 'B' was overwritten; skip
+    // unmatched ends so the stream stays well-nested for the viewer.
+    int Depth = 0;
+    for (uint64_t I = B->first(), E = B->head(); I != E; ++I) {
+      const TraceEvent &Rec = B->at(I);
+      if (Rec.Kind >= static_cast<uint16_t>(Ev::NumKinds))
+        continue; // Corrupt kind: never emitted by hooks; be defensive.
+      const KindInfo &KI = Kinds[Rec.Kind];
+      if (KI.Phase == 'B')
+        ++Depth;
+      else if (KI.Phase == 'E' && --Depth < 0) {
+        Depth = 0;
+        continue;
+      }
+      double TsUs = static_cast<double>(Rec.TimeNs - Base) / 1000.0;
+      appendEventJson(Out, KI, B->TrackId, TsUs, Rec, First);
+    }
+  }
+  Out += "\n],\"otherData\":{\"dropped_events\":\"";
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(Dropped));
+  Out += Buf;
+  Out += "\"}}\n";
+  return Out;
+}
+
+bool Tracer::writeChromeTrace(const std::string &Path) const {
+  std::string Json = chromeTraceJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+  return Written == Json.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Free functions: emit slow path, thread labeling, env gating
+//===----------------------------------------------------------------------===//
+
+void detail::emitSlow(Ev K, uint64_t A0, uint64_t A1) {
+  TraceBuffer *B = Tls.B;
+  if (!B)
+    B = Tracer::get().threadBuffer();
+  B->emit(K, nowNs(), A0, A1);
+}
+
+void obs::labelCurrentThread(int Id) { Tracer::get().labelThread(Id); }
+
+namespace {
+void flushAtExit() {
+  MetricsSampler::get().stop();
+  flushEnvSinks();
+}
+} // namespace
+
+void obs::initFromEnv() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    bool AnySink = false;
+    if (const char *Path = std::getenv("MPL_TRACE")) {
+      TraceOptions O;
+      O.Path = Path;
+      if (const char *Cap = std::getenv("MPL_TRACE_CAPACITY"))
+        if (long long V = std::atoll(Cap); V > 0)
+          O.Capacity = static_cast<uint64_t>(V);
+      Tracer::get().enable(O);
+      AnySink = true;
+    }
+    if (const char *Path = std::getenv("MPL_METRICS")) {
+      int64_t IntervalUs = 1000;
+      if (const char *I = std::getenv("MPL_METRICS_INTERVAL_US"))
+        if (long long V = std::atoll(I); V > 0)
+          IntervalUs = V;
+      MetricsSampler::get().start(IntervalUs, Path);
+      AnySink = true;
+    }
+    if (AnySink)
+      std::atexit(flushAtExit);
+  });
+}
+
+void obs::flushEnvSinks() {
+  Tracer &T = Tracer::get();
+  if (T.enabled() && !T.configuredPath().empty())
+    T.writeChromeTrace(T.configuredPath());
+  MetricsSampler &M = MetricsSampler::get();
+  if (!M.configuredPath().empty())
+    M.writeAuto(M.configuredPath());
+}

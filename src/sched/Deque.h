@@ -87,6 +87,13 @@ public:
            Bottom.load(std::memory_order_relaxed);
   }
 
+  /// Approximate number of queued jobs (racy; metrics sampling only).
+  int64_t size() const {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t T = Top.load(std::memory_order_relaxed);
+    return B > T ? B - T : 0;
+  }
+
 private:
   static constexpr int64_t Mask = Capacity - 1;
 

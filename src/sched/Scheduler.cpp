@@ -7,10 +7,14 @@
 #include "sched/Scheduler.h"
 
 #include "chaos/ChaosSchedule.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
+#include "support/Histogram.h"
 #include "support/Stats.h"
 
 #include <algorithm>
+#include <string>
 
 using namespace mpl;
 
@@ -20,6 +24,10 @@ thread_local Worker *CurWorker = nullptr;
 
 Stat NumSteals("sched.steals");
 Stat NumForks("sched.forks");
+
+/// Latency of *successful* steal attempts: entering tryStealAndRun to
+/// acquiring a job (failed probe rounds would swamp the distribution).
+Histogram StealLatencyNs("sched.steal.latency.ns");
 } // namespace
 
 Scheduler *Scheduler::current() { return CurScheduler; }
@@ -34,11 +42,17 @@ Scheduler::Scheduler(const Config &Cfg) : ProfileEnabled(Cfg.Profile) {
     W->StealRng = Rng(0x9e3779b9u + static_cast<uint64_t>(I) * 77);
     Workers.push_back(W);
   }
+  // Deque-depth gauges for the metrics sampler (one per worker).
+  for (Worker *W : Workers)
+    MetricsGaugeIds.push_back(obs::MetricsSampler::get().registerGauge(
+        "sched.deque.w" + std::to_string(W->Id),
+        [W] { return W->Dq.size(); }));
   // Worker 0 is the caller's thread; start threads for the rest.
   for (int I = 1; I < N; ++I)
     Threads.emplace_back([this, I] {
       CurScheduler = this;
       CurWorker = Workers[I];
+      obs::labelCurrentThread(I);
       stealLoop(Workers[I]);
       CurWorker = nullptr;
       CurScheduler = nullptr;
@@ -46,6 +60,9 @@ Scheduler::Scheduler(const Config &Cfg) : ProfileEnabled(Cfg.Profile) {
 }
 
 Scheduler::~Scheduler() {
+  // Gauges read the workers' deques; stop sampling them before teardown.
+  for (int Id : MetricsGaugeIds)
+    obs::MetricsSampler::get().unregisterGauge(Id);
   ShuttingDown.store(true, std::memory_order_release);
   for (std::thread &T : Threads)
     T.join();
@@ -56,6 +73,7 @@ Scheduler::~Scheduler() {
 void Scheduler::strandPause(Worker *W) {
   if (!ProfileEnabled || W->StrandStartNs == 0)
     return;
+  obs::emit(obs::Ev::StrandEnd);
   double Elapsed = static_cast<double>(nowNs() - W->StrandStartNs);
   W->StrandStartNs = 0;
   W->SpanAccNs += Elapsed;
@@ -65,6 +83,7 @@ void Scheduler::strandPause(Worker *W) {
 void Scheduler::strandResume(Worker *W) {
   if (!ProfileEnabled)
     return;
+  obs::emit(obs::Ev::StrandBegin);
   W->StrandStartNs = nowNs();
 }
 
@@ -73,6 +92,7 @@ WorkSpan Scheduler::runImpl(Thunk Root, void *Env) {
   Worker *W = Workers[0];
   CurScheduler = this;
   CurWorker = W;
+  obs::labelCurrentThread(0);
   for (Worker *Each : Workers) {
     Each->SpanAccNs = 0;
     Each->WorkAccNs = 0;
@@ -119,6 +139,7 @@ void Scheduler::forkImpl(Thunk A, void *EnvA, Job &JB) {
   W->SpanAccNs = 0;
 
   W->Dq.push(&JB);
+  obs::emit(obs::Ev::Fork);
   // Schedule fuzzing: widen the window in which JB is stealable.
   chaos::preemptPoint(chaos::Point::Fork);
 
@@ -138,6 +159,7 @@ void Scheduler::forkImpl(Thunk A, void *EnvA, Job &JB) {
     MPL_CHECK(Popped == nullptr,
               "fork2join: unbalanced deque (nested job leaked)");
     // Stolen: help until the thief finishes.
+    obs::emit(obs::Ev::JoinWaitBegin);
     while (!JB.Done.load(std::memory_order_acquire)) {
       // Schedule fuzzing: delayed joins hold the parent here so the thief
       // (and its heap) outlive the window the join rule expects.
@@ -147,6 +169,7 @@ void Scheduler::forkImpl(Thunk A, void *EnvA, Job &JB) {
       if (!tryStealAndRun(W))
         std::this_thread::yield();
     }
+    obs::emit(obs::Ev::JoinWaitEnd);
     SpanB = JB.SpanOutNs;
   }
 
@@ -158,6 +181,7 @@ bool Scheduler::tryStealAndRun(Worker *W) {
   int N = numWorkers();
   if (N <= 1)
     return false;
+  int64_t AttemptStartNs = nowNs();
   // A few random probes; returning false lets the caller back off.
   for (int Attempt = 0; Attempt < 2 * N; ++Attempt) {
     // Schedule fuzzing: victim choices come from the seed when forced.
@@ -172,6 +196,8 @@ bool Scheduler::tryStealAndRun(Worker *W) {
       continue;
     if (Job *J = V->Dq.steal()) {
       NumSteals.inc();
+      StealLatencyNs.record(nowNs() - AttemptStartNs);
+      obs::emit(obs::Ev::Steal, static_cast<uint64_t>(Victim));
       executeJob(W, J);
       return true;
     }

@@ -133,6 +133,7 @@ private:
 
   std::vector<Worker *> Workers;
   std::vector<std::thread> Threads;
+  std::vector<int> MetricsGaugeIds; ///< Per-worker deque-depth gauges.
   std::atomic<bool> ShuttingDown{false};
   std::atomic<bool> Active{false};
   bool ProfileEnabled;

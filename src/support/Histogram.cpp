@@ -1,0 +1,103 @@
+//===- support/Histogram.cpp - Log2-bucketed latency histograms -----------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace mpl;
+
+Histogram::Histogram(const char *Name) : HistName(Name) {
+  HistogramRegistry::get().registerHistogram(this);
+}
+
+Histogram::~Histogram() {
+  HistogramRegistry::get().unregisterHistogram(this);
+}
+
+int64_t Histogram::count() const {
+  int64_t Total = 0;
+  for (int B = 0; B < NumBuckets; ++B)
+    Total += bucketCount(B);
+  return Total;
+}
+
+int64_t Histogram::approxQuantile(double Q) const {
+  int64_t Total = count();
+  if (Total == 0)
+    return 0;
+  int64_t Target = static_cast<int64_t>(Q * static_cast<double>(Total));
+  int64_t Seen = 0;
+  for (int B = 0; B < NumBuckets; ++B) {
+    Seen += bucketCount(B);
+    if (Seen > Target)
+      return B == 0 ? 0 : (static_cast<int64_t>(1) << B) - 1;
+  }
+  return sum();
+}
+
+void Histogram::reset() {
+  for (int B = 0; B < NumBuckets; ++B)
+    Buckets[B].store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+}
+
+HistogramRegistry &HistogramRegistry::get() {
+  static HistogramRegistry Instance;
+  return Instance;
+}
+
+void HistogramRegistry::registerHistogram(Histogram *H) {
+  std::lock_guard<std::mutex> G(Lock);
+  Histograms.push_back(H);
+}
+
+void HistogramRegistry::unregisterHistogram(Histogram *H) {
+  std::lock_guard<std::mutex> G(Lock);
+  Histograms.erase(std::remove(Histograms.begin(), Histograms.end(), H),
+                   Histograms.end());
+}
+
+void HistogramRegistry::resetAll() {
+  std::lock_guard<std::mutex> G(Lock);
+  for (Histogram *H : Histograms)
+    H->reset();
+}
+
+void HistogramRegistry::forEach(
+    const std::function<void(const Histogram &)> &Fn) const {
+  std::lock_guard<std::mutex> G(Lock);
+  for (const Histogram *H : Histograms)
+    Fn(*H);
+}
+
+std::string HistogramRegistry::report() const {
+  std::lock_guard<std::mutex> G(Lock);
+  std::string Out;
+  char Line[256];
+  for (const Histogram *H : Histograms) {
+    int64_t N = H->count();
+    if (N == 0)
+      continue;
+    std::snprintf(Line, sizeof(Line),
+                  "%-32s n=%lld sum=%lld p50<=%lld p99<=%lld\n", H->name(),
+                  static_cast<long long>(N), static_cast<long long>(H->sum()),
+                  static_cast<long long>(H->approxQuantile(0.50)),
+                  static_cast<long long>(H->approxQuantile(0.99)));
+    Out += Line;
+    for (int B = 0; B < Histogram::NumBuckets; ++B) {
+      int64_t C = H->bucketCount(B);
+      if (C == 0)
+        continue;
+      std::snprintf(Line, sizeof(Line), "  [>=%-13lld] %12lld\n",
+                    static_cast<long long>(Histogram::bucketLo(B)),
+                    static_cast<long long>(C));
+      Out += Line;
+    }
+  }
+  return Out;
+}

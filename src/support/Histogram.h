@@ -1,0 +1,101 @@
+//===- support/Histogram.h - Log2-bucketed latency histograms --*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free latency histograms: 64 power-of-two buckets of atomic counts,
+/// so a record() is one relaxed fetch_add — cheap enough for the scheduler's
+/// steal path and the collector's pause accounting. Like Stat, instances
+/// register themselves in a global registry; the table printers and the
+/// observability metrics exporter (src/obs/Metrics.cpp) report them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_SUPPORT_HISTOGRAM_H
+#define MPL_SUPPORT_HISTOGRAM_H
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpl {
+
+/// A log2-bucketed histogram of non-negative int64 samples (typically
+/// nanoseconds). Bucket B holds samples whose value V satisfies
+/// bit_width(V) == B, i.e. V in [2^(B-1), 2^B); bucket 0 holds V <= 0.
+class Histogram {
+public:
+  static constexpr int NumBuckets = 64;
+
+  explicit Histogram(const char *Name);
+  ~Histogram();
+
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  static int bucketOf(int64_t V) {
+    if (V <= 0)
+      return 0;
+    return std::bit_width(static_cast<uint64_t>(V));
+  }
+
+  /// Lower bound of bucket \p B (inclusive); 0 for bucket 0.
+  static int64_t bucketLo(int B) {
+    return B <= 0 ? 0 : static_cast<int64_t>(1) << (B - 1);
+  }
+
+  void record(int64_t V) {
+    Buckets[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+  }
+
+  int64_t bucketCount(int B) const {
+    return Buckets[B].load(std::memory_order_relaxed);
+  }
+  int64_t count() const;
+  int64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+
+  /// Smallest bucket upper bound below which at least \p Q of the samples
+  /// fall (a coarse quantile: exact only up to bucket granularity).
+  int64_t approxQuantile(double Q) const;
+
+  void reset();
+  const char *name() const { return HistName; }
+
+private:
+  const char *HistName;
+  std::atomic<int64_t> Buckets[NumBuckets] = {};
+  std::atomic<int64_t> Sum{0};
+};
+
+/// Global registry of all histograms, mirroring StatRegistry. Thread-safe:
+/// histograms may be constructed/destroyed from worker threads.
+class HistogramRegistry {
+public:
+  static HistogramRegistry &get();
+
+  void registerHistogram(Histogram *H);
+  void unregisterHistogram(Histogram *H);
+  void resetAll();
+
+  /// Runs \p Fn for every live histogram, under the registry lock.
+  void forEach(const std::function<void(const Histogram &)> &Fn) const;
+
+  /// Renders a text report of every non-empty histogram: one header line
+  /// (count/sum/p50/p99 estimate) plus one line per non-empty bucket.
+  std::string report() const;
+
+private:
+  mutable std::mutex Lock;
+  std::vector<Histogram *> Histograms;
+};
+
+} // namespace mpl
+
+#endif // MPL_SUPPORT_HISTOGRAM_H

@@ -6,6 +6,7 @@
 
 #include "support/Stats.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -15,6 +16,8 @@ Stat::Stat(const char *Name) : StatName(Name) {
   StatRegistry::get().registerStat(this);
 }
 
+Stat::~Stat() { StatRegistry::get().unregisterStat(this); }
+
 StatRegistry &StatRegistry::get() {
   // Function-local static avoids global-constructor ordering issues while
   // still giving Stat instances a registry to attach to on first use.
@@ -22,21 +25,41 @@ StatRegistry &StatRegistry::get() {
   return Instance;
 }
 
-void StatRegistry::registerStat(Stat *S) { Stats.push_back(S); }
+void StatRegistry::registerStat(Stat *S) {
+  std::lock_guard<std::mutex> G(Lock);
+  Stats.push_back(S);
+}
+
+void StatRegistry::unregisterStat(Stat *S) {
+  std::lock_guard<std::mutex> G(Lock);
+  Stats.erase(std::remove(Stats.begin(), Stats.end(), S), Stats.end());
+}
 
 void StatRegistry::resetAll() {
+  std::lock_guard<std::mutex> G(Lock);
   for (Stat *S : Stats)
     S->set(0);
 }
 
 int64_t StatRegistry::valueOf(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Lock);
   for (const Stat *S : Stats)
     if (Name == S->name())
       return S->get();
   return 0;
 }
 
+std::vector<std::pair<std::string, int64_t>> StatRegistry::snapshotAll() const {
+  std::lock_guard<std::mutex> G(Lock);
+  std::vector<std::pair<std::string, int64_t>> Out;
+  Out.reserve(Stats.size());
+  for (const Stat *S : Stats)
+    Out.emplace_back(S->name(), S->get());
+  return Out;
+}
+
 std::string StatRegistry::report() const {
+  std::lock_guard<std::mutex> G(Lock);
   std::string Out;
   char Line[256];
   for (const Stat *S : Stats) {

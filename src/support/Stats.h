@@ -17,16 +17,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace mpl {
 
-/// A single named statistic. Instances are expected to have static storage
-/// duration (they register themselves on first use through StatRegistry).
+/// A single named statistic. Instances register themselves in StatRegistry
+/// on construction and unregister on destruction, so both static-duration
+/// counters and dynamically constructed ones (e.g. created from worker
+/// threads) are safe.
 class Stat {
 public:
   explicit Stat(const char *Name);
+  ~Stat();
+
+  Stat(const Stat &) = delete;
+  Stat &operator=(const Stat &) = delete;
 
   void add(int64_t Delta) { Value.fetch_add(Delta, std::memory_order_relaxed); }
   void inc() { add(1); }
@@ -50,22 +57,29 @@ private:
 };
 
 /// Global registry of all statistics; used to reset between benchmark runs
-/// and to dump a report.
+/// and to dump a report. Thread-safe: registration, unregistration and
+/// iteration all take the registry lock (Stats may be constructed from
+/// worker threads while another thread reads a report).
 class StatRegistry {
 public:
   static StatRegistry &get();
 
   void registerStat(Stat *S);
+  void unregisterStat(Stat *S);
   void resetAll();
 
   /// Returns the current value of the statistic named \p Name, or 0 when no
   /// such statistic exists.
   int64_t valueOf(const std::string &Name) const;
 
+  /// Copies every (name, value) pair under the registry lock.
+  std::vector<std::pair<std::string, int64_t>> snapshotAll() const;
+
   /// Renders "name = value" lines for all non-zero statistics.
   std::string report() const;
 
 private:
+  mutable std::mutex Lock;
   std::vector<Stat *> Stats;
 };
 

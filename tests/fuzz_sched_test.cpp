@@ -25,6 +25,7 @@
 #include "core/Handles.h"
 #include "core/Ops.h"
 #include "core/Runtime.h"
+#include "obs/Trace.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "workloads/Entangled.h"
@@ -97,6 +98,13 @@ FuzzOutcome runUnderChaos(const chaos::Config &C, int Workers) {
   FuzzOutcome Out;
   em::Counts.reset();
   StatRegistry::get().resetAll();
+  // Arm the tracer with a small ring so a failing seed can flush the last
+  // window of scheduler/barrier/GC events next to its printed seed. The
+  // previous case's events are dropped so the flush shows only this run.
+  obs::Tracer::get().clear();
+  obs::TraceOptions TO;
+  TO.Capacity = uint64_t(1) << 12;
+  obs::Tracer::get().enable(TO);
   chaos::enable(C);
 
   auto valueCheck = [&](bool Cond, const char *What) {
@@ -176,6 +184,7 @@ FuzzOutcome runUnderChaos(const chaos::Config &C, int Workers) {
   Out.Final = em::Counts.snapshot();
   Out.Totals = chaos::totals();
   chaos::disable();
+  obs::Tracer::get().disable();
   return Out;
 }
 
@@ -205,10 +214,19 @@ TEST_P(ScheduleFuzz, CleanTreeHoldsAllInvariants) {
   const uint64_t Seed = GetParam();
   chaos::Config C = chaos::Config::fromSeed(Seed);
   FuzzOutcome Out = runUnderChaos(C, C.suggestedWorkers());
+  // On failure, flush the event window of this run so the seed replay has
+  // a timeline to start from (loadable in Perfetto / chrome://tracing).
+  std::string TraceNote;
+  if (!Out.ok()) {
+    std::string TracePath =
+        "chaos_trace_seed_" + std::to_string(Seed) + ".json";
+    if (obs::Tracer::get().writeChromeTrace(TracePath))
+      TraceNote = "\n  trace of the failing run: " + TracePath;
+  }
   EXPECT_TRUE(Out.ok()) << "schedule-fuzz failure; reproduce with:\n"
                         << "  MPL_CHAOS_SEED=" << Seed
                         << " ./fuzz_sched_test\n"
-                        << Out.signature();
+                        << Out.signature() << TraceNote;
   // The run must have exercised entanglement at all, or the corpus is
   // fuzzing nothing.
   EXPECT_GT(Out.Final.PinnedObjects, 0);

@@ -1,0 +1,385 @@
+//===- tests/obs_test.cpp - Tracer, metrics sampler and exporter tests ----===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+// Covers the observability layer in isolation (src/obs depends only on
+// support, so these tests drive the Tracer / MetricsSampler directly):
+// ring wrap and the dropped-event counter, per-thread event ordering, the
+// well-formedness of the Chrome trace-event export (parsed back with
+// support/Json), sampler monotonicity, and the everything-disabled smoke.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/Histogram.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mpl;
+
+namespace {
+
+/// Every test arms/disarms the process-wide tracer; serialize the state.
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::Tracer::get().disable();
+    obs::Tracer::get().clear();
+    obs::MetricsSampler::get().stop();
+    obs::MetricsSampler::get().clearSeries();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Disabled path
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, DisabledEmitsNothing) {
+  ASSERT_FALSE(obs::traceEnabled());
+  for (int I = 0; I < 1000; ++I)
+    obs::emit(obs::Ev::Fork, static_cast<uint64_t>(I));
+  EXPECT_EQ(obs::Tracer::get().totalEvents(), 0u);
+  EXPECT_EQ(obs::Tracer::get().totalDropped(), 0u);
+}
+
+TEST_F(ObsTest, EnableDisableRoundTrip) {
+  obs::Tracer::get().enable(obs::TraceOptions{});
+  EXPECT_TRUE(obs::traceEnabled());
+  obs::emit(obs::Ev::Fork);
+  obs::Tracer::get().disable();
+  EXPECT_FALSE(obs::traceEnabled());
+  obs::emit(obs::Ev::Fork); // Must be dropped at the gate.
+  EXPECT_EQ(obs::Tracer::get().totalEvents(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ring wrap / overflow
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, RingWrapKeepsNewestAndCountsDropped) {
+  obs::TraceOptions O;
+  O.Capacity = 64;
+  obs::Tracer::get().enable(O);
+  const uint64_t Total = 64 * 3 + 17;
+  for (uint64_t I = 0; I < Total; ++I)
+    obs::emit(obs::Ev::Pin, /*A0=*/I);
+  obs::Tracer::get().disable();
+
+  obs::TraceBuffer *B = obs::Tracer::get().threadBuffer();
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->capacity(), 64u);
+  EXPECT_EQ(B->head(), Total);
+  EXPECT_EQ(B->size(), 64u);
+  EXPECT_EQ(B->dropped(), Total - 64);
+  EXPECT_EQ(obs::Tracer::get().totalDropped(), Total - 64);
+
+  // The retained window is exactly the newest 64 events, uncorrupted and
+  // in emission order.
+  uint64_t Expect = Total - 64;
+  for (uint64_t I = B->first(); I < B->head(); ++I, ++Expect) {
+    const obs::TraceEvent &E = B->at(I);
+    EXPECT_EQ(E.Kind, static_cast<uint16_t>(obs::Ev::Pin));
+    EXPECT_EQ(E.Arg0, Expect);
+  }
+}
+
+TEST_F(ObsTest, CapacityRoundsUpToPowerOfTwo) {
+  obs::TraceOptions O;
+  O.Capacity = 100; // Not a power of two.
+  obs::Tracer::get().enable(O);
+  obs::emit(obs::Ev::Fork);
+  obs::Tracer::get().disable();
+  EXPECT_EQ(obs::Tracer::get().threadBuffer()->capacity(), 128u);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-thread ordering and track attribution
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, PerThreadEventsStayOrdered) {
+  obs::Tracer::get().enable(obs::TraceOptions{});
+  const int NThreads = 4, PerThread = 2000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < NThreads; ++T)
+    Ts.emplace_back([T] {
+      obs::labelCurrentThread(T);
+      for (int I = 0; I < PerThread; ++I)
+        obs::emit(obs::Ev::Steal, static_cast<uint64_t>(I),
+                  static_cast<uint64_t>(T));
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  obs::Tracer::get().disable();
+
+  // One buffer per thread, each with its own monotone sequence and
+  // non-decreasing timestamps.
+  int BuffersSeen = 0;
+  obs::Tracer::get().forEachBuffer([&](const obs::TraceBuffer &B) {
+    if (B.head() == 0)
+      return; // The main thread's buffer, if any.
+    ++BuffersSeen;
+    ASSERT_EQ(B.size(), static_cast<uint64_t>(PerThread));
+    int64_t LastTs = 0;
+    uint64_t Seq = 0;
+    for (uint64_t I = B.first(); I < B.head(); ++I, ++Seq) {
+      const obs::TraceEvent &E = B.at(I);
+      EXPECT_EQ(E.Arg0, Seq);
+      EXPECT_EQ(E.Arg1, static_cast<uint64_t>(B.TrackId));
+      EXPECT_GE(E.TimeNs, LastTs);
+      LastTs = E.TimeNs;
+    }
+  });
+  EXPECT_EQ(BuffersSeen, NThreads);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace export
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, ChromeTraceJsonParsesBack) {
+  obs::Tracer::get().enable(obs::TraceOptions{});
+  obs::labelCurrentThread(0);
+  obs::emit(obs::Ev::GcBegin, 2);
+  obs::emit(obs::Ev::GcMarkBegin);
+  obs::emit(obs::Ev::GcMarkEnd, 5);
+  obs::emit(obs::Ev::GcEnd, 1024, 4096);
+  obs::emit(obs::Ev::Steal, 3);
+  obs::emit(obs::Ev::Pin, 64, 1);
+  obs::Tracer::get().disable();
+
+  std::string Text = obs::Tracer::get().chromeTraceJson();
+  json::Value Doc;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Text, Doc, Err)) << Err << "\n" << Text;
+  ASSERT_EQ(Doc.K, json::Value::Kind::Object);
+
+  const json::Value *Evs = Doc.field("traceEvents");
+  ASSERT_NE(Evs, nullptr);
+  ASSERT_EQ(Evs->K, json::Value::Kind::Array);
+
+  int NBegin = 0, NEnd = 0, NInstant = 0, NMeta = 0;
+  bool SawSteal = false, SawPin = false, SawGcSlice = false;
+  for (const json::Value &E : Evs->Items) {
+    const json::Value *Ph = E.field("ph");
+    ASSERT_NE(Ph, nullptr);
+    ASSERT_NE(E.field("pid"), nullptr);
+    ASSERT_NE(E.field("tid"), nullptr);
+    if (Ph->StrV == "M") {
+      ++NMeta;
+      continue;
+    }
+    ASSERT_NE(E.field("ts"), nullptr);
+    ASSERT_NE(E.field("name"), nullptr);
+    if (Ph->StrV == "B")
+      ++NBegin;
+    else if (Ph->StrV == "E")
+      ++NEnd;
+    else if (Ph->StrV == "i")
+      ++NInstant;
+    if (E.field("name")->StrV == "steal")
+      SawSteal = true;
+    if (E.field("name")->StrV == "pin")
+      SawPin = true;
+    if (E.field("name")->StrV == "gc" && Ph->StrV == "B")
+      SawGcSlice = true;
+  }
+  EXPECT_EQ(NBegin, NEnd) << "unbalanced duration slices break Perfetto";
+  EXPECT_EQ(NBegin, 2); // gc + gc_mark.
+  EXPECT_EQ(NInstant, 2); // steal + pin.
+  EXPECT_GE(NMeta, 1);    // thread_name for worker 0.
+  EXPECT_TRUE(SawSteal);
+  EXPECT_TRUE(SawPin);
+  EXPECT_TRUE(SawGcSlice);
+}
+
+TEST_F(ObsTest, ExporterDropsOrphanedEndEvents) {
+  // A wrapped ring can retain an End whose Begin was overwritten; the
+  // exporter must drop it (Perfetto rejects E-without-B timelines).
+  obs::TraceOptions O;
+  O.Capacity = 4;
+  obs::Tracer::get().enable(O);
+  obs::emit(obs::Ev::GcBegin);       // Will be overwritten...
+  obs::emit(obs::Ev::GcEnd);         // ...leaving this End orphaned.
+  obs::emit(obs::Ev::Pin);
+  obs::emit(obs::Ev::Pin);
+  obs::emit(obs::Ev::Pin); // Wraps: GcBegin is gone.
+  obs::Tracer::get().disable();
+
+  std::string Text = obs::Tracer::get().chromeTraceJson();
+  json::Value Doc;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Text, Doc, Err)) << Err;
+  for (const json::Value &E : Doc.field("traceEvents")->Items)
+    EXPECT_NE(E.field("ph")->StrV, "E") << "orphaned E survived export";
+}
+
+TEST_F(ObsTest, DroppedCountIsExported) {
+  obs::TraceOptions O;
+  O.Capacity = 8;
+  obs::Tracer::get().enable(O);
+  for (int I = 0; I < 20; ++I)
+    obs::emit(obs::Ev::Fork);
+  obs::Tracer::get().disable();
+
+  json::Value Doc;
+  std::string Err;
+  ASSERT_TRUE(json::parse(obs::Tracer::get().chromeTraceJson(), Doc, Err));
+  const json::Value *Other = Doc.field("otherData");
+  ASSERT_NE(Other, nullptr);
+  const json::Value *Dropped = Other->field("dropped_events");
+  ASSERT_NE(Dropped, nullptr);
+  EXPECT_EQ(Dropped->StrV, "12");
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics sampler
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, SamplerSeriesIsMonotoneAndGaugesAreRead) {
+  auto &S = obs::MetricsSampler::get();
+  std::atomic<int64_t> Depth{0};
+  int Id = S.registerGauge("test.depth", [&] { return Depth.load(); });
+
+  Depth = 3;
+  S.sampleOnce();
+  Depth = 7;
+  S.sampleOnce();
+  Depth = 7;
+  S.sampleOnce();
+  S.unregisterGauge(Id);
+
+  std::vector<obs::MetricsSample> Series = S.series();
+  ASSERT_EQ(Series.size(), 3u);
+  int64_t LastTs = 0;
+  for (const obs::MetricsSample &M : Series) {
+    EXPECT_GE(M.TimeNs, LastTs) << "sampler timestamps must be monotone";
+    LastTs = M.TimeNs;
+  }
+  auto gauge = [](const obs::MetricsSample &M, const std::string &N) {
+    for (const auto &[Name, V] : M.Gauges)
+      if (Name == N)
+        return V;
+    return int64_t(-1);
+  };
+  EXPECT_EQ(gauge(Series[0], "test.depth"), 3);
+  EXPECT_EQ(gauge(Series[1], "test.depth"), 7);
+  EXPECT_EQ(gauge(Series[2], "test.depth"), 7);
+}
+
+TEST_F(ObsTest, BackgroundSamplerCollectsAndStops) {
+  auto &S = obs::MetricsSampler::get();
+  S.start(/*IntervalUs=*/200);
+  EXPECT_TRUE(S.running());
+  while (S.sampleCount() < 3)
+    std::this_thread::yield();
+  S.stop();
+  EXPECT_FALSE(S.running());
+  size_t N = S.sampleCount();
+  EXPECT_GE(N, 3u);
+  // Stopped means stopped: the count may not advance further.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(S.sampleCount(), N);
+}
+
+TEST_F(ObsTest, MetricsJsonParsesBackWithHistograms) {
+  Histogram H("obs.test.latency.ns");
+  H.record(100);
+  H.record(100000);
+  obs::MetricsSampler::get().sampleOnce();
+
+  json::Value Doc;
+  std::string Err;
+  ASSERT_TRUE(json::parse(obs::MetricsSampler::get().jsonDump(), Doc, Err))
+      << Err;
+  const json::Value *Samples = Doc.field("samples");
+  ASSERT_NE(Samples, nullptr);
+  ASSERT_EQ(Samples->Items.size(), 1u);
+  ASSERT_NE(Samples->Items[0].field("em"), nullptr);
+  ASSERT_NE(Samples->Items[0].field("em")->field("live_pinned_bytes"),
+            nullptr);
+
+  const json::Value *Hists = Doc.field("histograms");
+  ASSERT_NE(Hists, nullptr);
+  bool Found = false;
+  for (const json::Value &HV : Hists->Items)
+    if (HV.field("name")->StrV == "obs.test.latency.ns") {
+      Found = true;
+      EXPECT_EQ(static_cast<int64_t>(HV.field("count")->NumV), 2);
+      EXPECT_EQ(static_cast<int64_t>(HV.field("sum")->NumV), 100100);
+    }
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Histograms (satellite of the same layer; exercised via obs export above,
+// pinned down directly here)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, HistogramBucketsAndQuantiles) {
+  Histogram H("obs.test.hist");
+  for (int I = 0; I < 100; ++I)
+    H.record(1000); // bucket of 1000 = bit_width 10.
+  H.record(0);      // Non-positive values land in bucket 0.
+  H.record(-5);
+  EXPECT_EQ(H.count(), 102u);
+  EXPECT_EQ(H.sum(), 100 * 1000 + 0 + (-5));
+  int64_t P50 = H.approxQuantile(0.5);
+  EXPECT_GE(P50, 512);
+  EXPECT_LE(P50, 1024);
+}
+
+TEST_F(ObsTest, HistogramRegistryFindsLiveHistograms) {
+  size_t Before = 0;
+  HistogramRegistry::get().forEach([&](const Histogram &) { ++Before; });
+  {
+    Histogram H("obs.test.scoped");
+    size_t During = 0;
+    HistogramRegistry::get().forEach([&](const Histogram &) { ++During; });
+    EXPECT_EQ(During, Before + 1);
+  }
+  size_t After = 0;
+  HistogramRegistry::get().forEach([&](const Histogram &) { ++After; });
+  EXPECT_EQ(After, Before);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats registry race fix: dynamic registration from worker threads
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, StatRegistrationIsThreadSafe) {
+  // Before the registry lock, concurrent Stat construction raced the
+  // vector push_back (and any concurrent report()). Hammer it.
+  // Stat keeps the name pointer, so dynamic Stats need static storage.
+  static const char *DynNames[8] = {
+      "obs.test.dyn.t0", "obs.test.dyn.t1", "obs.test.dyn.t2",
+      "obs.test.dyn.t3", "obs.test.dyn.t4", "obs.test.dyn.t5",
+      "obs.test.dyn.t6", "obs.test.dyn.t7"};
+  std::vector<std::thread> Ts;
+  std::atomic<bool> Go{false};
+  for (int T = 0; T < 8; ++T)
+    Ts.emplace_back([&Go, T] {
+      while (!Go.load())
+        std::this_thread::yield();
+      for (int I = 0; I < 200; ++I) {
+        Stat S(DynNames[T]);
+        S.add(I);
+        (void)StatRegistry::get().valueOf("obs.test.dyn.t0");
+      }
+    });
+  Go = true;
+  for (std::thread &T : Ts)
+    T.join();
+  // All temporaries unregistered themselves on destruction.
+  EXPECT_EQ(StatRegistry::get().valueOf("obs.test.dyn.t0"), 0);
+}

@@ -34,6 +34,16 @@ run_config() {
 
   echo "==== [$preset] schedule-fuzz, $seeds seeds ===="
   MPL_FUZZ_SEEDS=$seeds ctest --preset "$preset" -R '^fuzz_sched_test$'
+
+  echo "==== [$preset] trace smoke ===="
+  # Run a real workload with the tracer armed and validate the exported
+  # Chrome trace (Perfetto-loadable, B/E balanced, expected event kinds).
+  local bdir="build-$preset"
+  MPL_TRACE="$bdir/trace_smoke.json" MPL_METRICS="$bdir/metrics_smoke.json" \
+    "$bdir/examples/quickstart" > /dev/null
+  "$bdir/tools/mpl_trace_check" "$bdir/trace_smoke.json" \
+    --require-event fork --require-event heap_join \
+    --require-event pin --require-event gc
 }
 
 case "${1:-all}" in

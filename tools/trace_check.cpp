@@ -1,0 +1,131 @@
+//===- tools/trace_check.cpp - Chrome trace-event file validator ----------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+// Validates a trace file produced by MPL_TRACE=<path> (src/obs): parses the
+// JSON, checks the Chrome trace-event shape (ph/pid/tid/ts on every event,
+// B/E balance per track, thread_name metadata), and prints a one-line
+// summary. CI runs it over the smoke workload's trace; exits non-zero on
+// any malformation so a broken exporter fails the pipeline.
+//
+// Usage: mpl_trace_check <trace.json> [--require-event NAME]...
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mpl;
+
+namespace {
+
+int fail(const std::string &What) {
+  std::fprintf(stderr, "trace_check: FAIL: %s\n", What.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return fail("usage: mpl_trace_check <trace.json> [--require-event N]...");
+
+  std::vector<std::string> Required;
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--require-event" && I + 1 < argc)
+      Required.emplace_back(argv[++I]);
+    else
+      return fail("unknown argument: " + A);
+  }
+
+  std::ifstream In(argv[1]);
+  if (!In)
+    return fail(std::string("cannot open ") + argv[1]);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  json::Value Doc;
+  std::string Err;
+  if (!json::parse(Text, Doc, Err))
+    return fail("JSON parse error: " + Err);
+  if (!Doc.isObject())
+    return fail("top-level value is not an object");
+
+  const json::Value *Evs = Doc.field("traceEvents");
+  if (!Evs || !Evs->isArray())
+    return fail("missing traceEvents array");
+
+  // Per-(pid,tid) B/E nesting depth; Perfetto rejects unbalanced tracks.
+  std::map<std::pair<double, double>, long> Depth;
+  std::set<std::string> Names;
+  long NEvents = 0, NMeta = 0, NSlices = 0, NInstants = 0;
+
+  for (const json::Value &E : Evs->Items) {
+    if (!E.isObject())
+      return fail("traceEvents entry is not an object");
+    const json::Value *Ph = E.field("ph");
+    const json::Value *Pid = E.field("pid");
+    const json::Value *Tid = E.field("tid");
+    if (!Ph || !Ph->isString())
+      return fail("event without a ph phase");
+    if (!Pid || !Pid->isNumber() || !Tid || !Tid->isNumber())
+      return fail("event without numeric pid/tid");
+    const std::string &P = Ph->StrV;
+    if (P == "M") {
+      ++NMeta;
+      continue;
+    }
+    ++NEvents;
+    const json::Value *Ts = E.field("ts");
+    const json::Value *Name = E.field("name");
+    if (!Ts || !Ts->isNumber())
+      return fail("non-metadata event without numeric ts");
+    if (Ts->NumV < 0)
+      return fail("negative timestamp");
+    if (!Name || !Name->isString() || Name->StrV.empty())
+      return fail("non-metadata event without a name");
+    Names.insert(Name->StrV);
+    auto Track = std::make_pair(Pid->NumV, Tid->NumV);
+    if (P == "B") {
+      ++Depth[Track];
+      ++NSlices;
+    } else if (P == "E") {
+      if (--Depth[Track] < 0)
+        return fail("E without matching B on track tid=" +
+                    std::to_string(static_cast<long>(Tid->NumV)));
+    } else if (P == "i") {
+      ++NInstants;
+    } else {
+      return fail("unexpected phase '" + P + "'");
+    }
+  }
+
+  for (const auto &[Track, D] : Depth)
+    if (D != 0)
+      return fail("unclosed B slice on track tid=" +
+                  std::to_string(static_cast<long>(Track.second)));
+
+  for (const std::string &R : Required)
+    if (!Names.count(R))
+      return fail("required event '" + R + "' absent from trace");
+
+  std::string Dropped = "0";
+  if (const json::Value *Other = Doc.field("otherData"))
+    if (const json::Value *D = Other->field("dropped_events"))
+      Dropped = D->StrV;
+
+  std::printf("trace_check: OK: %ld events (%ld slices, %ld instants, "
+              "%ld metadata), %zu distinct names, %s dropped\n",
+              NEvents, NSlices, NInstants, NMeta, Names.size(),
+              Dropped.c_str());
+  return 0;
+}
