@@ -11,11 +11,17 @@
 // The second benchmark argument arms the obs tracer (src/obs/Trace.h) for
 // the measured loop: `manage` vs `manage+trace` is the per-op cost of the
 // tracing hooks (disabled: one relaxed load + predictable branch; enabled:
-// a 32-byte ring-buffer store). Recorded in results/M1_barriers.txt.
+// a 32-byte ring-buffer store). The third argument arms the memory
+// governor (src/mm/MemoryGovernor.h) with a generous limit: `manage` vs
+// `manage+gov` is the per-op cost of limit admission on the chunk
+// acquisition path — zero for the barrier loops (they never acquire) and
+// a per-chunk, not per-object, accounting charge for the allocation loop.
+// Recorded in results/M1_barriers.txt.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/Common.h"
+#include "mm/MemoryGovernor.h"
 #include "obs/Trace.h"
 
 #include <benchmark/benchmark.h>
@@ -42,19 +48,27 @@ const char *modeName(int64_t I) {
   return I == 0 ? "off" : (I == 1 ? "detect" : "manage");
 }
 
-/// RAII for the tracer configuration of one benchmark run; labels the
-/// state "<mode>" or "<mode>+trace".
+/// RAII for the tracer + governor configuration of one benchmark run;
+/// labels the state "<mode>", "<mode>+trace" or "<mode>+gov". The governed
+/// runs use a limit far above the benchmark's residency, so they price the
+/// admission bookkeeping itself, never the recovery ladder.
 class TracerConfig {
 public:
-  TracerConfig(benchmark::State &State) : Traced(State.range(1) != 0) {
+  TracerConfig(benchmark::State &State)
+      : Traced(State.range(1) != 0), Governed(State.range(2) != 0),
+        SavedGov(MemoryGovernor::get().config()) {
     if (Traced) {
       obs::Tracer::get().clear();
       obs::Tracer::get().enable(obs::TraceOptions{});
     }
+    MemoryGovernor::Config G = SavedGov;
+    G.LimitBytes = Governed ? (int64_t(4) << 30) : 0;
+    MemoryGovernor::get().configure(G);
     State.SetLabel(std::string(modeName(State.range(0))) +
-                   (Traced ? "+trace" : ""));
+                   (Traced ? "+trace" : "") + (Governed ? "+gov" : ""));
   }
   ~TracerConfig() {
+    MemoryGovernor::get().configure(SavedGov);
     if (Traced) {
       obs::Tracer::get().disable();
       obs::Tracer::get().clear();
@@ -63,6 +77,8 @@ public:
 
 private:
   bool Traced;
+  bool Governed;
+  MemoryGovernor::Config SavedGov;
 };
 
 void BM_RefGetDisentangled(benchmark::State &State) {
@@ -151,8 +167,9 @@ void BM_Allocation(benchmark::State &State) {
 
 } // namespace
 
-#define MPL_BARRIER_ARGS \
-  Args({0, 0})->Args({1, 0})->Args({2, 0})->Args({2, 1})
+#define MPL_BARRIER_ARGS                                                       \
+  Args({0, 0, 0})->Args({1, 0, 0})->Args({2, 0, 0})->Args({2, 1, 0})           \
+      ->Args({2, 0, 1})
 BENCHMARK(BM_RefGetDisentangled)->MPL_BARRIER_ARGS;
 BENCHMARK(BM_RefSetDisentangled)->MPL_BARRIER_ARGS;
 BENCHMARK(BM_ArrayGetInt)->MPL_BARRIER_ARGS;

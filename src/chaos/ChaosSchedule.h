@@ -65,8 +65,9 @@ enum class Point : uint8_t {
 /// Deliberate bugs the fuzz suite must catch (see file comment).
 enum class Fault : uint8_t {
   None,
-  SkipPin,   ///< Write barrier skips addPinned for one victim object.
-  SkipUnpin, ///< Join keeps an object pinned past its unpin depth.
+  SkipPin,        ///< Write barrier skips addPinned for one victim object.
+  SkipUnpin,      ///< Join keeps an object pinned past its unpin depth.
+  FailChunkAlloc, ///< ChunkPool treats the allocation attempt as failed.
 };
 
 /// One seed fully describes a perturbation mix. Either fill the fields by

@@ -12,6 +12,7 @@
 #include "support/Stats.h"
 
 #include <algorithm>
+#include <cstdio>
 
 using namespace mpl;
 
@@ -27,7 +28,46 @@ Stat StatCrossPins("em.pins.cross");
 Stat StatHolderPins("em.pins.holder");
 Stat StatPinnedObjects("em.pins.objects");
 Stat StatPinnedBytes("em.pinned.bytes");
+Stat StatDetectRejections("em.detect.rejections");
+
+const char *objKindName(ObjKind K) {
+  switch (K) {
+  case ObjKind::Record:
+    return "record";
+  case ObjKind::Array:
+    return "array";
+  case ObjKind::RawArray:
+    return "raw_array";
+  case ObjKind::Ref:
+    return "ref";
+  }
+  return "?";
+}
+
+std::string describeEntanglement(EntanglementError::Site S,
+                                 uint32_t ReaderDepth, uint32_t PointeeDepth,
+                                 ObjKind Kind) {
+  char Buf[192];
+  if (S == EntanglementError::Site::Write)
+    std::snprintf(Buf, sizeof(Buf),
+                  "entanglement created by write (Detect mode): cross-pointer "
+                  "to a %s at depth %u from holder at depth %u",
+                  objKindName(Kind), PointeeDepth, ReaderDepth);
+  else
+    std::snprintf(Buf, sizeof(Buf),
+                  "entanglement detected (Detect mode models MPL before this "
+                  "paper, which rejects entangled executions): read of a %s "
+                  "at depth %u by reader at depth %u",
+                  objKindName(Kind), PointeeDepth, ReaderDepth);
+  return Buf;
+}
 } // namespace
+
+EntanglementError::EntanglementError(Site S, uint32_t ReaderDepth,
+                                     uint32_t PointeeDepth, ObjKind K)
+    : std::runtime_error(
+          describeEntanglement(S, ReaderDepth, PointeeDepth, K)),
+      Where(S), Reader(ReaderDepth), Pointee(PointeeDepth), Kind(K) {}
 
 void setMode(Mode M) { CurrentMode.store(M, std::memory_order_relaxed); }
 
@@ -70,8 +110,11 @@ void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
   if (mode() == Mode::Detect && PinDepth < HP->depth() &&
       !Heap::isAncestorOf(HX, HP)) {
     // Pre-paper MPL permits down-pointers (they are the remembered-set
-    // case) but has no mechanism for cross-pointers.
-    MPL_CHECK(false, "entanglement created by write (Detect mode)");
+    // case) but has no mechanism for cross-pointers. Recoverable: the
+    // strand unwinds and Runtime::run rethrows.
+    StatDetectRejections.inc();
+    throw EntanglementError(EntanglementError::Site::Write, HX->depth(),
+                            HP->depth(), P->kind());
   }
   if (chaos::faultFires(chaos::Fault::SkipPin))
     return; // Test-only injected bug: publish without pinning.
@@ -91,9 +134,13 @@ void readBarrierSlow(Heap *Reader, Object *P, Heap *HP) {
   chaos::preemptPoint(chaos::Point::ReadBarrier);
   Counts.EntangledReads.fetch_add(1, std::memory_order_relaxed);
   StatEntangledReads.inc();
-  MPL_CHECK(mode() != Mode::Detect,
-            "entanglement detected (Detect mode models MPL before this "
-            "paper, which rejects entangled executions)");
+  if (mode() == Mode::Detect) {
+    // Recoverable rejection (see EntanglementError): the read barrier has
+    // taken no locks yet, so the strand can unwind cleanly.
+    StatDetectRejections.inc();
+    throw EntanglementError(EntanglementError::Site::Read, Reader->depth(),
+                            HP->depth(), P->kind());
+  }
   // Manage mode: the object is already pinned (pin-before-publish: the
   // write that made it visible pinned it). Deepen the pin to the LCA of
   // the reader and the object's heap in case the reader escapes higher

@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -49,8 +50,39 @@ namespace em {
 /// Entanglement policy for the whole runtime.
 enum class Mode : uint8_t {
   Off,    ///< No barriers. Sound only for disentangled programs (ablation).
-  Detect, ///< Detect entanglement and abort (pre-paper MPL behaviour).
+  Detect, ///< Detect entanglement and fail (pre-paper MPL behaviour).
   Manage, ///< Full entanglement management (the paper; default).
+};
+
+/// Recoverable Detect-mode failure: pre-paper MPL rejects entangled
+/// executions, and this runtime models that rejection as a structured
+/// error instead of a process abort. Thrown by the barrier slow paths,
+/// propagated through the rt::par joins, and rethrown by Runtime::run —
+/// so Detect mode is usable as a CI gate for disentanglement.
+class EntanglementError : public std::runtime_error {
+public:
+  /// Which barrier rejected the execution.
+  enum class Site : uint8_t {
+    Read, ///< Entangled read: pointee's heap not an ancestor of the reader.
+    Write ///< Cross-pointer write: no pre-paper mechanism can handle it.
+  };
+
+  EntanglementError(Site S, uint32_t ReaderDepth, uint32_t PointeeDepth,
+                    ObjKind Kind);
+
+  Site site() const { return Where; }
+  /// Depth of the heap doing the access (reader / holder heap).
+  uint32_t readerDepth() const { return Reader; }
+  /// Depth of the heap owning the entangled object.
+  uint32_t pointeeDepth() const { return Pointee; }
+  /// Kind of the entangled object.
+  ObjKind objectKind() const { return Kind; }
+
+private:
+  Site Where;
+  uint32_t Reader;
+  uint32_t Pointee;
+  ObjKind Kind;
 };
 
 /// Current mode; relaxed-read on the barrier fast path.

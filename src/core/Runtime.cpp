@@ -24,6 +24,9 @@ Stat PeakResidency("rt.residency.peak");
 
 /// Gauge ids registered by the live Runtime (empty when none exists).
 std::vector<int> RtGaugeIds;
+
+/// Emergency-GC hook id registered with the MemoryGovernor (0 = none).
+int GovGcHookId = 0;
 } // namespace
 
 Runtime::Runtime(const Config &C)
@@ -34,14 +37,32 @@ Runtime::Runtime(const Config &C)
   // Observability: honour MPL_TRACE / MPL_METRICS on the first Runtime and
   // expose the memory-side gauges to the sampler.
   obs::initFromEnv();
+  MemoryGovernor::get().initFromEnv();
   auto &Sampler = obs::MetricsSampler::get();
   RtGaugeIds.push_back(
       Sampler.registerGauge("mm.residency.bytes", [] { return residencyBytes(); }));
   RtGaugeIds.push_back(Sampler.registerGauge(
       "hh.heaps", [this] { return static_cast<int64_t>(Heaps.heapCount()); }));
+  RtGaugeIds.push_back(Sampler.registerGauge("mm.pressure.level", [] {
+    return static_cast<int64_t>(MemoryGovernor::get().pressure());
+  }));
+  RtGaugeIds.push_back(Sampler.registerGauge(
+      "mm.pinned.bytes", [] { return MemoryGovernor::get().pinnedBytes(); }));
+  RtGaugeIds.push_back(Sampler.registerGauge("mm.freelist.bytes", [] {
+    return ChunkPool::get().freeListBytes();
+  }));
+  // Recovery stage 2: the governor forces a local collection of the
+  // allocating task's private chain when trimming alone cannot admit a
+  // chunk.
+  GovGcHookId = MemoryGovernor::get().registerEmergencyGc(
+      [this] { return maybeCollect(/*Force=*/true); });
 }
 
 Runtime::~Runtime() {
+  if (GovGcHookId) {
+    MemoryGovernor::get().unregisterEmergencyGc(GovGcHookId);
+    GovGcHookId = 0;
+  }
   auto &Sampler = obs::MetricsSampler::get();
   for (int Id : RtGaugeIds)
     Sampler.unregisterGauge(Id);
@@ -94,6 +115,12 @@ bool Runtime::maybeCollect(bool Force) {
       std::max(Cfg.GcMinBytes,
                static_cast<int64_t>(Cfg.GcFactor *
                                     static_cast<double>(C->LiveAfterGc)));
+  // Under memory pressure the governor shrinks every task's allocation
+  // budget (halving per level), so collections come sooner and residency
+  // is pushed back below the watermarks.
+  Budget = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(Budget) *
+                              MemoryGovernor::get().allocBudgetScale()));
   if (!Force && C->AllocSinceGc < Budget)
     return false;
   GcOutcome Out = Gc.collectChain(C->CurrentHeap, C->Roots);

@@ -30,9 +30,11 @@
 #include "core/WorkerCtx.h"
 #include "gc/Collector.h"
 #include "hh/Heap.h"
+#include "mm/MemoryGovernor.h"
 #include "sched/Scheduler.h"
 
 #include <cstdint>
+#include <exception>
 #include <utility>
 
 namespace mpl {
@@ -65,13 +67,26 @@ public:
 
   /// Runs \p Root as the top-level task (fresh depth-0 heap) and returns
   /// the work-span measurement of the computation.
+  ///
+  /// Recoverable runtime errors (mpl::OutOfMemoryError once the governor's
+  /// recovery ladder is spent, em::EntanglementError in Detect mode) unwind
+  /// the failing strand, propagate through the rt::par joins, and are
+  /// rethrown here after the run's heaps are torn down — the Runtime stays
+  /// usable for another run().
   template <typename Fn> WorkSpan run(Fn &&Root) {
     beginRun();
+    std::exception_ptr Err;
     WorkSpan WS = Sched.run([&] {
-      Root();
+      try {
+        Root();
+      } catch (...) {
+        Err = std::current_exception();
+      }
       finishRootTask();
     });
     endRun();
+    if (Err)
+      std::rethrow_exception(Err);
     return WS;
   }
 
@@ -110,6 +125,12 @@ private:
 ///
 /// Branch bodies must return Slot and must root (mpl::Local) any object
 /// reference they hold across an allocation.
+///
+/// A branch that throws is caught at the branch boundary (an exception must
+/// never unwind a scheduler frame): both heaps still join normally — the
+/// failed branch's allocations merge and become garbage — and the exception
+/// is rethrown on the parent strand afterwards. When both branches throw,
+/// A's exception wins and B's is dropped.
 template <typename FA, typename FB>
 std::pair<Slot, Slot> par(FA &&A, FB &&B) {
   Runtime *R = Runtime::current();
@@ -123,19 +144,28 @@ std::pair<Slot, Slot> par(FA &&A, FB &&B) {
   Heap *HB = R->heaps().forkChild(H);
 
   Slot RA = 0, RB = 0;
+  std::exception_ptr EA, EB;
   R->scheduler().fork2join(
       [&] {
         WorkerCtx *Me = Runtime::ctx();
         Heap *Saved = Me->CurrentHeap;
         Me->CurrentHeap = HA;
-        RA = A();
+        try {
+          RA = A();
+        } catch (...) {
+          EA = std::current_exception();
+        }
         Me->CurrentHeap = Saved;
       },
       [&] {
         WorkerCtx *Me = Runtime::ctx();
         Heap *Saved = Me->CurrentHeap;
         Me->CurrentHeap = HB;
-        RB = B();
+        try {
+          RB = B();
+        } catch (...) {
+          EB = std::current_exception();
+        }
         Me->CurrentHeap = Saved;
       });
 
@@ -143,6 +173,10 @@ std::pair<Slot, Slot> par(FA &&A, FB &&B) {
   R->heaps().join(H, HB);
   H->setActiveForks(0);
   C->CurrentHeap = H;
+  if (EA)
+    std::rethrow_exception(EA);
+  if (EB)
+    std::rethrow_exception(EB);
   return {RA, RB};
 }
 

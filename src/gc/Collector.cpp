@@ -7,6 +7,7 @@
 #include "gc/Collector.h"
 
 #include "chaos/ChaosSchedule.h"
+#include "mm/MemoryGovernor.h"
 #include "obs/Trace.h"
 #include "support/Histogram.h"
 #include "support/Stats.h"
@@ -109,6 +110,11 @@ Slot Collector::traceSlot(ChainState &CS, Slot V) {
 GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
   Timer Pause;
   ChainState CS;
+
+  // A copying collection cannot unwind mid-evacuation (chain pin locks are
+  // held, from-space is detached), so to-space acquisitions must bypass
+  // the governor's hard limit and never recurse into emergency GC.
+  MemoryGovernor::ScopedGcExempt Exempt;
 
   // Schedule fuzzing: stretch the window between the collection being
   // decided and the chain locks being taken — remote pins may land here.

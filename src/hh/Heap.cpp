@@ -7,6 +7,7 @@
 #include "hh/Heap.h"
 
 #include "chaos/ChaosSchedule.h"
+#include "mm/MemoryGovernor.h"
 #include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/EmCounters.h"
@@ -93,6 +94,7 @@ bool Heap::addPinned(Object *O, uint32_t UnpinDepth) {
   if (!O->pinMin(UnpinDepth))
     return false;
   Pinned.push_back(O);
+  MemoryGovernor::get().notePinnedBytes(static_cast<int64_t>(O->sizeBytes()));
   obs::emit(obs::Ev::Pin, O->sizeBytes(), UnpinDepth);
   return true;
 }
@@ -201,6 +203,8 @@ int64_t HeapManager::join(Heap *Parent, Heap *Child) {
       em::Counts.UnpinnedObjects.fetch_add(1, std::memory_order_relaxed);
       em::Counts.UnpinnedBytes.fetch_add(static_cast<int64_t>(O->sizeBytes()),
                                          std::memory_order_relaxed);
+      MemoryGovernor::get().notePinnedBytes(
+          -static_cast<int64_t>(O->sizeBytes()));
       obs::emit(obs::Ev::Unpin, O->sizeBytes());
       O->unpin();
       ++Unpinned;

@@ -6,7 +6,10 @@
 
 #include "mm/Chunk.h"
 
+#include "chaos/ChaosSchedule.h"
+#include "mm/MemoryGovernor.h"
 #include "support/Stats.h"
+#include "support/Timer.h"
 
 #include <cstdlib>
 
@@ -15,6 +18,7 @@ using namespace mpl;
 namespace {
 Stat ChunksAllocated("mm.chunks.allocated");
 Stat ChunksReused("mm.chunks.reused");
+Stat ChunksTrimmed("mm.chunks.trimmed");
 Stat PeakOutstanding("mm.bytes.peak");
 } // namespace
 
@@ -35,20 +39,57 @@ Chunk *ChunkPool::initChunk(void *Mem, size_t Total, bool Large) {
   return C;
 }
 
-Chunk *ChunkPool::acquire() {
-  {
+/// One allocation attempt: governor admission, then the free list, then the
+/// OS. Null means this attempt failed (limit breach, injected fault, or the
+/// OS refusing memory) and the caller should run a recovery stage.
+void *ChunkPool::tryAcquireOnce(size_t Total, bool Large) {
+  if (!MemoryGovernor::get().admitChunk(Total))
+    return nullptr;
+  if (chaos::faultFires(chaos::Fault::FailChunkAlloc)) [[unlikely]]
+    return nullptr;
+  if (!Large) {
     std::lock_guard<std::mutex> G(Lock);
     if (!FreeList.empty()) {
       Chunk *C = FreeList.back();
       FreeList.pop_back();
+      FreeBytes.fetch_sub(static_cast<int64_t>(Chunk::SizeBytes),
+                          std::memory_order_relaxed);
       ChunksReused.inc();
-      return initChunk(C, Chunk::SizeBytes, /*Large=*/false);
+      return C;
     }
   }
-  void *Mem = std::aligned_alloc(Chunk::SizeBytes, Chunk::SizeBytes);
-  MPL_CHECK(Mem != nullptr, "out of memory acquiring chunk");
-  ChunksAllocated.inc();
-  return initChunk(Mem, Chunk::SizeBytes, /*Large=*/false);
+  void *Mem = std::aligned_alloc(Chunk::SizeBytes, Total);
+  if (Mem)
+    ChunksAllocated.inc();
+  return Mem;
+}
+
+Chunk *ChunkPool::acquireImpl(size_t Total, bool Large) {
+  void *Mem = tryAcquireOnce(Total, Large);
+  if (Mem) [[likely]]
+    return initChunk(Mem, Total, Large);
+
+  // Slow path: staged recovery (trim → emergency GC → backoff retry),
+  // then a recoverable OutOfMemoryError. A collecting thread cannot
+  // unwind mid-evacuation, so exhaustion there stays fatal.
+  MemoryGovernor &Gov = MemoryGovernor::get();
+  Timer Stall;
+  for (int Attempt = 0;; ++Attempt) {
+    if (!Gov.recoverStage(Attempt, Total)) {
+      MPL_CHECK(!MemoryGovernor::gcExemptOnThisThread(),
+                "out of memory acquiring to-space chunk during collection");
+      Gov.raiseOom(Total);
+    }
+    Mem = tryAcquireOnce(Total, Large);
+    if (Mem) {
+      Gov.noteRetrySettled(Stall.elapsedNs());
+      return initChunk(Mem, Total, Large);
+    }
+  }
+}
+
+Chunk *ChunkPool::acquire() {
+  return acquireImpl(Chunk::SizeBytes, /*Large=*/false);
 }
 
 void ChunkPool::release(Chunk *C) {
@@ -57,18 +98,33 @@ void ChunkPool::release(Chunk *C) {
                         std::memory_order_relaxed);
   C->Owner.store(nullptr, std::memory_order_relaxed);
   C->Next = nullptr;
-  std::lock_guard<std::mutex> G(Lock);
-  FreeList.push_back(C);
+  MemoryGovernor &Gov = MemoryGovernor::get();
+  int64_t Cap = Gov.chunkCacheBytes();
+  bool Cached = false;
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    if (FreeBytes.load(std::memory_order_relaxed) +
+            static_cast<int64_t>(Chunk::SizeBytes) <=
+        Cap) {
+      FreeList.push_back(C);
+      FreeBytes.fetch_add(static_cast<int64_t>(Chunk::SizeBytes),
+                          std::memory_order_relaxed);
+      Cached = true;
+    }
+  }
+  if (!Cached) {
+    ChunksTrimmed.inc();
+    std::free(C);
+  }
+  if (Gov.limited())
+    Gov.updatePressure();
 }
 
 Chunk *ChunkPool::acquireLarge(size_t PayloadBytes) {
   size_t Total = sizeof(Chunk) + PayloadBytes;
   // Round up to the chunk alignment so chunkOf() stays a mask.
   Total = (Total + Chunk::SizeBytes - 1) & Chunk::AddrMask;
-  void *Mem = std::aligned_alloc(Chunk::SizeBytes, Total);
-  MPL_CHECK(Mem != nullptr, "out of memory acquiring large chunk");
-  ChunksAllocated.inc();
-  return initChunk(Mem, Total, /*Large=*/true);
+  return acquireImpl(Total, /*Large=*/true);
 }
 
 void ChunkPool::releaseLarge(Chunk *C) {
@@ -76,6 +132,29 @@ void ChunkPool::releaseLarge(Chunk *C) {
   Outstanding.fetch_sub(static_cast<int64_t>(C->TotalBytes),
                         std::memory_order_relaxed);
   std::free(C);
+  MemoryGovernor &Gov = MemoryGovernor::get();
+  if (Gov.limited())
+    Gov.updatePressure();
+}
+
+int64_t ChunkPool::trim(size_t TargetBytes) {
+  std::vector<Chunk *> Victims;
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    while (!FreeList.empty() &&
+           FreeBytes.load(std::memory_order_relaxed) >
+               static_cast<int64_t>(TargetBytes)) {
+      Victims.push_back(FreeList.back());
+      FreeList.pop_back();
+      FreeBytes.fetch_sub(static_cast<int64_t>(Chunk::SizeBytes),
+                          std::memory_order_relaxed);
+    }
+  }
+  for (Chunk *C : Victims) {
+    ChunksTrimmed.inc();
+    std::free(C);
+  }
+  return static_cast<int64_t>(Victims.size() * Chunk::SizeBytes);
 }
 
 ChunkPool::~ChunkPool() {

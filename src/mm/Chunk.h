@@ -89,15 +89,27 @@ public:
 static_assert(sizeof(Chunk) <= 128, "chunk header grew unexpectedly large");
 
 /// Process-wide pool of normal-size chunks. Chunk churn is rare (one pool
-/// hit per 64 KiB of allocation), so a mutex-protected free list suffices.
+/// hit per chunk of allocation), so a mutex-protected free list suffices.
+///
+/// Acquisition never aborts on a failed `aligned_alloc` or a breached
+/// memory limit: each attempt consults the MemoryGovernor, and failures
+/// run its staged recovery (trim the free list, force an emergency
+/// collection, bounded backoff-retry) before a recoverable
+/// mpl::OutOfMemoryError is raised. The free-list cache is bounded by the
+/// governor's MPL_CHUNK_CACHE_MB cap; chunks released beyond the cap go
+/// straight back to the OS.
 class ChunkPool {
 public:
   static ChunkPool &get();
 
   /// Fetches a fresh normal-size chunk (from the free list or the OS).
+  /// Throws mpl::OutOfMemoryError once the governor's recovery ladder is
+  /// exhausted (fatal instead on a collecting thread — see
+  /// MemoryGovernor::ScopedGcExempt).
   Chunk *acquire();
 
-  /// Returns a normal-size chunk to the free list.
+  /// Returns a normal-size chunk to the free list (or the OS, when the
+  /// free-list cache is at its cap).
   void release(Chunk *C);
 
   /// Allocates a dedicated chunk for one object of \p PayloadBytes.
@@ -106,19 +118,32 @@ public:
   /// Frees a large chunk back to the OS.
   void releaseLarge(Chunk *C);
 
+  /// Returns cached free chunks to the OS until at most \p TargetBytes
+  /// remain cached; returns the number of bytes released.
+  int64_t trim(size_t TargetBytes = 0);
+
   /// Total bytes currently handed out (live chunks), for residency stats.
   int64_t outstandingBytes() const {
     return Outstanding.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes cached on the free list (not in Outstanding), for the
+  /// mm.freelist.bytes gauge.
+  int64_t freeListBytes() const {
+    return FreeBytes.load(std::memory_order_relaxed);
   }
 
   ~ChunkPool();
 
 private:
   Chunk *initChunk(void *Mem, size_t Total, bool Large);
+  Chunk *acquireImpl(size_t Total, bool Large);
+  void *tryAcquireOnce(size_t Total, bool Large);
 
   std::mutex Lock;
   std::vector<Chunk *> FreeList;
   std::atomic<int64_t> Outstanding{0};
+  std::atomic<int64_t> FreeBytes{0};
 };
 
 } // namespace mpl

@@ -70,6 +70,9 @@ constexpr KindInfo Kinds[] = {
     /* GcEvacEnd        */ {"gc_evac", 'E', nullptr, nullptr},
     /* GcReclaimBegin   */ {"gc_reclaim", 'B', nullptr, nullptr},
     /* GcReclaimEnd     */ {"gc_reclaim", 'E', nullptr, nullptr},
+    /* PressureChange   */ {"pressure_change", 'i', "level", "bytes"},
+    /* EmergencyGc      */ {"emergency_gc", 'i', "before_bytes", "after_bytes"},
+    /* AllocRetry       */ {"alloc_retry", 'i', "attempt", "bytes"},
 };
 static_assert(sizeof(Kinds) / sizeof(Kinds[0]) ==
                   static_cast<size_t>(Ev::NumKinds),

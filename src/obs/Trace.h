@@ -74,6 +74,9 @@ enum class Ev : uint16_t {
   GcEvacEnd,
   GcReclaimBegin,   ///< GC phase C: reclaim / retire from-space chunks.
   GcReclaimEnd,
+  PressureChange,   ///< Governor level changed; Arg0 = level, Arg1 = bytes.
+  EmergencyGc,      ///< Pressure-forced GC; Arg0/Arg1 = bytes before/after.
+  AllocRetry,       ///< Chunk alloc recovery; Arg0 = attempt, Arg1 = bytes.
   NumKinds
 };
 

@@ -324,8 +324,7 @@ TEST(EntanglementTest, StickyPinRetainsOverwrittenValue) {
   EXPECT_EQ(Seen, 1);
 }
 
-TEST(EntanglementTest, DetectModeAbortsOnEntangledRead) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(EntanglementTest, DetectModeRejectsEntangledRead) {
   auto EntangledProgram = [] {
     rt::Runtime R(cfg(1, em::Mode::Detect));
     R.run([&] {
@@ -337,13 +336,15 @@ TEST(EntanglementTest, DetectModeAbortsOnEntangledRead) {
             return unit();
           },
           [&] {
-            Slot V = refGet(Shared.get()); // Entangled: must abort.
+            Slot V = refGet(Shared.get()); // Entangled: must reject.
             (void)V;
             return unit();
           });
     });
   };
-  EXPECT_DEATH(EntangledProgram(), "entanglement");
+  // The rejection is a structured, recoverable error (usable as a CI
+  // gate), not a process abort.
+  EXPECT_THROW(EntangledProgram(), em::EntanglementError);
 }
 
 TEST(EntanglementTest, DetectModeAllowsDisentangledPrograms) {

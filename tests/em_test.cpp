@@ -435,53 +435,75 @@ rt::Config cfgDetect() {
 }
 } // namespace
 
-TEST(EmDetectMode, EntangledReadAborts) {
-  testing::FLAGS_gtest_death_test_style = "threadsafe";
-  EXPECT_DEATH(
-      {
-        rt::Runtime R(cfgDetect());
-        R.run([&] {
-          Local Shared(newRef(boxInt(0)));
-          rt::par(
-              [&] {
-                Local Mine(newRef(boxInt(3)));
-                refSet(Shared.get(), Mine.slot());
-                return unit();
-              },
-              [&] {
-                // Sibling read of A's object: entangled -> Detect aborts.
-                return refGet(Shared.get());
-              });
-        });
-      },
-      "entanglement detected");
+TEST(EmDetectMode, EntangledReadThrowsRecoverably) {
+  rt::Runtime R(cfgDetect());
+  bool Caught = false;
+  try {
+    R.run([&] {
+      Local Shared(newRef(boxInt(0)));
+      rt::par(
+          [&] {
+            Local Mine(newRef(boxInt(3)));
+            refSet(Shared.get(), Mine.slot());
+            return unit();
+          },
+          [&] {
+            // Sibling read of A's object: entangled -> Detect rejects.
+            return refGet(Shared.get());
+          });
+    });
+  } catch (const em::EntanglementError &E) {
+    Caught = true;
+    EXPECT_EQ(E.site(), em::EntanglementError::Site::Read);
+    EXPECT_EQ(E.readerDepth(), 1u);
+    EXPECT_EQ(E.pointeeDepth(), 1u);
+    EXPECT_EQ(E.objectKind(), ObjKind::Ref);
+    EXPECT_NE(std::string(E.what()).find("entanglement detected"),
+              std::string::npos)
+        << E.what();
+  }
+  EXPECT_TRUE(Caught) << "entangled read must reject in Detect mode";
+
+  // The rejection is recoverable: the same Runtime runs a clean program.
+  int64_t Got = 0;
+  R.run([&] {
+    Local Box(newRef(boxInt(11)));
+    Got = unboxInt(refGet(Box.get()));
+  });
+  EXPECT_EQ(Got, 11);
 }
 
-TEST(EmDetectMode, CrossPointerWriteAborts) {
-  testing::FLAGS_gtest_death_test_style = "threadsafe";
-  EXPECT_DEATH(
-      {
-        rt::Runtime R(cfgDetect());
-        R.run([&] {
-          // Leak A's object to B through a C++-side channel: no runtime
-          // read is involved, so the write barrier is the first (and only)
-          // place the entanglement can be caught.
-          Object *Leak = nullptr;
-          rt::par(
-              [&] {
-                Local Mine(newRef(boxInt(5)));
-                Leak = Mine.get();
-                return unit();
-              },
-              [&] {
-                Local B(newRef(boxInt(0)));
-                Local LA(Leak);
-                refSet(B.get(), LA.slot()); // Cross-pointer write.
-                return unit();
-              });
-        });
-      },
-      "entanglement created by write");
+TEST(EmDetectMode, CrossPointerWriteThrowsRecoverably) {
+  rt::Runtime R(cfgDetect());
+  bool Caught = false;
+  try {
+    R.run([&] {
+      // Leak A's object to B through a C++-side channel: no runtime
+      // read is involved, so the write barrier is the first (and only)
+      // place the entanglement can be caught.
+      Object *Leak = nullptr;
+      rt::par(
+          [&] {
+            Local Mine(newRef(boxInt(5)));
+            Leak = Mine.get();
+            return unit();
+          },
+          [&] {
+            Local B(newRef(boxInt(0)));
+            Local LA(Leak);
+            refSet(B.get(), LA.slot()); // Cross-pointer write.
+            return unit();
+          });
+    });
+  } catch (const em::EntanglementError &E) {
+    Caught = true;
+    EXPECT_EQ(E.site(), em::EntanglementError::Site::Write);
+    EXPECT_EQ(E.objectKind(), ObjKind::Ref);
+    EXPECT_NE(std::string(E.what()).find("entanglement created by write"),
+              std::string::npos)
+        << E.what();
+  }
+  EXPECT_TRUE(Caught) << "cross-pointer write must reject in Detect mode";
 }
 
 TEST(EmDetectMode, DisentangledProgramsRun) {

@@ -206,6 +206,18 @@ std::vector<uint64_t> corpusSeeds() {
   return Seeds;
 }
 
+/// CI's memory-pressure stage sets MPL_CHAOS_FAULT_EVERY_N=<n> (n >= 2) to
+/// arm chaos::Fault::FailChunkAlloc across the whole corpus: every n-th
+/// chunk acquisition fails and must be rescued by the governor's recovery
+/// ladder with no invariant or value damage. n == 1 would make every retry
+/// fail too (the ladder can never settle), so it is rejected.
+uint32_t envFaultEveryN() {
+  if (const char *S = std::getenv("MPL_CHAOS_FAULT_EVERY_N"))
+    if (int N = std::atoi(S); N >= 2)
+      return static_cast<uint32_t>(N);
+  return 0;
+}
+
 class ScheduleFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 } // namespace
@@ -213,6 +225,10 @@ class ScheduleFuzz : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(ScheduleFuzz, CleanTreeHoldsAllInvariants) {
   const uint64_t Seed = GetParam();
   chaos::Config C = chaos::Config::fromSeed(Seed);
+  if (uint32_t EveryN = envFaultEveryN()) {
+    C.InjectFault = chaos::Fault::FailChunkAlloc;
+    C.FaultEveryN = EveryN;
+  }
   FuzzOutcome Out = runUnderChaos(C, C.suggestedWorkers());
   // On failure, flush the event window of this run so the seed replay has
   // a timeline to start from (loadable in Perfetto / chrome://tracing).
@@ -314,6 +330,28 @@ TEST(ChaosFaultInjection, SkippedUnpinIsCaughtAndReplays) {
   FuzzOutcome Second = runUnderChaos(C, 1);
   EXPECT_EQ(First.signature(), Second.signature())
       << "the injected failure must reproduce exactly from its seed";
+}
+
+TEST(ChaosFaultInjection, FailedChunkAllocRecoversWithoutDamage) {
+  // Unlike SkipPin/SkipUnpin this fault is *survivable by design*: the
+  // governor's recovery ladder (trim -> emergency GC -> backoff retry)
+  // must absorb every-other-attempt allocation failures with zero value
+  // or invariant damage — and without raising OutOfMemoryError.
+  chaos::Config C;
+  C.Seed = 4242;
+  C.InjectFault = chaos::Fault::FailChunkAlloc;
+  C.FaultEveryN = 2;
+  FuzzOutcome First = runUnderChaos(C, 1);
+  EXPECT_TRUE(First.ok()) << First.signature();
+  EXPECT_GT(First.Totals.FaultsInjected, 0)
+      << "chunk-allocation faults must actually have fired";
+  EXPECT_GT(StatRegistry::get().valueOf("mm.alloc.retries"), 0)
+      << "each fired fault must go through the recovery ladder";
+  EXPECT_EQ(StatRegistry::get().valueOf("mm.oom.raised"), 0);
+
+  FuzzOutcome Second = runUnderChaos(C, 1);
+  EXPECT_EQ(First.signature(), Second.signature())
+      << "fault-injected recovery must replay exactly from its seed";
 }
 
 TEST(ChaosFaultInjection, SameSeedCleanTreeIsQuiet) {

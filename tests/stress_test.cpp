@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "chaos/ChaosSchedule.h"
 #include "core/Em.h"
 #include "core/Handles.h"
 #include "core/Ops.h"
@@ -19,6 +20,8 @@
 #include "workloads/Kernels.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 using namespace mpl;
 using namespace mpl::ops;
@@ -31,6 +34,39 @@ rt::Config stressCfg(int Workers) {
   C.GcMinBytes = 1 << 17; // Very aggressive: maximize GC interleavings.
   return C;
 }
+
+/// CI's memory-pressure stage runs this whole binary with
+/// MPL_CHAOS_FAULT_EVERY_N=<n> (n >= 2) and a tight MPL_MEM_LIMIT_MB: every
+/// n-th chunk acquisition fails and the governor's recovery ladder must
+/// absorb it — all stress tests pass unchanged, zero process aborts. n == 1
+/// is rejected (every retry would fail too; the ladder could never settle).
+class ChunkFaultEnv : public ::testing::Environment {
+public:
+  void SetUp() override {
+    const char *S = std::getenv("MPL_CHAOS_FAULT_EVERY_N");
+    if (!S)
+      return;
+    int N = std::atoi(S);
+    if (N < 2)
+      return;
+    chaos::Config C;
+    C.Seed = 99;
+    C.InjectFault = chaos::Fault::FailChunkAlloc;
+    C.FaultEveryN = static_cast<uint32_t>(N);
+    chaos::enable(C);
+    Armed = true;
+  }
+  void TearDown() override {
+    if (Armed)
+      chaos::disable();
+  }
+
+private:
+  bool Armed = false;
+};
+
+[[maybe_unused]] const auto *RegisteredEnv =
+    ::testing::AddGlobalTestEnvironment(new ChunkFaultEnv);
 } // namespace
 
 TEST(StressTest, DeepNestedParWithChurn) {

@@ -7,6 +7,10 @@
 # (CMakePresets.json) and runs the tier-1 tests plus the schedule-fuzz
 # suite with the fixed seed corpus in each. Any fuzz failure prints a
 # MPL_CHAOS_SEED line; see DESIGN.md §8 for how to replay it locally.
+# The sanitizer configs additionally rerun the stress and fuzz suites
+# under a tight MPL_MEM_LIMIT_MB with chunk-allocation faults injected
+# (DESIGN.md §10): the memory-pressure governor must degrade gracefully,
+# never abort.
 #
 # Usage:
 #   tools/ci.sh                # all three configs
@@ -23,6 +27,18 @@ RELEASE_SEEDS=${RELEASE_SEEDS:-25}
 TSAN_SEEDS=${TSAN_SEEDS:-50}
 ASAN_SEEDS=${ASAN_SEEDS:-25}
 
+# Memory-pressure stage knobs (see DESIGN.md §10). The stress/fuzz live
+# peak is ~8 MiB, so a 16 MiB hard limit leaves emergency collection real
+# headroom while SoftFrac 0.5 puts the soft watermark right at the peak —
+# the pressure ladder and budget scaling actually engage. Every 5th chunk
+# acquisition is made to fail (chaos::Fault::FailChunkAlloc), forcing the
+# trim -> emergency-GC -> backoff recovery ladder on hot paths.
+PRESSURE_LIMIT_MB=${PRESSURE_LIMIT_MB:-16}
+PRESSURE_SOFT_FRAC=${PRESSURE_SOFT_FRAC:-0.5}
+PRESSURE_CACHE_MB=${PRESSURE_CACHE_MB:-4}
+PRESSURE_FAULT_EVERY_N=${PRESSURE_FAULT_EVERY_N:-5}
+PRESSURE_SEEDS=${PRESSURE_SEEDS:-10}
+
 run_config() {
   local preset=$1 seeds=$2
   echo "==== [$preset] configure + build ===="
@@ -35,10 +51,37 @@ run_config() {
   echo "==== [$preset] schedule-fuzz, $seeds seeds ===="
   MPL_FUZZ_SEEDS=$seeds ctest --preset "$preset" -R '^fuzz_sched_test$'
 
+  if [[ "$preset" == "tsan" || "$preset" == "asan" ]]; then
+    echo "==== [$preset] memory-pressure stress (limit ${PRESSURE_LIMIT_MB}MB, fault 1/${PRESSURE_FAULT_EVERY_N}) ===="
+    # Whole stress + fuzz suites under a tight memory budget with chunk
+    # allocations failing on a fixed cadence: every test must pass
+    # unchanged, proving the governor degrades and recovers instead of
+    # aborting, with the sanitizer watching the recovery paths.
+    # Same sanitizer env the ctest presets use (the per-thread TLS
+    # allocations are intentional leaks; see src/chaos/ChaosSchedule.cpp).
+    ASAN_OPTIONS="detect_leaks=0" \
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    MPL_MEM_LIMIT_MB=$PRESSURE_LIMIT_MB \
+    MPL_MEM_SOFT_FRAC=$PRESSURE_SOFT_FRAC \
+    MPL_CHUNK_CACHE_MB=$PRESSURE_CACHE_MB \
+    MPL_CHAOS_FAULT_EVERY_N=$PRESSURE_FAULT_EVERY_N \
+      "build-$preset/tests/stress_test"
+    ASAN_OPTIONS="detect_leaks=0" \
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    MPL_MEM_LIMIT_MB=$PRESSURE_LIMIT_MB \
+    MPL_MEM_SOFT_FRAC=$PRESSURE_SOFT_FRAC \
+    MPL_CHUNK_CACHE_MB=$PRESSURE_CACHE_MB \
+    MPL_CHAOS_FAULT_EVERY_N=$PRESSURE_FAULT_EVERY_N \
+    MPL_FUZZ_SEEDS=$PRESSURE_SEEDS \
+      "build-$preset/tests/fuzz_sched_test"
+  fi
+
   echo "==== [$preset] trace smoke ===="
   # Run a real workload with the tracer armed and validate the exported
   # Chrome trace (Perfetto-loadable, B/E balanced, expected event kinds).
   local bdir="build-$preset"
+  ASAN_OPTIONS="detect_leaks=0" \
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   MPL_TRACE="$bdir/trace_smoke.json" MPL_METRICS="$bdir/metrics_smoke.json" \
     "$bdir/examples/quickstart" > /dev/null
   "$bdir/tools/mpl_trace_check" "$bdir/trace_smoke.json" \
