@@ -7,10 +7,15 @@
 #include "bench/Common.h"
 
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
+#include "support/Json.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <numeric>
 
 using namespace mpl;
 using namespace mpl::ops;
@@ -221,36 +226,261 @@ void dumpObservability(const SuiteEntry &Entry, bool Sequential,
 }
 } // namespace
 
+namespace {
+/// Per-rep capture so the reported row is one internally consistent rep.
+struct RepData {
+  double Seconds = 0;
+  WorkSpan WS;
+  StatSnap Stats;
+  std::vector<ProfileSiteRow> Sites;
+  int64_t LeakedPins = 0;
+  int64_t LeakedBytes = 0;
+};
+
+std::vector<ProfileSiteRow> snapshotProfileRows() {
+  std::vector<ProfileSiteRow> Rows;
+  for (const obs::ProfileSiteSnap &S : obs::Profiler::get().snapshot()) {
+    ProfileSiteRow R;
+    R.Name = S.Name;
+    R.Events = S.Events;
+    R.Bytes = S.Bytes;
+    R.LifetimeP50Ns = S.durQuantileNs(0.50);
+    R.LifetimeP99Ns = S.durQuantileNs(0.99);
+    Rows.push_back(std::move(R));
+  }
+  return Rows;
+}
+} // namespace
+
+int64_t RunResult::profilePinnedBytes() const {
+  int64_t N = 0;
+  for (const ProfileSiteRow &S : ProfileSites)
+    if (S.Name.rfind("em.pin.", 0) == 0 || S.Name == "hh.pin")
+      N += S.Bytes;
+  return N;
+}
+
 RunResult measure(const SuiteEntry &Entry, bool Sequential, int Workers,
-                  em::Mode Mode, bool Profile, int Reps) {
-  RunResult Best;
-  Best.Seconds = 1e100;
+                  em::Mode Mode, bool Profile, int Reps, bool SiteProfile) {
   rt::Config Cfg;
   Cfg.NumWorkers = Workers;
   Cfg.Mode = Mode;
   Cfg.Profile = Profile;
+  // Honour an env-armed profiler (MPL_PROFILE) even when the caller did
+  // not ask, so any bench binary can be site-profiled ad hoc.
+  bool ProfWasEnabled = obs::profileEnabled();
+  bool Prof = SiteProfile || ProfWasEnabled;
+
+  std::vector<RepData> Data;
+  int64_t Checksum = 0;
   // Rep -1 is an untimed warmup: it populates the chunk pool and faults in
   // the pages, so later configurations are not advantaged by reuse.
   for (int Rep = -1; Rep < Reps; ++Rep) {
+    if (Prof) {
+      // Reset per rep so the captured profile belongs to exactly one rep
+      // (pin bytes can differ across reps under real parallelism).
+      obs::Profiler::get().reset();
+      obs::Profiler::get().enable();
+    }
     rt::Runtime R(Cfg);
     StatRegistry::get().resetAll();
-    int64_t Checksum = 0;
+    int64_t RepChecksum = 0;
     Timer T;
-    WorkSpan WS = R.run([&] { Checksum = Entry.Run(Sequential); });
+    WorkSpan WS = R.run([&] { RepChecksum = Entry.Run(Sequential); });
     double Sec = T.elapsedSec();
     if (Rep < 0)
       continue; // Warmup: discard.
-    if (Rep > 0 && Best.Checksum != Checksum)
+    if (Rep > 0 && Checksum != RepChecksum)
       MPL_CHECK(false, "benchmark checksum varies across repetitions");
-    if (Sec < Best.Seconds) {
-      Best.Seconds = Sec;
-      Best.WS = WS;
-      Best.Stats = StatSnap::read();
+    Checksum = RepChecksum;
+    RepData D;
+    D.Seconds = Sec;
+    D.WS = WS;
+    D.Stats = StatSnap::read();
+    if (Prof) {
+      D.Sites = snapshotProfileRows();
+      D.LeakedPins = obs::Profiler::get().livePinCount();
+      D.LeakedBytes = obs::Profiler::get().livePinBytes();
     }
-    Best.Checksum = Checksum;
+    Data.push_back(std::move(D));
   }
+  if (Prof && !ProfWasEnabled)
+    obs::Profiler::get().disable();
+
+  // Lower median: index (N-1)/2 of the sorted times — always a measured
+  // rep, so every reported field comes from the same execution.
+  std::vector<int> Order(Data.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+    return Data[A].Seconds < Data[B].Seconds;
+  });
+  const RepData &Med = Data[Order[(Data.size() - 1) / 2]];
+
+  RunResult Out;
+  Out.Seconds = Med.Seconds;
+  Out.MinSeconds = Data[Order.front()].Seconds;
+  Out.WS = Med.WS;
+  Out.Stats = Med.Stats;
+  Out.Checksum = Checksum;
+  Out.ProfileSites = Med.Sites;
+  Out.ProfileLeakedPins = Med.LeakedPins;
+  Out.ProfileLeakedBytes = Med.LeakedBytes;
+  for (const RepData &D : Data)
+    Out.RepSeconds.push_back(D.Seconds);
+  if (Data.size() > 1) {
+    double Mean = 0;
+    for (double S : Out.RepSeconds)
+      Mean += S;
+    Mean /= static_cast<double>(Out.RepSeconds.size());
+    double Var = 0;
+    for (double S : Out.RepSeconds)
+      Var += (S - Mean) * (S - Mean);
+    Out.StddevSeconds =
+        std::sqrt(Var / static_cast<double>(Out.RepSeconds.size() - 1));
+  }
+
   dumpObservability(Entry, Sequential, Cfg);
-  return Best;
+  return Out;
+}
+
+std::string methodologyLine(int Reps) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "methodology: lower median of %d timed rep%s "
+                "(1 untimed warmup rep discarded); spread as +-stddev, "
+                "full per-rep times in -json output",
+                Reps, Reps == 1 ? "" : "s");
+  return Buf;
+}
+
+std::string fmtSecPm(double MedianSec, double StddevSec) {
+  std::string S = Table::fmtSec(MedianSec);
+  if (StddevSec > 0) {
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "+-%.0f%%",
+                  100.0 * StddevSec / std::max(MedianSec, 1e-12));
+    S += Buf;
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// BenchJson
+//===----------------------------------------------------------------------===//
+
+BenchJson::BenchJson(std::string BenchId, double Scale, int Reps) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "\"schema\":\"mpl-bench/1\",\"bench\":\"%s\","
+                "\"scale\":%g,\"reps\":%d,\"warmup_reps\":1,"
+                "\"statistic\":\"median_lower\"",
+                json::escape(BenchId).c_str(), Scale, Reps);
+  Header = Buf;
+}
+
+void BenchJson::addMeta(const std::string &Key, const std::string &Value) {
+  Header += ",\"" + json::escape(Key) + "\":\"" + json::escape(Value) + "\"";
+}
+
+void BenchJson::addMetaInt(const std::string &Key, int64_t Value) {
+  Header += ",\"" + json::escape(Key) + "\":" + std::to_string(Value);
+}
+
+namespace {
+std::string jsonDouble(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+} // namespace
+
+void BenchJson::addRow(const std::string &Name, const std::string &Config,
+                       bool Entangled, const RunResult &R) {
+  std::string S;
+  S += "{\"name\":\"" + json::escape(Name) + "\",";
+  S += "\"config\":\"" + json::escape(Config) + "\",";
+  S += std::string("\"entangled\":") + (Entangled ? "true" : "false") + ",";
+  S += "\"time\":{\"median_s\":" + jsonDouble(R.Seconds) +
+       ",\"min_s\":" + jsonDouble(R.MinSeconds) +
+       ",\"stddev_s\":" + jsonDouble(R.StddevSeconds) + ",\"rep_s\":[";
+  for (size_t I = 0; I < R.RepSeconds.size(); ++I) {
+    if (I)
+      S += ",";
+    S += jsonDouble(R.RepSeconds[I]);
+  }
+  S += "]},";
+  S += "\"work_span\":{\"work_s\":" + jsonDouble(R.WS.WorkSec) +
+       ",\"span_s\":" + jsonDouble(R.WS.SpanSec) + "},";
+  const StatSnap &St = R.Stats;
+  S += "\"em\":{\"entangled_reads\":" + std::to_string(St.EntangledReads) +
+       ",\"pins_down\":" + std::to_string(St.PinsDown) +
+       ",\"pins_cross\":" + std::to_string(St.PinsCross) +
+       ",\"pins_holder\":" + std::to_string(St.PinsHolder) +
+       ",\"pinned_objects\":" + std::to_string(St.PinnedObjects) +
+       ",\"pinned_bytes\":" + std::to_string(St.PinnedBytes) +
+       ",\"unpins\":" + std::to_string(St.Unpins) + "},";
+  S += "\"gc\":{\"collections\":" + std::to_string(St.GcCount) +
+       ",\"max_pause_ns\":" + std::to_string(St.GcMaxPauseNs) +
+       ",\"total_pause_ns\":" + std::to_string(St.GcTotalPauseNs) +
+       ",\"inplace_bytes\":" + std::to_string(St.GcInPlaceBytes) + "},";
+  S += "\"max_residency_bytes\":" + std::to_string(St.PeakResidency) + ",";
+  S += "\"checksum\":" + std::to_string(R.Checksum) + ",";
+  S += "\"profile\":{\"leaked_pins\":" + std::to_string(R.ProfileLeakedPins) +
+       ",\"leaked_bytes\":" + std::to_string(R.ProfileLeakedBytes) +
+       ",\"pin_bytes_attributed\":" + std::to_string(R.profilePinnedBytes()) +
+       ",\"sites\":[";
+  for (size_t I = 0; I < R.ProfileSites.size(); ++I) {
+    const ProfileSiteRow &P = R.ProfileSites[I];
+    if (I)
+      S += ",";
+    S += "{\"name\":\"" + json::escape(P.Name) + "\",\"events\":" +
+         std::to_string(P.Events) + ",\"bytes\":" + std::to_string(P.Bytes) +
+         ",\"lifetime_p50_ns\":" + std::to_string(P.LifetimeP50Ns) +
+         ",\"lifetime_p99_ns\":" + std::to_string(P.LifetimeP99Ns) + "}";
+  }
+  S += "]}}";
+  Rows.push_back(std::move(S));
+}
+
+void BenchJson::addCustomRow(const std::string &Name,
+                             const std::string &Config, double MedianSec,
+                             const std::string &ExtraJson) {
+  std::string S;
+  S += "{\"name\":\"" + json::escape(Name) + "\",";
+  S += "\"config\":\"" + json::escape(Config) + "\",";
+  S += "\"time\":{\"median_s\":" + jsonDouble(MedianSec) + "}";
+  if (!ExtraJson.empty())
+    S += "," + ExtraJson;
+  S += "}";
+  Rows.push_back(std::move(S));
+}
+
+std::string BenchJson::dump() const {
+  std::string S = "{" + Header + ",\"rows\":[\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    if (I)
+      S += ",\n";
+    S += Rows[I];
+  }
+  S += "\n]}\n";
+  return S;
+}
+
+bool BenchJson::write(const std::string &Path) const {
+  std::string S = dump();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "bench: cannot open -json path '%s'\n", Path.c_str());
+    return false;
+  }
+  size_t W = std::fwrite(S.data(), 1, S.size(), F);
+  std::fclose(F);
+  if (W != S.size()) {
+    std::fprintf(stderr, "bench: short write to '%s'\n", Path.c_str());
+    return false;
+  }
+  std::printf("json: wrote %s\n", Path.c_str());
+  return true;
 }
 
 } // namespace bench

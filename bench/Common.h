@@ -73,20 +73,93 @@ struct StatSnap {
   static StatSnap read();
 };
 
-/// Result of one measured execution.
-struct RunResult {
-  double Seconds = 0;
-  WorkSpan WS;
-  int64_t Checksum = 0;
-  StatSnap Stats;
+/// One entanglement-profiler site row (obs/Profile.h) carried into the
+/// bench JSON records.
+struct ProfileSiteRow {
+  std::string Name;
+  int64_t Events = 0;
+  int64_t Bytes = 0;
+  int64_t LifetimeP50Ns = 0;
+  int64_t LifetimeP99Ns = 0;
 };
 
-/// Runs \p Entry once under the given configuration, with stats reset
-/// before the timed region. When \p Reps > 1, the minimum time (and its
-/// accompanying data) is reported, the standard practice for wall-clock
-/// tables on shared machines.
+/// Result of one measured configuration.
+///
+/// Headline statistic: the (lower) median across the timed repetitions —
+/// Seconds is always one actually-measured rep, so WS/Stats/profile data
+/// come from that same rep and stay mutually consistent. MinSeconds /
+/// StddevSeconds / RepSeconds carry the full spread for the JSON records.
+struct RunResult {
+  double Seconds = 0;        ///< Median (lower) across timed reps.
+  double MinSeconds = 0;
+  double StddevSeconds = 0;  ///< Sample stddev (0 when Reps == 1).
+  std::vector<double> RepSeconds;
+  WorkSpan WS;               ///< From the median rep.
+  int64_t Checksum = 0;
+  StatSnap Stats;            ///< From the median rep.
+
+  /// Site-attributed entanglement profile of the median rep (empty unless
+  /// measured with SiteProfile; empty for disentangled runs regardless).
+  std::vector<ProfileSiteRow> ProfileSites;
+  int64_t ProfileLeakedPins = 0;
+  int64_t ProfileLeakedBytes = 0;
+
+  /// Sum of bytes attributed to pin sites ("em.pin.*" / "hh.pin"): equals
+  /// Stats.PinnedBytes when the profiler attributed every pin.
+  int64_t profilePinnedBytes() const;
+};
+
+/// Runs \p Entry under the given configuration, with stats reset before
+/// every timed region. Rep -1 is an untimed warmup (chunk pool + page
+/// faults); the reported statistic is the lower median across the \p Reps
+/// timed repetitions. With \p SiteProfile the entanglement profiler
+/// (obs/Profile.h) is armed around every rep and the median rep's site
+/// table is attached to the result — this adds slow-path overhead, so time
+/// tables keep it off except for entanglement-focused rows.
 RunResult measure(const SuiteEntry &Entry, bool Sequential, int Workers,
-                  em::Mode Mode, bool Profile, int Reps = 3);
+                  em::Mode Mode, bool Profile, int Reps = 3,
+                  bool SiteProfile = false);
+
+/// The one-line methodology statement every bench table prints under its
+/// header, so the text and JSON outputs agree on the statistic.
+std::string methodologyLine(int Reps);
+
+/// "12.3ms +-0.4" — median with sample stddev, for time-table cells.
+std::string fmtSecPm(double MedianSec, double StddevSec);
+
+/// Accumulates schema-versioned benchmark records and writes the `-json`
+/// output file. Schema "mpl-bench/1": see tools/mpl_report.cpp (the
+/// renderer / regression gate) for the consumer side.
+class BenchJson {
+public:
+  BenchJson(std::string BenchId, double Scale, int Reps);
+
+  /// Extra top-level metadata (string / integer valued).
+  void addMeta(const std::string &Key, const std::string &Value);
+  void addMetaInt(const std::string &Key, int64_t Value);
+
+  /// One full measured row. (\p Name, \p Config) must be unique: the
+  /// regression gate joins baseline and current on that key.
+  void addRow(const std::string &Name, const std::string &Config,
+              bool Entangled, const RunResult &R);
+
+  /// Escape hatch for binaries with hand-rolled measurement loops
+  /// (bench_table_lang, bench_table_pml, bench_fig_spacetime):
+  /// \p ExtraJson is a pre-rendered fragment of additional fields, e.g.
+  /// "\"native_s\":0.123" (may be empty).
+  void addCustomRow(const std::string &Name, const std::string &Config,
+                    double MedianSec, const std::string &ExtraJson);
+
+  std::string dump() const;
+
+  /// Writes dump() to \p Path; prints a diagnostic and returns false on
+  /// I/O failure.
+  bool write(const std::string &Path) const;
+
+private:
+  std::string Header;
+  std::vector<std::string> Rows;
+};
 
 } // namespace bench
 } // namespace mpl

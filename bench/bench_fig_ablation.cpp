@@ -28,10 +28,12 @@ int main(int Argc, char **Argv) {
   Cli C(Argc, Argv);
   double Scale = C.getDouble("scale", 0.25);
   int Reps = static_cast<int>(C.getInt("reps", 2));
+  std::string JsonPath = C.getString("json", "");
 
   std::printf("== F2: barrier-cost ablation on the disentangled suite "
-              "(scale=%.2f, 1 worker) ==\n",
-              Scale);
+              "(scale=%.2f, 1 worker) ==\n%s\n",
+              Scale, methodologyLine(Reps).c_str());
+  BenchJson J("fig_ablation", Scale, Reps);
 
   Table T({"benchmark", "off", "detect", "manage", "detect/off",
            "manage/off"});
@@ -44,10 +46,14 @@ int main(int Argc, char **Argv) {
     RunResult Man = measure(E, false, 1, em::Mode::Manage, false, Reps);
     MPL_CHECK(Off.Checksum == Man.Checksum && Det.Checksum == Man.Checksum,
               "ablation modes disagree");
-    T.addRow({E.Name, Table::fmtSec(Off.Seconds), Table::fmtSec(Det.Seconds),
-              Table::fmtSec(Man.Seconds),
+    T.addRow({E.Name, fmtSecPm(Off.Seconds, Off.StddevSeconds),
+              fmtSecPm(Det.Seconds, Det.StddevSeconds),
+              fmtSecPm(Man.Seconds, Man.StddevSeconds),
               Table::fmtRatio(Det.Seconds / Off.Seconds),
               Table::fmtRatio(Man.Seconds / Off.Seconds)});
+    J.addRow(E.Name, "off", false, Off);
+    J.addRow(E.Name, "detect", false, Det);
+    J.addRow(E.Name, "manage", false, Man);
   }
   T.print();
 
@@ -73,10 +79,14 @@ int main(int Argc, char **Argv) {
                Table::fmtSec(static_cast<double>(Par.Stats.GcMaxPauseNs) *
                              1e-9),
                Table::fmtSec(static_cast<double>(ParTotal) * 1e-9)});
+    J.addRow(E.Name, "gc-whole-heap", E.Entangled, Seq);
+    J.addRow(E.Name, "gc-hierarchical", E.Entangled, Par);
   }
   T2.print();
   std::printf("\nHierarchical collection trades a few more collections for "
               "far smaller\nper-collection pauses — the property that lets "
               "tasks collect independently.\n");
+  if (!JsonPath.empty() && !J.write(JsonPath))
+    return 1;
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int Argc, char **Argv) {
   Cli C(Argc, Argv);
   double Scale = C.getDouble("scale", 0.25);
   int64_t SampleUs = C.getInt("sample-us", 500);
+  std::string JsonPath = C.getString("json", "");
 
   std::printf("== F3: residency and pinned bytes over time (dedup-ht, "
               "2 workers, scale=%.2f) ==\n",
@@ -82,5 +83,31 @@ int main(int Argc, char **Argv) {
   std::printf("\nfinal outstanding pinned bytes: %lld (joins release "
               "entanglement)\n",
               static_cast<long long>(FinalPinned));
+
+  if (!JsonPath.empty()) {
+    BenchJson J("fig_spacetime", Scale, /*Reps=*/1);
+    J.addMetaInt("sample_us", SampleUs);
+    J.addMetaInt("final_pinned_bytes", FinalPinned);
+    std::string Extra = "\"samples\":[";
+    for (size_t I = 0; I < Samples.size(); ++I) {
+      if (I)
+        Extra += ",";
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf),
+                    "{\"ms\":%lld,\"residency\":%lld,\"pinned\":%lld}",
+                    static_cast<long long>(Samples[I].Ms),
+                    static_cast<long long>(Samples[I].Residency),
+                    static_cast<long long>(Samples[I].Pinned));
+      Extra += Buf;
+    }
+    Extra += "]";
+    J.addCustomRow("dedup-ht", "spacetime-w2",
+                   Samples.empty()
+                       ? 0.0
+                       : static_cast<double>(Samples.back().Ms) * 1e-3,
+                   Extra);
+    if (!J.write(JsonPath))
+      return 1;
+  }
   return 0;
 }

@@ -24,12 +24,14 @@ int main(int Argc, char **Argv) {
   Cli C(Argc, Argv);
   double Scale = C.getDouble("scale", 0.25);
   int Reps = static_cast<int>(C.getInt("reps", 2));
+  std::string JsonPath = C.getString("json", "");
 
   const int Procs[] = {1, 2, 4, 8, 16, 32, 64, 72};
   const char *Selected[] = {"fib", "msort", "primes", "bfs", "dedup-ht"};
 
-  std::printf("== F1: speedup curves, T_s / (W/P + S) (scale=%.2f) ==\n",
-              Scale);
+  std::printf("== F1: speedup curves, T_s / (W/P + S) (scale=%.2f) ==\n%s\n",
+              Scale, methodologyLine(Reps).c_str());
+  BenchJson J("fig_speedup", Scale, Reps);
 
   std::vector<std::string> Header{"benchmark"};
   for (int P : Procs)
@@ -48,13 +50,28 @@ int main(int Argc, char **Argv) {
     RunResult Par = measure(E, false, 1, em::Mode::Manage, true, Reps);
 
     std::vector<std::string> Row{E.Name};
-    for (int P : Procs)
-      Row.push_back(Table::fmtRatio(Seq.Seconds / Par.WS.predictedTime(P)));
+    std::string Curve = "\"speedup\":[";
+    for (size_t I = 0; I < sizeof(Procs) / sizeof(Procs[0]); ++I) {
+      int P = Procs[I];
+      double S = Seq.Seconds / Par.WS.predictedTime(P);
+      Row.push_back(Table::fmtRatio(S));
+      if (I)
+        Curve += ",";
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "{\"p\":%d,\"x\":%.4g}", P, S);
+      Curve += Buf;
+    }
+    Curve += "]";
     T.addRow(std::move(Row));
+    J.addRow(E.Name, "seq", E.Entangled, Seq);
+    J.addRow(E.Name, "par-w1", E.Entangled, Par);
+    J.addCustomRow(E.Name, "speedup-curve", Par.Seconds, Curve);
   }
   T.print();
   std::printf("\nEach cell is the predicted speedup over the sequential "
               "baseline. Curves flatten\nwhere W/P approaches S — the "
               "paper's figures show the same saturation shape.\n");
+  if (!JsonPath.empty() && !J.write(JsonPath))
+    return 1;
   return 0;
 }

@@ -16,17 +16,27 @@
 // `manage+gov` is the per-op cost of limit admission on the chunk
 // acquisition path — zero for the barrier loops (they never acquire) and
 // a per-chunk, not per-object, accounting charge for the allocation loop.
+// The fourth argument arms the entanglement profiler (src/obs/Profile.h):
+// `manage` vs `manage+prof` is the per-op cost of the profiler's armed
+// check on the barrier paths — these loops are disentangled, so the slow
+// paths never fire and the price is the relaxed flag load alone.
 // Recorded in results/M1_barriers.txt.
+//
+// Accepts `-json <path>` (translated to google-benchmark's
+// --benchmark_out=<path> in JSON format) so CI can archive the numbers.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/Common.h"
 #include "mm/MemoryGovernor.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
+#include <vector>
 
 using namespace mpl;
 using namespace mpl::ops;
@@ -48,27 +58,38 @@ const char *modeName(int64_t I) {
   return I == 0 ? "off" : (I == 1 ? "detect" : "manage");
 }
 
-/// RAII for the tracer + governor configuration of one benchmark run;
-/// labels the state "<mode>", "<mode>+trace" or "<mode>+gov". The governed
-/// runs use a limit far above the benchmark's residency, so they price the
-/// admission bookkeeping itself, never the recovery ladder.
+/// RAII for the tracer + governor + profiler configuration of one benchmark
+/// run; labels the state "<mode>", "<mode>+trace", "<mode>+gov" or
+/// "<mode>+prof". The governed runs use a limit far above the benchmark's
+/// residency, so they price the admission bookkeeping itself, never the
+/// recovery ladder.
 class TracerConfig {
 public:
   TracerConfig(benchmark::State &State)
       : Traced(State.range(1) != 0), Governed(State.range(2) != 0),
+        Profiled(State.range(3) != 0),
         SavedGov(MemoryGovernor::get().config()) {
     if (Traced) {
       obs::Tracer::get().clear();
       obs::Tracer::get().enable(obs::TraceOptions{});
     }
+    if (Profiled) {
+      obs::Profiler::get().reset();
+      obs::Profiler::get().enable();
+    }
     MemoryGovernor::Config G = SavedGov;
     G.LimitBytes = Governed ? (int64_t(4) << 30) : 0;
     MemoryGovernor::get().configure(G);
     State.SetLabel(std::string(modeName(State.range(0))) +
-                   (Traced ? "+trace" : "") + (Governed ? "+gov" : ""));
+                   (Traced ? "+trace" : "") + (Governed ? "+gov" : "") +
+                   (Profiled ? "+prof" : ""));
   }
   ~TracerConfig() {
     MemoryGovernor::get().configure(SavedGov);
+    if (Profiled) {
+      obs::Profiler::get().disable();
+      obs::Profiler::get().reset();
+    }
     if (Traced) {
       obs::Tracer::get().disable();
       obs::Tracer::get().clear();
@@ -78,6 +99,7 @@ public:
 private:
   bool Traced;
   bool Governed;
+  bool Profiled;
   MemoryGovernor::Config SavedGov;
 };
 
@@ -168,12 +190,36 @@ void BM_Allocation(benchmark::State &State) {
 } // namespace
 
 #define MPL_BARRIER_ARGS                                                       \
-  Args({0, 0, 0})->Args({1, 0, 0})->Args({2, 0, 0})->Args({2, 1, 0})           \
-      ->Args({2, 0, 1})
+  Args({0, 0, 0, 0})->Args({1, 0, 0, 0})->Args({2, 0, 0, 0})                   \
+      ->Args({2, 1, 0, 0})->Args({2, 0, 1, 0})->Args({2, 0, 0, 1})
 BENCHMARK(BM_RefGetDisentangled)->MPL_BARRIER_ARGS;
 BENCHMARK(BM_RefSetDisentangled)->MPL_BARRIER_ARGS;
 BENCHMARK(BM_ArrayGetInt)->MPL_BARRIER_ARGS;
 BENCHMARK(BM_ImmutableRecordGet)->MPL_BARRIER_ARGS;
 BENCHMARK(BM_Allocation)->MPL_BARRIER_ARGS;
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): translate our suite-wide
+// `-json <path>` convention into google-benchmark's --benchmark_out flags
+// before its own argv parsing sees them.
+int main(int Argc, char **Argv) {
+  std::vector<std::string> ArgStorage;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-json") == 0 && I + 1 < Argc) {
+      ArgStorage.push_back(std::string("--benchmark_out=") + Argv[I + 1]);
+      ArgStorage.push_back("--benchmark_out_format=json");
+      ++I;
+      continue;
+    }
+    ArgStorage.push_back(Argv[I]);
+  }
+  std::vector<char *> NewArgv;
+  for (std::string &S : ArgStorage)
+    NewArgv.push_back(S.data());
+  int NewArgc = static_cast<int>(NewArgv.size());
+  benchmark::Initialize(&NewArgc, NewArgv.data());
+  if (benchmark::ReportUnrecognizedArguments(NewArgc, NewArgv.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

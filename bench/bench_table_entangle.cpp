@@ -24,17 +24,30 @@ using namespace mpl::bench;
 int main(int Argc, char **Argv) {
   Cli C(Argc, Argv);
   double Scale = C.getDouble("scale", 0.25);
+  std::string JsonPath = C.getString("json", "");
 
-  std::printf("== T4: entanglement statistics (scale=%.2f, 2 workers) ==\n",
-              Scale);
+  std::printf("== T4: entanglement statistics (scale=%.2f, 2 workers) ==\n%s\n",
+              Scale, methodologyLine(1).c_str());
 
   Table T({"benchmark", "ent-reads", "pins-down", "pins-cross", "pins-holder",
-           "pinned-objs", "pinned-bytes", "unpins", "leaked-pins"});
+           "pinned-objs", "pinned-bytes", "prof-bytes", "unpins",
+           "leaked-pins"});
+  BenchJson J("table_entangle", Scale, /*Reps=*/1);
+  J.addMetaInt("workers", 2);
 
   for (const SuiteEntry &E : makeSuite(Scale)) {
+    // SiteProfile: every pin in this table must be attributed to a named
+    // barrier site, and the live-pin table must drain to zero at the join.
     RunResult R = measure(E, /*Sequential=*/false, /*Workers=*/2,
-                          em::Mode::Manage, /*Profile=*/false, /*Reps=*/1);
+                          em::Mode::Manage, /*Profile=*/false, /*Reps=*/1,
+                          /*SiteProfile=*/true);
     int64_t PinnedObjects = R.Stats.PinnedObjects;
+    // The profiler and the em counters observe the same chokepoint
+    // (Heap::addPinned), and both are read from the same rep: the profiler
+    // must attribute 100% of the pinned bytes to named sites.
+    MPL_CHECK(R.profilePinnedBytes() == R.Stats.PinnedBytes,
+              "profiler lost track of pinned bytes");
+    MPL_CHECK(R.ProfileLeakedPins == 0, "pins survived final join");
 
     T.addRow({E.Name + (E.Entangled ? " (ent)" : ""),
               Table::fmtInt(R.Stats.EntangledReads),
@@ -43,13 +56,19 @@ int main(int Argc, char **Argv) {
               Table::fmtInt(R.Stats.PinsHolder),
               Table::fmtInt(PinnedObjects),
               Table::fmtBytes(R.Stats.PinnedBytes),
+              Table::fmtBytes(R.profilePinnedBytes()),
               Table::fmtInt(R.Stats.Unpins),
               Table::fmtInt(PinnedObjects - R.Stats.Unpins)});
+    J.addRow(E.Name, "par-w2", E.Entangled, R);
   }
   T.print();
   std::printf("\npins-down/cross/holder count barrier *events* (re-pins "
               "included); pinned-objs\ncounts distinct objects. leaked-pins "
               "= pinned-objs - unpins must be 0: every\nentanglement "
-              "candidate is released by a join.\n");
+              "candidate is released by a join. prof-bytes is the site-"
+              "attributed\nprofiler total (obs/Profile.h) and must equal "
+              "pinned-bytes.\n");
+  if (!JsonPath.empty() && !J.write(JsonPath))
+    return 1;
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "bench/Common.h"
 #include "support/Cli.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace mpl;
@@ -25,17 +26,23 @@ using namespace mpl::ops;
 
 namespace {
 
-double timeBest(int Reps, const std::function<int64_t()> &Fn,
-                int64_t *Checksum) {
-  double Best = 1e100;
+/// Lower median across \p Reps timed calls — same statistic as
+/// bench::measure so columns are comparable across tables.
+double medianOf(std::vector<double> Times) {
+  std::sort(Times.begin(), Times.end());
+  return Times[(Times.size() - 1) / 2];
+}
+
+double timeMedian(int Reps, const std::function<int64_t()> &Fn,
+                  int64_t *Checksum) {
+  std::vector<double> Times;
   for (int I = 0; I < Reps; ++I) {
     Timer T;
     int64_t Sum = Fn();
-    double Sec = T.elapsedSec();
-    Best = std::min(Best, Sec);
+    Times.push_back(T.elapsedSec());
     *Checksum = Sum;
   }
-  return Best;
+  return medianOf(std::move(Times));
 }
 
 } // namespace
@@ -44,6 +51,7 @@ int main(int Argc, char **Argv) {
   Cli C(Argc, Argv);
   double Scale = C.getDouble("scale", 0.25);
   int Reps = static_cast<int>(C.getInt("reps", 2));
+  std::string JsonPath = C.getString("json", "");
 
   const int64_t NSort = std::max<int64_t>(1024, int64_t(2'000'000 * Scale));
   const int64_t NPrimes = std::max<int64_t>(1024, int64_t(8'000'000 * Scale));
@@ -53,8 +61,9 @@ int main(int Argc, char **Argv) {
   const int64_t FibN = Scale >= 1.0 ? 33 : (Scale >= 0.25 ? 30 : 26);
 
   std::printf("== T3: cross-language comparison (scale=%.2f; Go/Java/OCaml "
-              "columns not reproducible offline) ==\n",
-              Scale);
+              "columns not reproducible offline) ==\n%s\n",
+              Scale, methodologyLine(Reps).c_str());
+  BenchJson J("table_lang", Scale, Reps);
 
   Table T({"benchmark", "C++ idiomatic", "C++ alloc-match", "mpl-em T_1",
            "mpl/idiomatic"});
@@ -132,10 +141,10 @@ int main(int Argc, char **Argv) {
 
   for (const Row &R : Rows) {
     int64_t CkI = 0, CkA = 0, CkM = 0;
-    double TI = timeBest(Reps, R.Idiomatic, &CkI);
-    double TA = timeBest(Reps, R.AllocMatch, &CkA);
+    double TI = timeMedian(Reps, R.Idiomatic, &CkI);
+    double TA = timeMedian(Reps, R.AllocMatch, &CkA);
 
-    double TM = 1e100;
+    std::vector<double> MplTimes;
     for (int I = 0; I < Reps; ++I) {
       rt::Config Cfg;
       Cfg.NumWorkers = 1;
@@ -143,14 +152,23 @@ int main(int Argc, char **Argv) {
       rt::Runtime Rt(Cfg);
       Timer T;
       Rt.run([&] { CkM = R.Mpl(); });
-      TM = std::min(TM, T.elapsedSec());
+      MplTimes.push_back(T.elapsedSec());
     }
+    double TM = medianOf(std::move(MplTimes));
     MPL_CHECK(CkI == CkM && CkA == CkM,
               "cross-language kernels computed different results");
 
     T.addRow({R.Name, Table::fmtSec(TI), Table::fmtSec(TA),
               Table::fmtSec(TM), Table::fmtRatio(TM / TI)});
+    char Extra[160];
+    std::snprintf(Extra, sizeof(Extra),
+                  "\"idiomatic_s\":%.9g,\"alloc_match_s\":%.9g,"
+                  "\"checksum\":%lld",
+                  TI, TA, static_cast<long long>(CkM));
+    J.addCustomRow(R.Name, "mpl-w1", TM, Extra);
   }
   T.print();
+  if (!JsonPath.empty() && !J.write(JsonPath))
+    return 1;
   return 0;
 }

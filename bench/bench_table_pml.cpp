@@ -20,6 +20,7 @@
 #include "pml/Vm.h"
 #include "support/Cli.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace mpl;
@@ -28,8 +29,14 @@ using namespace mpl::ops;
 
 namespace {
 
+/// Lower median across the timed reps — the statistic bench::measure uses.
+double medianOf(std::vector<double> Times) {
+  std::sort(Times.begin(), Times.end());
+  return Times[(Times.size() - 1) / 2];
+}
+
 double timePml(const std::string &Src, int Reps, std::string *ValueOut) {
-  double Best = 1e100;
+  std::vector<double> Times;
   for (int I = 0; I < Reps; ++I) {
     rt::Config Cfg;
     Cfg.NumWorkers = 1;
@@ -43,14 +50,14 @@ double timePml(const std::string &Src, int Reps, std::string *ValueOut) {
       MPL_CHECK(Ok, "pml benchmark program failed");
       *ValueOut = Rendered;
     });
-    Best = std::min(Best, T.elapsedSec());
+    Times.push_back(T.elapsedSec());
   }
-  return Best;
+  return medianOf(std::move(Times));
 }
 
 template <typename Fn>
 double timeRt(Fn &&Body, int Reps, int64_t *ValueOut) {
-  double Best = 1e100;
+  std::vector<double> Times;
   for (int I = 0; I < Reps; ++I) {
     rt::Config Cfg;
     Cfg.NumWorkers = 1;
@@ -58,20 +65,20 @@ double timeRt(Fn &&Body, int Reps, int64_t *ValueOut) {
     rt::Runtime R(Cfg);
     Timer T;
     R.run([&] { *ValueOut = Body(); });
-    Best = std::min(Best, T.elapsedSec());
+    Times.push_back(T.elapsedSec());
   }
-  return Best;
+  return medianOf(std::move(Times));
 }
 
 template <typename Fn>
 double timeNat(Fn &&Body, int Reps, int64_t *ValueOut) {
-  double Best = 1e100;
+  std::vector<double> Times;
   for (int I = 0; I < Reps; ++I) {
     Timer T;
     *ValueOut = Body();
-    Best = std::min(Best, T.elapsedSec());
+    Times.push_back(T.elapsedSec());
   }
-  return Best;
+  return medianOf(std::move(Times));
 }
 
 } // namespace
@@ -79,12 +86,22 @@ double timeNat(Fn &&Body, int Reps, int64_t *ValueOut) {
 int main(int Argc, char **Argv) {
   Cli C(Argc, Argv);
   int Reps = static_cast<int>(C.getInt("reps", 2));
+  std::string JsonPath = C.getString("json", "");
 
   std::printf("== Supplementary: carrier overhead — native C++ vs C++ "
-              "embedding vs PML VM (1 worker) ==\n");
+              "embedding vs PML VM (1 worker) ==\n%s\n",
+              methodologyLine(Reps).c_str());
+  BenchJson J("table_pml", /*Scale=*/1.0, Reps);
 
   Table T({"benchmark", "native C++", "C++ embedding", "PML (VM)",
            "vm/embed", "embed/native"});
+
+  auto AddJson = [&](const char *Name, double Nat, double Rt, double Pml) {
+    char Extra[128];
+    std::snprintf(Extra, sizeof(Extra),
+                  "\"native_s\":%.9g,\"embedding_s\":%.9g", Nat, Rt);
+    J.addCustomRow(Name, "pml-vm-w1", Pml, Extra);
+  };
 
   // fib(25), identical recursion everywhere.
   {
@@ -100,6 +117,7 @@ int main(int Argc, char **Argv) {
     T.addRow({"fib(25)", Table::fmtSec(Nat), Table::fmtSec(Rt),
               Table::fmtSec(Pml), Table::fmtRatio(Pml / Rt),
               Table::fmtRatio(Rt / Nat)});
+    AddJson("fib-25", Nat, Rt, Pml);
   }
 
   // Tail-loop sum of 0..N-1 (loop overhead; the embedding uses an array
@@ -131,6 +149,7 @@ int main(int Argc, char **Argv) {
     T.addRow({"sum 3M", Table::fmtSec(Nat), Table::fmtSec(Rt),
               Table::fmtSec(Pml), Table::fmtRatio(Pml / Rt),
               Table::fmtRatio(Rt / Nat)});
+    AddJson("sum-3m", Nat, Rt, Pml);
   }
 
   // Sieve of Eratosthenes over 200k (array mutation heavy).
@@ -162,11 +181,14 @@ int main(int Argc, char **Argv) {
     T.addRow({"primes 200k", Table::fmtSec(Nat), Table::fmtSec(Rt),
               Table::fmtSec(Pml), Table::fmtRatio(Pml / Rt),
               Table::fmtRatio(Rt / Nat)});
+    AddJson("primes-200k", Nat, Rt, Pml);
   }
 
   T.print();
   std::printf("\nvm/embed isolates bytecode-interpretation cost; the "
               "paper's MPL compiles to\nnative code, so its carrier "
               "overhead corresponds to our 'C++ embedding' column.\n");
+  if (!JsonPath.empty() && !J.write(JsonPath))
+    return 1;
   return 0;
 }

@@ -22,11 +22,14 @@ int main(int Argc, char **Argv) {
   Cli C(Argc, Argv);
   double Scale = C.getDouble("scale", 0.25);
   int Reps = static_cast<int>(C.getInt("reps", 1));
+  std::string JsonPath = C.getString("json", "");
 
-  std::printf("== T2: maximum residency (scale=%.2f) ==\n", Scale);
+  std::printf("== T2: maximum residency (scale=%.2f) ==\n%s\n", Scale,
+              methodologyLine(Reps).c_str());
 
   Table T({"benchmark", "R_s", "R_1", "blowup", "pinned", "gc-inplace",
            "gc-count", "max-pause"});
+  BenchJson J("table_space", Scale, Reps);
 
   for (const SuiteEntry &E : makeSuite(Scale)) {
     em::Mode SeqMode = E.Entangled ? em::Mode::Manage : em::Mode::Off;
@@ -46,11 +49,15 @@ int main(int Argc, char **Argv) {
               Table::fmtInt(Par.Stats.GcCount),
               Table::fmtSec(static_cast<double>(Par.Stats.GcMaxPauseNs) *
                             1e-9)});
+    J.addRow(E.Name, "seq", E.Entangled, Seq);
+    J.addRow(E.Name, "par-w1", E.Entangled, Par);
   }
   T.print();
   std::printf("\ngc-inplace = bytes preserved in place for pinned "
               "(entangled) closures across\nall collections — the paper's "
               "space cost of entanglement. ~0 for the\ndisentangled suite "
               "(the shielding claim).\n");
+  if (!JsonPath.empty() && !J.write(JsonPath))
+    return 1;
   return 0;
 }

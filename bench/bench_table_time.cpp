@@ -27,13 +27,16 @@ int main(int Argc, char **Argv) {
   double Scale = C.getDouble("scale", 0.25);
   int Reps = static_cast<int>(C.getInt("reps", 2));
   int P = static_cast<int>(C.getInt("procs", 72));
+  std::string JsonPath = C.getString("json", "");
 
   std::printf("== T1: time overhead and scalability (scale=%.2f, "
-              "T_%d via Brent bound) ==\n",
-              Scale, P);
+              "T_%d via Brent bound) ==\n%s\n",
+              Scale, P, methodologyLine(Reps).c_str());
 
   Table T({"benchmark", "T_s", "T_1", "ovhd(T_1/T_s)", "W/S",
            "T_" + std::to_string(P), "speedup(T_s/T_P)"});
+  BenchJson J("table_time", Scale, Reps);
+  J.addMetaInt("procs", P);
 
   for (const SuiteEntry &E : makeSuite(Scale)) {
     // Sequential baseline: barriers off for disentangled programs; the
@@ -41,6 +44,10 @@ int main(int Argc, char **Argv) {
     em::Mode SeqMode = E.Entangled ? em::Mode::Manage : em::Mode::Off;
     RunResult Seq = measure(E, /*Sequential=*/true, /*Workers=*/1, SeqMode,
                             /*Profile=*/false, Reps);
+    // This is the timing table, so the site profiler stays disarmed: its
+    // per-event attribution would inflate the entangled T_1 it reports.
+    // MPL_PROFILE=1 opts in (measure() honors it); the attribution datum
+    // lives in bench_table_entangle, which always arms it.
     RunResult Par = measure(E, /*Sequential=*/false, /*Workers=*/1,
                             em::Mode::Manage, /*Profile=*/true, Reps);
     MPL_CHECK(Seq.Checksum == Par.Checksum,
@@ -51,14 +58,19 @@ int main(int Argc, char **Argv) {
                              ? Par.WS.WorkSec / Par.WS.SpanSec
                              : 0;
     T.addRow({E.Name + (E.Entangled ? " (ent)" : ""),
-              Table::fmtSec(Seq.Seconds), Table::fmtSec(Par.Seconds),
+              fmtSecPm(Seq.Seconds, Seq.StddevSeconds),
+              fmtSecPm(Par.Seconds, Par.StddevSeconds),
               Table::fmtRatio(Par.Seconds / Seq.Seconds),
               Table::fmtRatio(Parallelism), Table::fmtSec(TP),
               Table::fmtRatio(Seq.Seconds / TP)});
+    J.addRow(E.Name, "seq", E.Entangled, Seq);
+    J.addRow(E.Name, "par-w1", E.Entangled, Par);
   }
   T.print();
   std::printf("\n(ent) = entangled benchmark: its T_s runs with management "
               "enabled because\npre-paper MPL cannot run it at all; "
               "see bench_table_entangle for its stats.\n");
+  if (!JsonPath.empty() && !J.write(JsonPath))
+    return 1;
   return 0;
 }

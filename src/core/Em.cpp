@@ -7,6 +7,7 @@
 #include "core/Em.h"
 
 #include "chaos/ChaosSchedule.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/Stats.h"
@@ -78,6 +79,7 @@ void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
   chaos::preemptPoint(chaos::Point::WriteBarrier);
   Heap *HP = Heap::of(P);
   uint32_t PinDepth = UINT32_MAX;
+  obs::ProfileSite *PinSite = nullptr;
 
   if (HX != HP) {
     if (Heap::isAncestorOf(HX, HP)) {
@@ -86,12 +88,14 @@ void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
       PinDepth = HX->depth();
       Counts.DownPointerPins.fetch_add(1, std::memory_order_relaxed);
       StatDownPins.inc();
+      PinSite = &MPL_SITE("em.pin.down");
     } else if (!Heap::isAncestorOf(HP, HX)) {
       // Cross-pointer between concurrent heaps: X itself was obtained via
       // entanglement; P becomes reachable from that entangled region.
       PinDepth = Heap::lcaDepth(HX, HP);
       Counts.CrossPointerPins.fetch_add(1, std::memory_order_relaxed);
       StatCrossPins.inc();
+      PinSite = &MPL_SITE("em.pin.cross");
     }
     // Up-pointer (HP ancestor of HX): always disentangled, nothing to do —
     // unless X is pinned, handled below.
@@ -100,6 +104,10 @@ void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
   if (X->isPinned()) {
     // X is already visible to concurrent tasks; anything stored into it is
     // published to them and must survive, in place, at least as long as X.
+    // Attribute the pin to the holder class when the holder's depth is the
+    // binding constraint (or when no pointer class fired at all).
+    if (X->unpinDepth() < PinDepth)
+      PinSite = &MPL_SITE("em.pin.holder");
     PinDepth = std::min(PinDepth, X->unpinDepth());
     Counts.PinnedHolderPins.fetch_add(1, std::memory_order_relaxed);
     StatHolderPins.inc();
@@ -118,7 +126,7 @@ void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
   }
   if (chaos::faultFires(chaos::Fault::SkipPin))
     return; // Test-only injected bug: publish without pinning.
-  if (HP->addPinned(P, PinDepth)) {
+  if (HP->addPinned(P, PinDepth, PinSite)) {
     Counts.PinnedObjects.fetch_add(1, std::memory_order_relaxed);
     Counts.PinnedBytes.fetch_add(static_cast<int64_t>(P->sizeBytes()),
                                  std::memory_order_relaxed);
@@ -150,10 +158,12 @@ void readBarrierSlow(Heap *Reader, Object *P, Heap *HP) {
     // Count it (the fuzz suite asserts zero) and fall through to the
     // defensive re-pin below so the mutator can still make progress.
     Counts.EntangledReadsUnpinned.fetch_add(1, std::memory_order_relaxed);
+  obs::profileEvent(MPL_SITE("em.read.entangled"),
+                    static_cast<int64_t>(P->sizeBytes()), HP->depth());
   uint32_t Lca = Heap::lcaDepth(Reader, HP);
   if (P->isPinned() && P->unpinDepth() <= Lca)
     return;
-  if (HP->addPinned(P, Lca)) {
+  if (HP->addPinned(P, Lca, &MPL_SITE("em.pin.read"))) {
     Counts.PinnedObjects.fetch_add(1, std::memory_order_relaxed);
     Counts.PinnedBytes.fetch_add(static_cast<int64_t>(P->sizeBytes()),
                                  std::memory_order_relaxed);

@@ -8,10 +8,13 @@
 
 #include "chaos/ChaosSchedule.h"
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "support/Stats.h"
+#include "support/Timer.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 using namespace mpl;
 using namespace mpl::rt;
@@ -27,6 +30,65 @@ std::vector<int> RtGaugeIds;
 
 /// Emergency-GC hook id registered with the MemoryGovernor (0 = none).
 int GovGcHookId = 0;
+
+/// The heap-tree walker behind obs::snapshotHeapTree(). Reads only the
+/// per-heap relaxed-atomic gauges plus immutable parent/depth links, so it
+/// is safe to run from the MetricsSampler thread or the OOM path while
+/// workers fork, join and collect (hh/Heap.h, gauge comment).
+std::string heapTreeJson(HeapManager &HM) {
+  std::vector<Heap *> All = HM.snapshotHeaps();
+  std::unordered_map<const Heap *, int> Id;
+  std::vector<Heap *> Live;
+  for (Heap *H : All) {
+    if (H->isDead())
+      continue;
+    Id.emplace(H, static_cast<int>(Live.size()));
+    Live.push_back(H);
+  }
+  std::vector<std::vector<int>> Children(Live.size());
+  for (size_t I = 0; I < Live.size(); ++I) {
+    auto It = Id.find(Live[I]->parent());
+    if (It != Id.end())
+      Children[It->second].push_back(static_cast<int>(I));
+  }
+  Pressure P = MemoryGovernor::get().pressure();
+  std::string S;
+  S += "{\"schema\":\"mpl-heap-tree/1\",";
+  S += "\"t_ns\":" + std::to_string(nowNs()) + ",";
+  S += "\"pressure_level\":" + std::to_string(static_cast<int>(P)) + ",";
+  S += "\"pressure\":\"" + std::string(mpl::pressureName(P)) + "\",";
+  S += "\"live_heaps\":" + std::to_string(Live.size()) + ",";
+  S += "\"heaps\":[";
+  for (size_t I = 0; I < Live.size(); ++I) {
+    Heap *H = Live[I];
+    if (I)
+      S += ",";
+    S += "{\"id\":" + std::to_string(I) + ",";
+    auto PIt = Id.find(H->parent());
+    S += "\"parent\":" +
+         std::to_string(PIt == Id.end() ? -1 : PIt->second) + ",";
+    S += "\"depth\":" + std::to_string(H->depth()) + ",";
+    S += "\"chunk_bytes\":" +
+         std::to_string(H->ChunkBytesGauge.load(std::memory_order_relaxed)) +
+         ",";
+    S += "\"pinned_objects\":" +
+         std::to_string(H->PinnedObjsGauge.load(std::memory_order_relaxed)) +
+         ",";
+    S += "\"pinned_bytes\":" +
+         std::to_string(H->PinnedBytesGauge.load(std::memory_order_relaxed)) +
+         ",";
+    S += "\"active_forks\":" + std::to_string(H->activeForks()) + ",";
+    S += "\"children\":[";
+    for (size_t C = 0; C < Children[I].size(); ++C) {
+      if (C)
+        S += ",";
+      S += std::to_string(Children[I][C]);
+    }
+    S += "]}";
+  }
+  S += "]}";
+  return S;
+}
 } // namespace
 
 Runtime::Runtime(const Config &C)
@@ -56,6 +118,9 @@ Runtime::Runtime(const Config &C)
   // chunk.
   GovGcHookId = MemoryGovernor::get().registerEmergencyGc(
       [this] { return maybeCollect(/*Force=*/true); });
+  // Heap-tree introspection: obs cannot see hh, so the walker is injected
+  // here (same inversion as the gauges above).
+  obs::setHeapTreeProvider([this] { return heapTreeJson(Heaps); });
 }
 
 Runtime::~Runtime() {
@@ -70,8 +135,11 @@ Runtime::~Runtime() {
   TheRuntime = nullptr;
   // Flush env-configured sinks now, at quiescence: the workers still exist
   // (Sched is destroyed after this body) but are idle outside run(), and
-  // idle workers emit no trace events.
+  // idle workers emit no trace events. The heap-tree provider is cleared
+  // only after the flush so the metrics dump can embed a final snapshot;
+  // setHeapTreeProvider blocks until any in-flight snapshot finishes.
   obs::flushEnvSinks();
+  obs::setHeapTreeProvider({});
 }
 
 Runtime *Runtime::current() { return TheRuntime; }
@@ -101,6 +169,11 @@ void Runtime::endRun() {
     RootHeap->releaseAllChunks();
     RootHeap = nullptr;
   }
+  // Workers are quiescent between runs (no barriers, joins or collections
+  // execute), so this is the race-free point to fold the per-worker
+  // profiler shards into the merged table.
+  if (obs::profileEnabled())
+    obs::Profiler::get().mergeThreadShards();
 }
 
 bool Runtime::maybeCollect(bool Force) {

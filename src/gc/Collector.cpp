@@ -8,6 +8,7 @@
 
 #include "chaos/ChaosSchedule.h"
 #include "mm/MemoryGovernor.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "support/Histogram.h"
 #include "support/Stats.h"
@@ -139,11 +140,14 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
     }
     H->Chunks = nullptr;
     H->Current = nullptr;
+    H->ChunkBytesGauge.store(0, std::memory_order_relaxed);
   }
 
   // Phase A: pinned closures stay in place.
   obs::emit(obs::Ev::GcMarkBegin);
+  int64_t MarkStartNs = Pause.elapsedNs();
   markInPlaceClosure(CS);
+  int64_t MarkEndNs = Pause.elapsedNs();
   obs::emit(obs::Ev::GcMarkEnd, static_cast<uint64_t>(CS.Out.ObjectsInPlace));
 
   // Phase B: evacuate everything reachable from the mutator roots. Slots
@@ -172,6 +176,7 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
           O->setSlot(I, NV);
       }
   }
+  int64_t EvacEndNs = Pause.elapsedNs();
   obs::emit(obs::Ev::GcEvacEnd, static_cast<uint64_t>(CS.Out.BytesCopied));
 
   // Phase C: reclaim from-space chunks with no in-place survivors; retire
@@ -191,6 +196,8 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
     C->Frontier = C->Limit;
     C->Next = H->Chunks;
     H->Chunks = C;
+    H->ChunkBytesGauge.fetch_add(static_cast<int64_t>(C->TotalBytes),
+                                 std::memory_order_relaxed);
     if (!H->Current)
       H->Current = nullptr; // Allocation will open a fresh chunk.
   }
@@ -212,6 +219,20 @@ GcOutcome Collector::collectChain(Heap *Leaf, ShadowStack &Roots) {
   obs::emit(obs::Ev::GcEnd, static_cast<uint64_t>(CS.Out.BytesCopied),
             static_cast<uint64_t>(CS.Out.BytesReclaimed));
   GcPauseHist.record(CS.Out.PauseNs);
+  // Site-attribute only collections that paid an entanglement cost (some
+  // pinned closure survived in place): a disentangled run's collections
+  // keep the profile empty, so the profile isolates exactly the GC work
+  // entanglement induced (in-place marking, evacuation around pinned
+  // survivors, retired-chunk accounting).
+  if (CS.Out.ObjectsInPlace > 0 && obs::profileEnabled()) {
+    uint32_t D = Leaf->depth();
+    obs::profileEvent(MPL_SITE("gc.mark.inplace"), CS.Out.BytesInPlace, D,
+                      MarkEndNs - MarkStartNs);
+    obs::profileEvent(MPL_SITE("gc.evac"), CS.Out.BytesCopied, D,
+                      EvacEndNs - MarkEndNs);
+    obs::profileEvent(MPL_SITE("gc.reclaim"), CS.Out.BytesReclaimed, D,
+                      CS.Out.PauseNs - EvacEndNs);
+  }
   NumCollections.inc();
   TotalBytesCopied.add(CS.Out.BytesCopied);
   TotalBytesInPlace.add(CS.Out.BytesInPlace);

@@ -8,6 +8,7 @@
 
 #include "chaos/ChaosSchedule.h"
 #include "mm/MemoryGovernor.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/EmCounters.h"
@@ -27,6 +28,8 @@ void Heap::pushChunk(Chunk *C) {
   C->Next = Chunks;
   Chunks = C;
   Current = C;
+  ChunkBytesGauge.fetch_add(static_cast<int64_t>(C->TotalBytes),
+                            std::memory_order_relaxed);
 }
 
 void *Heap::allocate(size_t Bytes) {
@@ -49,6 +52,8 @@ void *Heap::allocate(size_t Bytes) {
       C->Next = Chunks;
       Chunks = C;
     }
+    ChunkBytesGauge.fetch_add(static_cast<int64_t>(C->TotalBytes),
+                              std::memory_order_relaxed);
     void *P = C->tryAllocate(Bytes);
     MPL_CHECK(P, "large chunk cannot fit its object");
     return P;
@@ -89,13 +94,17 @@ uint32_t Heap::lcaDepth(const Heap *A, const Heap *B) {
   return A->Depth;
 }
 
-bool Heap::addPinned(Object *O, uint32_t UnpinDepth) {
+bool Heap::addPinned(Object *O, uint32_t UnpinDepth, obs::ProfileSite *Site) {
   std::lock_guard<std::mutex> G(PinLock);
   if (!O->pinMin(UnpinDepth))
     return false;
   Pinned.push_back(O);
-  MemoryGovernor::get().notePinnedBytes(static_cast<int64_t>(O->sizeBytes()));
+  int64_t Size = static_cast<int64_t>(O->sizeBytes());
+  PinnedObjsGauge.fetch_add(1, std::memory_order_relaxed);
+  PinnedBytesGauge.fetch_add(Size, std::memory_order_relaxed);
+  MemoryGovernor::get().notePinnedBytes(Size);
   obs::emit(obs::Ev::Pin, O->sizeBytes(), UnpinDepth);
+  obs::profilePin(Site, O, Size, UnpinDepth);
   return true;
 }
 
@@ -118,6 +127,7 @@ void Heap::releaseAllChunks() {
   }
   Chunks = nullptr;
   Current = nullptr;
+  ChunkBytesGauge.store(0, std::memory_order_relaxed);
 }
 
 HeapManager::~HeapManager() {
@@ -175,6 +185,8 @@ int64_t HeapManager::join(Heap *Parent, Heap *Child) {
       C->Owner.store(Parent, std::memory_order_release);
       C->Next = Keep;
       Keep = C;
+      Parent->ChunkBytesGauge.fetch_add(static_cast<int64_t>(C->TotalBytes),
+                                        std::memory_order_relaxed);
     }
     C = Next;
   }
@@ -189,33 +201,45 @@ int64_t HeapManager::join(Heap *Parent, Heap *Child) {
   }
   Child->Chunks = nullptr;
   Child->Current = nullptr;
+  Child->ChunkBytesGauge.store(0, std::memory_order_relaxed);
   Parent->BytesAllocated += Child->BytesAllocated;
 
   // The paper's join rule: entanglement with unpin depth >= the merged
   // depth is dead once the object lives at that depth; unpin those objects
   // so ordinary local collection can move (and eventually reclaim) them.
+  int64_t UnpinnedBytes = 0;
+  bool HadPins = !Child->Pinned.empty();
   for (Object *O : Child->Pinned) {
     if (!O->isPinned())
       continue; // Already unpinned by an earlier join (duplicate entry).
+    int64_t Size = static_cast<int64_t>(O->sizeBytes());
     if (O->unpinDepth() >= Parent->Depth &&
         !chaos::faultFires(chaos::Fault::SkipUnpin)) {
-      BytesUnpinned.add(static_cast<int64_t>(O->sizeBytes()));
+      BytesUnpinned.add(Size);
       em::Counts.UnpinnedObjects.fetch_add(1, std::memory_order_relaxed);
-      em::Counts.UnpinnedBytes.fetch_add(static_cast<int64_t>(O->sizeBytes()),
-                                         std::memory_order_relaxed);
-      MemoryGovernor::get().notePinnedBytes(
-          -static_cast<int64_t>(O->sizeBytes()));
+      em::Counts.UnpinnedBytes.fetch_add(Size, std::memory_order_relaxed);
+      MemoryGovernor::get().notePinnedBytes(-Size);
       obs::emit(obs::Ev::Unpin, O->sizeBytes());
+      obs::profileUnpin(O, Size, Child->Depth);
       O->unpin();
       ++Unpinned;
+      UnpinnedBytes += Size;
     } else {
       // Entanglement still (possibly) live at the parent's depth — or a
       // test-only SkipUnpin fault leaking the release on purpose.
       Parent->Pinned.push_back(O);
+      Parent->PinnedObjsGauge.fetch_add(1, std::memory_order_relaxed);
+      Parent->PinnedBytesGauge.fetch_add(Size, std::memory_order_relaxed);
     }
   }
   Child->Pinned.clear();
+  Child->PinnedObjsGauge.store(0, std::memory_order_relaxed);
+  Child->PinnedBytesGauge.store(0, std::memory_order_relaxed);
   ObjectsUnpinned.add(Unpinned);
+  // Attribute the join's entanglement-release work — only joins that had
+  // pinned entries to process, so disentangled runs keep an empty profile.
+  if (HadPins)
+    obs::profileEvent(MPL_SITE("hh.join.unpin"), UnpinnedBytes, Child->Depth);
 
   Child->Dead.store(true, std::memory_order_release);
   obs::emit(obs::Ev::HeapJoinEnd, static_cast<uint64_t>(Unpinned));

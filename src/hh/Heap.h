@@ -21,11 +21,16 @@
 #include "mm/Chunk.h"
 #include "mm/Object.h"
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
 
 namespace mpl {
+
+namespace obs {
+class ProfileSite;
+} // namespace obs
 
 /// One heap in the hierarchy. Owned (allocated into / collected) by at most
 /// one task at a time; shared ancestors are read-only for allocation until
@@ -74,7 +79,10 @@ public:
   /// Registers \p O as pinned in this heap at depth \p UnpinDepth (callers:
   /// the entanglement write/read barriers). Takes the pin lock. Returns
   /// true when the object was newly pinned (not merely depth-deepened).
-  bool addPinned(Object *O, uint32_t UnpinDepth);
+  /// \p Site, when non-null, is the profiler site the pin is attributed to
+  /// (obs/Profile.h; ignored unless the profiler is armed).
+  bool addPinned(Object *O, uint32_t UnpinDepth,
+                 obs::ProfileSite *Site = nullptr);
 
   /// Sum of bytes bump-allocated into live chunks (fragmentation included).
   size_t footprintBytes() const;
@@ -106,6 +114,17 @@ public:
   /// True while the owning task's local collector is evacuating this heap.
   /// Written and read under PinLock (or by the owning thread only).
   bool InCollection = false;
+
+  /// Relaxed-atomic mirrors of this heap's chunk and pin totals, updated
+  /// at every transition (chunk acquire/release/re-home, pin/unpin/move,
+  /// GC detach/retire). They exist so obs::snapshotHeapTree() can read a
+  /// consistent-enough picture from *other* threads (the MetricsSampler,
+  /// the OOM path) without taking PinLock or walking the chunk list —
+  /// which would race the owner. Approximate across a join by design
+  /// (stale duplicate pin entries move with their vector).
+  std::atomic<int64_t> ChunkBytesGauge{0};
+  std::atomic<int64_t> PinnedObjsGauge{0};
+  std::atomic<int64_t> PinnedBytesGauge{0};
 
 private:
   void pushChunk(Chunk *C);

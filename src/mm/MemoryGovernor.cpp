@@ -7,6 +7,7 @@
 #include "mm/MemoryGovernor.h"
 
 #include "mm/Chunk.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "support/Histogram.h"
 #include "support/Stats.h"
@@ -265,6 +266,18 @@ void MemoryGovernor::raiseOom(size_t Bytes) {
                   std::max<int64_t>(0, ChunkPool::get().outstandingBytes())));
   }
   OomRaised.inc();
+  // Post-mortem introspection: dump the live heap tree before unwinding so
+  // the operator can see *where* the bytes were pinned when the limit was
+  // hit (MPL_OOM_HEAP_TREE=<path>; off by default because the pressure
+  // tests raise OOM on purpose). ScopedGcExempt threads never reach here,
+  // so no heap lock is held and the snapshot cannot deadlock.
+  if (const char *Path = std::getenv("MPL_OOM_HEAP_TREE"))
+    if (std::FILE *F = std::fopen(Path, "w")) {
+      std::string Tree = obs::snapshotHeapTree();
+      std::fwrite(Tree.data(), 1, Tree.size(), F);
+      std::fputc('\n', F);
+      std::fclose(F);
+    }
   throw OutOfMemoryError(Bytes, ChunkPool::get().outstandingBytes(),
                          LimitBytes.load(std::memory_order_relaxed),
                          pinnedBytes());

@@ -6,6 +6,7 @@
 
 #include "obs/Metrics.h"
 
+#include "obs/Profile.h"
 #include "support/Histogram.h"
 #include "support/Json.h"
 #include "support/Timer.h"
@@ -203,9 +204,15 @@ std::string MetricsSampler::jsonDump() const {
       Out += ",\n";
     FirstH = false;
     Out += "{\"name\":\"" + json::escape(H.name()) + "\",";
-    std::snprintf(Buf, sizeof(Buf), "\"count\":%lld,\"sum\":%lld,",
+    Histogram::Percentiles Pct = H.percentiles();
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"count\":%lld,\"sum\":%lld,"
+                  "\"p50\":%lld,\"p95\":%lld,\"p99\":%lld,",
                   static_cast<long long>(H.count()),
-                  static_cast<long long>(H.sum()));
+                  static_cast<long long>(H.sum()),
+                  static_cast<long long>(Pct.P50),
+                  static_cast<long long>(Pct.P95),
+                  static_cast<long long>(Pct.P99));
     Out += Buf;
     Out += "\"buckets\":[";
     bool FirstB = true;
@@ -223,7 +230,11 @@ std::string MetricsSampler::jsonDump() const {
     }
     Out += "]}";
   });
-  Out += "\n]}\n";
+  // A final live-heap-tree snapshot (empty when no runtime is alive); the
+  // sampler thread may also take these mid-run via obs::snapshotHeapTree.
+  Out += "\n],\"heap_tree\":";
+  Out += snapshotHeapTree();
+  Out += "}\n";
   return Out;
 }
 
@@ -264,6 +275,24 @@ bool MetricsSampler::writeCsv(const std::string &P) const {
     }
     Out += "\n";
   }
+
+  // Histogram summary block (blank-line separated so the time-series part
+  // stays directly loadable); same percentile semantics as the JSON dump.
+  Out += "\nhistogram,count,sum,p50,p95,p99\n";
+  HistogramRegistry::get().forEach([&](const Histogram &H) {
+    int64_t N = H.count();
+    if (N == 0)
+      return;
+    Histogram::Percentiles Pct = H.percentiles();
+    char HBuf[256];
+    std::snprintf(HBuf, sizeof(HBuf), "%s,%lld,%lld,%lld,%lld,%lld\n",
+                  H.name(), static_cast<long long>(N),
+                  static_cast<long long>(H.sum()),
+                  static_cast<long long>(Pct.P50),
+                  static_cast<long long>(Pct.P95),
+                  static_cast<long long>(Pct.P99));
+    Out += HBuf;
+  });
   return writeFile(P, Out);
 }
 

@@ -7,12 +7,14 @@
 #include "obs/Trace.h"
 
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 using namespace mpl;
@@ -312,6 +314,18 @@ void obs::initFromEnv() {
       MetricsSampler::get().start(IntervalUs, Path);
       AnySink = true;
     }
+    // MPL_PROFILE: "0"/unset = off, "1" = armed (query via the Profiler
+    // API), anything else = armed + merged profile JSON flushed to that
+    // path at exit / Runtime destruction.
+    if (const char *P = std::getenv("MPL_PROFILE")) {
+      if (std::strcmp(P, "0") != 0) {
+        Profiler::get().enable();
+        if (std::strcmp(P, "1") != 0) {
+          Profiler::get().setConfiguredPath(P);
+          AnySink = true;
+        }
+      }
+    }
     if (AnySink)
       std::atexit(flushAtExit);
   });
@@ -324,4 +338,11 @@ void obs::flushEnvSinks() {
   MetricsSampler &M = MetricsSampler::get();
   if (!M.configuredPath().empty())
     M.writeAuto(M.configuredPath());
+  Profiler &P = Profiler::get();
+  if (!P.configuredPath().empty())
+    if (std::FILE *F = std::fopen(P.configuredPath().c_str(), "w")) {
+      std::string Json = P.jsonDump();
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
+    }
 }

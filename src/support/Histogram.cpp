@@ -40,6 +40,31 @@ int64_t Histogram::approxQuantile(double Q) const {
   return sum();
 }
 
+Histogram::Percentiles Histogram::percentiles() const {
+  Percentiles P;
+  int64_t Total = count();
+  if (Total == 0)
+    return P;
+  // One scan, three targets: approxQuantile semantics (first bucket whose
+  // cumulative count strictly exceeds Q * Total; value is the bucket's
+  // inclusive upper bound).
+  const double Qs[3] = {0.50, 0.95, 0.99};
+  int64_t *Out[3] = {&P.P50, &P.P95, &P.P99};
+  int Next = 0;
+  int64_t Seen = 0;
+  for (int B = 0; B < NumBuckets && Next < 3; ++B) {
+    Seen += bucketCount(B);
+    while (Next < 3 &&
+           Seen > static_cast<int64_t>(Qs[Next] * static_cast<double>(Total))) {
+      *Out[Next] = B == 0 ? 0 : (static_cast<int64_t>(1) << B) - 1;
+      ++Next;
+    }
+  }
+  for (; Next < 3; ++Next)
+    *Out[Next] = sum();
+  return P;
+}
+
 void Histogram::reset() {
   for (int B = 0; B < NumBuckets; ++B)
     Buckets[B].store(0, std::memory_order_relaxed);

@@ -65,6 +65,15 @@ public:
   /// fall (a coarse quantile: exact only up to bucket granularity).
   int64_t approxQuantile(double Q) const;
 
+  /// The standard latency-report quantiles, extracted in one pass over
+  /// the buckets (same bucket-upper-bound semantics as approxQuantile).
+  struct Percentiles {
+    int64_t P50 = 0;
+    int64_t P95 = 0;
+    int64_t P99 = 0;
+  };
+  Percentiles percentiles() const;
+
   void reset();
   const char *name() const { return HistName; }
 

@@ -10,11 +10,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "chaos/ChaosSchedule.h"
+#include "core/Handles.h"
+#include "core/Ops.h"
+#include "core/Runtime.h"
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "support/Histogram.h"
 #include "support/Json.h"
 #include "support/Stats.h"
+#include "workloads/Entangled.h"
+#include "workloads/Kernels.h"
 
 #include <gtest/gtest.h>
 
@@ -382,4 +389,250 @@ TEST_F(ObsTest, StatRegistrationIsThreadSafe) {
     T.join();
   // All temporaries unregistered themselves on destruction.
   EXPECT_EQ(StatRegistry::get().valueOf("obs.test.dyn.t0"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Entanglement profiler (obs/Profile.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The profiler is process-global; every test starts and ends disarmed.
+class ProfileTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::Profiler::get().disable();
+    obs::Profiler::get().reset();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+rt::Config workerCfg(int Workers) {
+  rt::Config C;
+  C.NumWorkers = Workers;
+  C.Profile = false;
+  C.GcMinBytes = 1 << 16;
+  return C;
+}
+
+/// Count of the named global histogram, or -1 when it does not exist yet.
+int64_t histCountOf(const char *Name) {
+  int64_t Out = -1;
+  HistogramRegistry::get().forEach([&](const Histogram &H) {
+    if (std::string(H.name()) == Name)
+      Out = H.count();
+  });
+  return Out;
+}
+
+const obs::ProfileSiteSnap *findSite(
+    const std::vector<obs::ProfileSiteSnap> &Sites, const std::string &Name) {
+  for (const obs::ProfileSiteSnap &S : Sites)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+} // namespace
+
+TEST_F(ProfileTest, SiteMacroNamesAndDefaults) {
+  obs::ProfileSite &Named = MPL_SITE("test.site.named");
+  EXPECT_EQ(Named.name(), "test.site.named");
+  obs::ProfileSite &Anon = MPL_SITE();
+  // Default name is basename:line of the registration point.
+  EXPECT_NE(Anon.name().find("obs_test.cpp:"), std::string::npos);
+  // The macro's static is one site per lexical occurrence: re-executing
+  // the same occurrence yields the same registered site.
+  auto SiteOf = [] { return &MPL_SITE("test.site.named2"); };
+  obs::ProfileSite *First = SiteOf();
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(SiteOf(), First);
+}
+
+TEST_F(ProfileTest, DisabledHooksRecordNothing) {
+  ASSERT_FALSE(obs::profileEnabled());
+  obs::profileEvent(MPL_SITE("test.disabled"), 128, 1);
+  EXPECT_TRUE(obs::Profiler::get().snapshot().empty());
+}
+
+TEST_F(ProfileTest, DisentangledRunsLeaveProfileEmpty) {
+  // The tentpole's shielding property: every profiler hook sits on an
+  // entanglement slow path (or is gated on entangled work), so a fully
+  // disentangled suite must produce an EMPTY profile — not merely a cheap
+  // one — even across forks, joins and collections.
+  obs::Profiler::get().enable();
+  {
+    rt::Runtime R(workerCfg(2));
+    R.run([] { (void)wl::fib(18, 6); });
+    R.run([] {
+      Local A(wl::randomInts(20000, 1 << 20, 42));
+      Local S(wl::mergesortInts(A.get(), 1024));
+      (void)S.get();
+    });
+  }
+  EXPECT_TRUE(obs::Profiler::get().snapshot().empty());
+  EXPECT_EQ(obs::Profiler::get().livePinCount(), 0);
+  EXPECT_EQ(obs::Profiler::get().livePinBytes(), 0);
+}
+
+TEST_F(ProfileTest, DownPointerPinAttributedAndDrainedAtJoin) {
+  using namespace mpl::ops;
+  obs::Profiler::get().enable();
+  int64_t LifetimesBefore = std::max<int64_t>(
+      0, histCountOf("em.pin.lifetime.ns"));
+  StatRegistry::get().resetAll();
+  {
+    rt::Runtime R(workerCfg(1));
+    R.run([&] {
+      Local Shared0(newRef(boxInt(0))); // Depth 0.
+      rt::par(
+          [&] {
+            // Depth-1 object published into a depth-0 ref: down pointer.
+            Local Mine(newRef(boxInt(5)));
+            refSet(Shared0.get(), Mine.slot());
+            EXPECT_TRUE(Mine.get()->isPinned());
+            return unit();
+          },
+          [&] { return unit(); });
+    });
+  }
+  std::vector<obs::ProfileSiteSnap> Sites = obs::Profiler::get().snapshot();
+  const obs::ProfileSiteSnap *Pin = findSite(Sites, "em.pin.down");
+  ASSERT_NE(Pin, nullptr);
+  EXPECT_GE(Pin->Events, 1);
+  EXPECT_GT(Pin->Bytes, 0);
+  // The profiler observes the same chokepoint as the em counters: the
+  // attributed bytes equal the counter total exactly.
+  EXPECT_EQ(Pin->Bytes, StatRegistry::get().valueOf("em.pinned.bytes"));
+  // Every pin was released by the join: the live-pin table drained, each
+  // release recorded a lifetime both globally and at the pin's own site.
+  EXPECT_EQ(obs::Profiler::get().livePinCount(), 0);
+  EXPECT_EQ(obs::Profiler::get().livePinBytes(), 0);
+  EXPECT_EQ(Pin->DurCount, Pin->Events);
+  EXPECT_EQ(histCountOf("em.pin.lifetime.ns") - LifetimesBefore,
+            Pin->DurCount);
+  // The join-side site saw the unpin work.
+  const obs::ProfileSiteSnap *Join = findSite(Sites, "hh.join.unpin");
+  ASSERT_NE(Join, nullptr);
+  EXPECT_EQ(Join->Bytes, Pin->Bytes);
+}
+
+TEST_F(ProfileTest, EntangledWorkloadsAttributeAllPinsAcrossWorkers) {
+  using namespace mpl::ops;
+  obs::Profiler::get().enable();
+  StatRegistry::get().resetAll();
+  {
+    rt::Runtime R(workerCfg(2));
+    R.run([] {
+      Local K(wl::randomInts(20000, 5000, 23));
+      (void)wl::dedup(K.get(), 256);
+    });
+    R.run([] { (void)wl::exchange(2000); });
+  }
+  int64_t PinnedBytes = StatRegistry::get().valueOf("em.pinned.bytes");
+  ASSERT_GT(PinnedBytes, 0) << "workload produced no entanglement";
+  int64_t Attributed = 0;
+  for (const obs::ProfileSiteSnap &S : obs::Profiler::get().snapshot())
+    if (S.Name.rfind("em.pin.", 0) == 0 || S.Name == "hh.pin")
+      Attributed += S.Bytes;
+  EXPECT_EQ(Attributed, PinnedBytes);
+  EXPECT_EQ(obs::Profiler::get().livePinCount(), 0);
+  EXPECT_EQ(obs::Profiler::get().livePinBytes(), 0);
+}
+
+TEST_F(ProfileTest, JsonDumpParsesBack) {
+  using namespace mpl::ops;
+  obs::Profiler::get().enable();
+  {
+    rt::Runtime R(workerCfg(2));
+    R.run([] { (void)wl::exchange(500); });
+  }
+  std::string Dump = obs::Profiler::get().jsonDump();
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Dump, V, Err)) << Err;
+  const json::Value *Schema = V.field("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->StrV, "mpl-profile/1");
+  const json::Value *Leaked = V.field("leaked_pins");
+  ASSERT_NE(Leaked, nullptr);
+  EXPECT_EQ(Leaked->NumV, 0);
+  const json::Value *Sites = V.field("sites");
+  ASSERT_NE(Sites, nullptr);
+  ASSERT_TRUE(Sites->isArray());
+  EXPECT_FALSE(Sites->Items.empty());
+  for (const json::Value &S : Sites->Items) {
+    EXPECT_NE(S.field("name"), nullptr);
+    EXPECT_NE(S.field("events"), nullptr);
+    EXPECT_NE(S.field("bytes"), nullptr);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Heap-tree introspection (obs::snapshotHeapTree)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ProfileTest, HeapTreeSnapshotWithoutRuntimeIsEmptyFallback) {
+  std::string S = obs::snapshotHeapTree();
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(S, V, Err)) << Err;
+  const json::Value *Live = V.field("live_heaps");
+  ASSERT_NE(Live, nullptr);
+  EXPECT_EQ(Live->NumV, 0);
+}
+
+TEST_F(ProfileTest, HeapTreeSnapshotConcurrentWithForkJoinUnderChaos) {
+  using namespace mpl::ops;
+  // A snapshot thread hammers obs::snapshotHeapTree() while two workers
+  // fork, join and collect under a seeded chaos schedule — the TSan preset
+  // runs this test too, so the gauge-only walk is exercised for races.
+  chaos::enable(chaos::Config::fromSeed(11));
+  std::atomic<bool> Done{false};
+  std::atomic<int> Parsed{0};
+  bool SnapshotsOk = true;
+  std::string FirstError;
+  {
+    rt::Runtime R(workerCfg(2));
+    std::thread Snap([&] {
+      while (!Done.load(std::memory_order_acquire)) {
+        std::string S = obs::snapshotHeapTree();
+        json::Value V;
+        std::string Err;
+        if (!json::parse(S, V, Err)) {
+          SnapshotsOk = false;
+          FirstError = Err + ": " + S;
+          break;
+        }
+        const json::Value *Schema = V.field("schema");
+        const json::Value *Heaps = V.field("heaps");
+        if (!Schema || Schema->StrV != "mpl-heap-tree/1" || !Heaps ||
+            !Heaps->isArray()) {
+          SnapshotsOk = false;
+          FirstError = "missing schema/heaps: " + S;
+          break;
+        }
+        for (const json::Value &H : Heaps->Items) {
+          const json::Value *Cb = H.field("chunk_bytes");
+          const json::Value *Pb = H.field("pinned_bytes");
+          if (!Cb || Cb->NumV < 0 || !Pb || Pb->NumV < 0) {
+            SnapshotsOk = false;
+            FirstError = "negative gauge: " + S;
+            break;
+          }
+        }
+        Parsed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (int I = 0; I < 4 && SnapshotsOk; ++I)
+      R.run([] {
+        (void)wl::fib(16, 4);
+        (void)wl::exchange(500);
+      });
+    Done.store(true, std::memory_order_release);
+    Snap.join();
+  }
+  chaos::disable();
+  EXPECT_TRUE(SnapshotsOk) << FirstError;
+  EXPECT_GT(Parsed.load(), 0);
 }

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Cli.h"
+#include "support/Histogram.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "support/Table.h"
@@ -148,4 +149,49 @@ TEST(TableTest, Formatters) {
   EXPECT_EQ(Table::fmtBytes(2048), "2.0K");
   EXPECT_NE(Table::fmtSec(0.5).find("ms"), std::string::npos);
   EXPECT_NE(Table::fmtSec(2.0).find("s"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram percentiles
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, PercentilesMatchBucketBounds) {
+  Histogram H("test.percentiles");
+  // 90 samples land in bucket 4 (values in [8, 16), upper bound 15) and 10
+  // in bucket 10 (values in [512, 1024), upper bound 1023).
+  for (int I = 0; I < 90; ++I)
+    H.record(10);
+  for (int I = 0; I < 10; ++I)
+    H.record(1000);
+  Histogram::Percentiles P = H.percentiles();
+  EXPECT_EQ(P.P50, 15);   // Cumulative 90 > 50.
+  EXPECT_EQ(P.P95, 1023); // Cumulative 90 <= 95 < 100.
+  EXPECT_EQ(P.P99, 1023);
+  // One-pass percentiles agree with the per-quantile walk.
+  EXPECT_EQ(P.P50, H.approxQuantile(0.50));
+  EXPECT_EQ(P.P95, H.approxQuantile(0.95));
+  EXPECT_EQ(P.P99, H.approxQuantile(0.99));
+}
+
+TEST(HistogramTest, PercentilesOfEmptyAndSingleton) {
+  Histogram H("test.percentiles.edge");
+  Histogram::Percentiles P = H.percentiles();
+  EXPECT_EQ(P.P50, 0);
+  EXPECT_EQ(P.P95, 0);
+  EXPECT_EQ(P.P99, 0);
+  // A lone sample is every percentile (bucket upper-bound semantics).
+  H.record(100); // Bucket 7: [64, 128), upper bound 127.
+  P = H.percentiles();
+  EXPECT_EQ(P.P50, 127);
+  EXPECT_EQ(P.P95, 127);
+  EXPECT_EQ(P.P99, 127);
+}
+
+TEST(HistogramTest, PercentilesZeroValuedSamplesUseBucketZero) {
+  Histogram H("test.percentiles.zero");
+  for (int I = 0; I < 10; ++I)
+    H.record(0);
+  Histogram::Percentiles P = H.percentiles();
+  EXPECT_EQ(P.P50, 0);
+  EXPECT_EQ(P.P99, 0);
 }

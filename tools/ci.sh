@@ -27,6 +27,15 @@ RELEASE_SEEDS=${RELEASE_SEEDS:-25}
 TSAN_SEEDS=${TSAN_SEEDS:-50}
 ASAN_SEEDS=${ASAN_SEEDS:-25}
 
+# Perf-smoke knobs. The stage reruns the main time table at smoke scale
+# and gates it against the committed baseline (BENCH_T1.json) with
+# tools/mpl_report: counter/checksum mismatches and leaked pins always
+# fail; times fail only above the tolerance, and only for rows long
+# enough to be stable across machines (mpl_report --min-time-ms).
+PERF_SCALE=${PERF_SCALE:-0.05}
+PERF_REPS=${PERF_REPS:-2}
+PERF_TOLERANCE_PCT=${PERF_TOLERANCE_PCT:-25}
+
 # Memory-pressure stage knobs (see DESIGN.md §10). The stress/fuzz live
 # peak is ~8 MiB, so a 16 MiB hard limit leaves emergency collection real
 # headroom while SoftFrac 0.5 puts the soft watermark right at the peak —
@@ -87,6 +96,19 @@ run_config() {
   "$bdir/tools/mpl_trace_check" "$bdir/trace_smoke.json" \
     --require-event fork --require-event heap_join \
     --require-event pin --require-event gc
+
+  if [[ "$preset" == "release" ]]; then
+    echo "==== [$preset] perf smoke (scale $PERF_SCALE, tolerance ${PERF_TOLERANCE_PCT}%) ===="
+    # Sanitizer presets skew times beyond any tolerance, so only release
+    # runs the gate. The fresh JSON and the rendered report are left in
+    # the build dir for CI to upload as artifacts.
+    "$bdir/bench/bench_table_time" -scale "$PERF_SCALE" -reps "$PERF_REPS" \
+      -json "$bdir/perf_smoke.json" > "$bdir/perf_smoke.txt"
+    "$bdir/tools/mpl_report" "$bdir/perf_smoke.json"
+    "$bdir/tools/mpl_report" --baseline BENCH_T1.json \
+      --current "$bdir/perf_smoke.json" \
+      --tolerance-pct "$PERF_TOLERANCE_PCT"
+  fi
 }
 
 case "${1:-all}" in
