@@ -12,15 +12,22 @@
 //   pml_repl program.pml           # run a file
 //   pml_repl -e "1 + 2"           # evaluate an expression
 //   pml_repl -workers 4 file.pml   # choose the worker count
+//   pml_repl -i                    # interactive session (line at a time)
+//
+// The interactive session holds one Runtime for its whole lifetime and
+// adds colon commands; `:heaps` dumps the live heap-tree snapshot
+// (obs::snapshotHeapTree) so the hierarchy can be inspected mid-session.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Runtime.h"
+#include "obs/Profile.h"
 #include "pml/Vm.h"
 #include "support/Cli.h"
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 using namespace mpl;
@@ -73,6 +80,19 @@ const Demo Demos[] = {
      "printInt (count 2 0)"},
 };
 
+bool evalLine(const std::string &Source) {
+  std::string Output, Rendered, TypeStr;
+  std::vector<std::string> Errors;
+  if (pml::evalSource(Source, Output, Rendered, TypeStr, Errors)) {
+    std::fwrite(Output.data(), 1, Output.size(), stdout);
+    std::printf("val it : %s = %s\n", TypeStr.c_str(), Rendered.c_str());
+    return true;
+  }
+  for (const std::string &E : Errors)
+    std::printf("error: %s\n", E.c_str());
+  return false;
+}
+
 int runOne(const std::string &Title, const std::string &Source,
            int Workers) {
   rt::Config Cfg;
@@ -83,18 +103,56 @@ int runOne(const std::string &Title, const std::string &Source,
   std::printf("--- %s ---\n", Title.c_str());
   int Rc = 0;
   R.run([&] {
-    std::string Output, Rendered, TypeStr;
-    std::vector<std::string> Errors;
-    if (pml::evalSource(Source, Output, Rendered, TypeStr, Errors)) {
-      std::fwrite(Output.data(), 1, Output.size(), stdout);
-      std::printf("val it : %s = %s\n", TypeStr.c_str(), Rendered.c_str());
-    } else {
-      for (const std::string &E : Errors)
-        std::printf("error: %s\n", E.c_str());
+    if (!evalLine(Source))
       Rc = 1;
-    }
   });
   return Rc;
+}
+
+int runInteractive(int Workers) {
+  rt::Config Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.Profile = false;
+  // One Runtime for the whole session (only one may exist at a time); its
+  // constructor installs the heap-tree provider `:heaps` reads through.
+  rt::Runtime R(Cfg);
+
+  std::printf("pml interactive — :help for commands, :quit to leave\n");
+  std::string Line;
+  for (;;) {
+    std::printf("pml> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, Line))
+      break;
+    if (Line == ":quit" || Line == ":q")
+      break;
+    if (Line == ":help") {
+      std::printf("  :heaps        dump the live heap-tree snapshot (JSON)\n"
+                  "  :quit, :q     leave the session\n"
+                  "  anything else is evaluated as a complete PML program\n"
+                  "  (one per line; bindings do not persist across lines)\n");
+      continue;
+    }
+    if (Line == ":heaps") {
+      // Snapshot from inside run() so the session's root heap (and any
+      // still-live children) are in the dump, not just the empty shell.
+      R.run([] {
+        std::string S = obs::snapshotHeapTree();
+        std::fwrite(S.data(), 1, S.size(), stdout);
+        if (S.empty() || S.back() != '\n')
+          std::fputc('\n', stdout);
+      });
+      continue;
+    }
+    if (!Line.empty() && Line[0] == ':') {
+      std::printf("unknown command '%s' (:help lists them)\n", Line.c_str());
+      continue;
+    }
+    if (Line.empty())
+      continue;
+    R.run([&] { evalLine(Line); });
+  }
+  return 0;
 }
 
 } // namespace
@@ -102,6 +160,9 @@ int runOne(const std::string &Title, const std::string &Source,
 int main(int Argc, char **Argv) {
   Cli C(Argc, Argv);
   int Workers = static_cast<int>(C.getInt("workers", 2));
+
+  if (C.getBool("i"))
+    return runInteractive(Workers);
 
   std::string Inline = C.getString("e", "");
   if (!Inline.empty())

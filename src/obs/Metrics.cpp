@@ -92,6 +92,21 @@ MetricsSample MetricsSampler::recordSampleLocked() {
   S.Gauges.reserve(Gauges.size());
   for (const Gauge &Ga : Gauges)
     S.Gauges.emplace_back(Ga.Name, Ga.Fn());
+  // Heap-tree summary: the walk is gauge loads only; keeping just the
+  // parsed summary keeps per-sample storage flat. HeapTreeMu nests under
+  // Mu here and nowhere takes Mu, so the order is acyclic.
+  json::Value Tree;
+  std::string Err;
+  if (json::parse(snapshotHeapTree(), Tree, Err)) {
+    if (const json::Value *Live = Tree.field("live_heaps"))
+      S.LiveHeaps = static_cast<int64_t>(Live->NumV);
+    if (const json::Value *Heaps = Tree.field("heaps"))
+      if (Heaps->isArray())
+        for (const json::Value &H : Heaps->Items)
+          if (const json::Value *D = H.field("depth"))
+            S.MaxHeapDepth =
+                std::max(S.MaxHeapDepth, static_cast<int64_t>(D->NumV));
+  }
   Series.push_back(S);
   return S;
 }
@@ -195,7 +210,11 @@ std::string MetricsSampler::jsonDump() const {
       std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
       Out += Buf;
     }
-    Out += "}}";
+    std::snprintf(Buf, sizeof(Buf),
+                  "},\"heaps\":{\"live\":%lld,\"max_depth\":%lld}}",
+                  static_cast<long long>(S.LiveHeaps),
+                  static_cast<long long>(S.MaxHeapDepth));
+    Out += Buf;
   }
   Out += "\n],\"histograms\":[\n";
   bool FirstH = true;
@@ -256,6 +275,7 @@ bool MetricsSampler::writeCsv(const std::string &P) const {
 
   std::string Out = "t_ns,";
   Out += EmCsvColumns;
+  Out += ",live_heaps,max_heap_depth";
   for (const std::string &C : GaugeCols)
     Out += "," + C;
   Out += "\n";
@@ -264,6 +284,10 @@ bool MetricsSampler::writeCsv(const std::string &P) const {
     std::snprintf(Buf, sizeof(Buf), "%lld,", static_cast<long long>(S.TimeNs));
     Out += Buf;
     appendEmCsv(Out, S.Em);
+    std::snprintf(Buf, sizeof(Buf), ",%lld,%lld",
+                  static_cast<long long>(S.LiveHeaps),
+                  static_cast<long long>(S.MaxHeapDepth));
+    Out += Buf;
     for (const std::string &C : GaugeCols) {
       Out += ",";
       for (const auto &[Name, V] : S.Gauges)

@@ -15,7 +15,10 @@
 ///    register (obs depends only on support, so it cannot reach into the
 ///    scheduler or the chunk pool itself): the scheduler registers one
 ///    deque-depth gauge per worker, the runtime registers chunk-pool
-///    residency and heap count.
+///    residency and heap count;
+///  - a live-heap-tree summary (live heap count + deepest live depth)
+///    parsed from obs::snapshotHeapTree(), so the series shows the heap
+///    hierarchy growing and collapsing across forks and joins.
 ///
 /// Exported as a JSON document ({"samples": [...], "histograms": [...]})
 /// or CSV (one row per sample, union of gauge columns). Gated by
@@ -47,6 +50,11 @@ struct MetricsSample {
   em::CounterSnapshot Em;       ///< All entanglement cost counters.
   /// Registered gauges, sampled in registration order.
   std::vector<std::pair<std::string, int64_t>> Gauges;
+  /// Live-heap-tree summary at the sample instant, parsed from
+  /// obs::snapshotHeapTree(): how many heaps are live and the deepest
+  /// live depth (0 / -1 when no runtime is alive).
+  int64_t LiveHeaps = 0;
+  int64_t MaxHeapDepth = -1;
 };
 
 /// Process-wide sampler. Start()/stop() manage the background thread;

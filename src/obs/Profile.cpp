@@ -68,7 +68,31 @@ bool Profiler::enabled() const { return profileEnabled(); }
 /// TLS shard handle. The shard itself is owned by the Profiler (threads
 /// come and go across Runtimes; shards persist so a quiescent merge sees
 /// every recording that ever happened).
-thread_local Profiler::SiteCell *Profiler::TlsCells = nullptr;
+thread_local Profiler::Shard *Profiler::TlsShard = nullptr;
+
+Profiler::CellTable::~CellTable() {
+  for (auto &B : Blocks)
+    delete[] B.load(std::memory_order_relaxed);
+}
+
+Profiler::SiteCell *Profiler::CellTable::cell(int Idx) {
+  std::atomic<SiteCell *> &Slot = Blocks[Idx / BlockSites];
+  SiteCell *Blk = Slot.load(std::memory_order_acquire);
+  if (!Blk) {
+    SiteCell *Fresh = new SiteCell[BlockSites];
+    if (Slot.compare_exchange_strong(Blk, Fresh, std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+      Blk = Fresh;
+    else
+      delete[] Fresh; // Lost the race; another thread published first.
+  }
+  return &Blk[Idx % BlockSites];
+}
+
+Profiler::SiteCell *Profiler::CellTable::peek(int Idx) const {
+  SiteCell *Blk = Blocks[Idx / BlockSites].load(std::memory_order_acquire);
+  return Blk ? &Blk[Idx % BlockSites] : nullptr;
+}
 
 namespace {
 void zeroCell(std::atomic<int64_t> &A) {
@@ -87,9 +111,9 @@ void Profiler::noteEvent(ProfileSite &S, int64_t Bytes, uint32_t Depth,
   int Idx = S.index();
   if (Idx < 0)
     return;
-  if (!TlsCells)
-    TlsCells = threadShard()->Cells;
-  SiteCell &C = TlsCells[Idx];
+  if (!TlsShard)
+    TlsShard = threadShard();
+  SiteCell &C = *TlsShard->Cells.cell(Idx);
   C.Events.fetch_add(1, std::memory_order_relaxed);
   C.Bytes.fetch_add(Bytes, std::memory_order_relaxed);
   int DB = std::min<uint32_t>(Depth, ProfileSiteSnap::DepthBuckets - 1);
@@ -128,9 +152,9 @@ void Profiler::noteUnpin(const void *Obj, int64_t Bytes, uint32_t Depth) {
   pinLifetimeHist().record(LifeNs);
   if (R.SiteIdx < 0)
     return;
-  if (!TlsCells)
-    TlsCells = threadShard()->Cells;
-  SiteCell &C = TlsCells[R.SiteIdx];
+  if (!TlsShard)
+    TlsShard = threadShard();
+  SiteCell &C = *TlsShard->Cells.cell(R.SiteIdx);
   int B = std::min(Histogram::bucketOf(LifeNs), ProfileSiteSnap::DurBuckets - 1);
   C.Dur[B].fetch_add(1, std::memory_order_relaxed);
   C.DurCount.fetch_add(1, std::memory_order_relaxed);
@@ -145,18 +169,25 @@ void Profiler::mergeShardsLocked() {
     if (V)
       Dst.fetch_add(V, std::memory_order_relaxed);
   };
+  // Only blocks the shard actually touched exist; merging one allocates
+  // the matching block in the merged table on demand.
   for (auto &Sh : Shards) {
-    for (int I = 0; I < MaxSites; ++I) {
-      SiteCell &Src = Sh->Cells[I];
-      SiteCell &Dst = Merged[I];
-      Fold(Dst.Events, Src.Events);
-      Fold(Dst.Bytes, Src.Bytes);
-      for (int D = 0; D < ProfileSiteSnap::DepthBuckets; ++D)
-        Fold(Dst.Depth[D], Src.Depth[D]);
-      for (int D = 0; D < ProfileSiteSnap::DurBuckets; ++D)
-        Fold(Dst.Dur[D], Src.Dur[D]);
-      Fold(Dst.DurCount, Src.DurCount);
-      Fold(Dst.DurSumNs, Src.DurSumNs);
+    for (int B = 0; B < MaxBlocks; ++B) {
+      SiteCell *SrcBlk = Sh->Cells.Blocks[B].load(std::memory_order_acquire);
+      if (!SrcBlk)
+        continue;
+      for (int I = 0; I < BlockSites; ++I) {
+        SiteCell &Src = SrcBlk[I];
+        SiteCell &Dst = *Merged.cell(B * BlockSites + I);
+        Fold(Dst.Events, Src.Events);
+        Fold(Dst.Bytes, Src.Bytes);
+        for (int D = 0; D < ProfileSiteSnap::DepthBuckets; ++D)
+          Fold(Dst.Depth[D], Src.Depth[D]);
+        for (int D = 0; D < ProfileSiteSnap::DurBuckets; ++D)
+          Fold(Dst.Dur[D], Src.Dur[D]);
+        Fold(Dst.DurCount, Src.DurCount);
+        Fold(Dst.DurSumNs, Src.DurSumNs);
+      }
     }
   }
 }
@@ -168,27 +199,27 @@ void Profiler::mergeThreadShards() {
 
 void Profiler::reset() {
   std::lock_guard<std::mutex> G(Mu);
-  for (auto &Sh : Shards)
-    for (SiteCell &C : Sh->Cells) {
-      zeroCell(C.Events);
-      zeroCell(C.Bytes);
-      for (auto &A : C.Depth)
-        zeroCell(A);
-      for (auto &A : C.Dur)
-        zeroCell(A);
-      zeroCell(C.DurCount);
-      zeroCell(C.DurSumNs);
+  auto ZeroTable = [](CellTable &T) {
+    for (int B = 0; B < MaxBlocks; ++B) {
+      SiteCell *Blk = T.Blocks[B].load(std::memory_order_acquire);
+      if (!Blk)
+        continue;
+      for (int I = 0; I < BlockSites; ++I) {
+        SiteCell &C = Blk[I];
+        zeroCell(C.Events);
+        zeroCell(C.Bytes);
+        for (auto &A : C.Depth)
+          zeroCell(A);
+        for (auto &A : C.Dur)
+          zeroCell(A);
+        zeroCell(C.DurCount);
+        zeroCell(C.DurSumNs);
+      }
     }
-  for (SiteCell &C : Merged) {
-    zeroCell(C.Events);
-    zeroCell(C.Bytes);
-    for (auto &A : C.Depth)
-      zeroCell(A);
-    for (auto &A : C.Dur)
-      zeroCell(A);
-    zeroCell(C.DurCount);
-    zeroCell(C.DurSumNs);
-  }
+  };
+  for (auto &Sh : Shards)
+    ZeroTable(Sh->Cells);
+  ZeroTable(Merged);
   for (PinBucket &B : PinTable) {
     std::lock_guard<std::mutex> BG(B.Mu);
     B.Live.clear();
@@ -200,7 +231,10 @@ std::vector<ProfileSiteSnap> Profiler::snapshot() {
   mergeShardsLocked();
   std::vector<ProfileSiteSnap> Out;
   for (size_t I = 0; I < Sites.size(); ++I) {
-    SiteCell &C = Merged[I];
+    SiteCell *Cp = Merged.peek(static_cast<int>(I));
+    if (!Cp)
+      continue; // Block never touched: no recordings for this site range.
+    SiteCell &C = *Cp;
     int64_t Events = C.Events.load(std::memory_order_relaxed);
     if (Events == 0)
       continue;
@@ -240,6 +274,11 @@ int64_t ProfileSiteSnap::durQuantileNs(double Q) const {
       return B == 0 ? 0 : (static_cast<int64_t>(1) << B) - 1;
   }
   return DurSumNs;
+}
+
+int Profiler::siteCount() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return static_cast<int>(Sites.size());
 }
 
 int64_t Profiler::livePinCount() const {

@@ -70,8 +70,9 @@ namespace obs {
 /// One static program point costs are attributed to. Construct through
 /// MPL_SITE, never directly: sites must have static storage duration (the
 /// registry keeps raw pointers and per-site slots for the process
-/// lifetime). At most MaxSites sites register; later ones are counted but
-/// not attributed (index -1).
+/// lifetime). The registry grows in fixed-size blocks on demand up to
+/// Profiler::MaxSites (4096); registrations past the hard cap are counted
+/// (Profiler::sitesDropped) but not attributed (index -1).
 class ProfileSite {
 public:
   /// \p Name defaults to "<basename(File)>:<Line>" when null (the
@@ -128,7 +129,14 @@ struct ProfileSiteSnap {
 /// Process-wide profiler: site registry, per-worker shards, live-pin table.
 class Profiler {
 public:
-  static constexpr int MaxSites = 64;
+  /// Site storage grows in blocks of BlockSites cells, allocated on first
+  /// touch, so per-thread shards stay small for the common few-dozen-site
+  /// case while large programs (codegen'd sites, tests) scale to MaxSites
+  /// without a rebuild. Cells never move once allocated — recorded indices
+  /// and TLS shard pointers stay valid for the process lifetime.
+  static constexpr int BlockSites = 64;
+  static constexpr int MaxBlocks = 64;
+  static constexpr int MaxSites = BlockSites * MaxBlocks; ///< Hard cap: 4096.
 
   static Profiler &get();
 
@@ -153,6 +161,12 @@ public:
   /// Pins recorded by notePin and not yet released by noteUnpin.
   int64_t livePinCount() const;
   int64_t livePinBytes() const;
+
+  /// Registered sites / registrations refused at the MaxSites hard cap.
+  int siteCount() const;
+  int64_t sitesDropped() const {
+    return SitesDropped.load(std::memory_order_relaxed);
+  }
 
   /// The merged profile as a schema-versioned JSON document.
   std::string jsonDump();
@@ -182,11 +196,26 @@ private:
     std::atomic<int64_t> DurSumNs{0};
   };
 
+  /// Block-growable site-cell storage: MaxBlocks lazily-allocated arrays
+  /// of BlockSites cells each. Blocks are published with a release CAS and
+  /// read with acquire loads, so any thread that learns a site index can
+  /// safely reach its cell; blocks are never freed before the table dies.
+  struct CellTable {
+    std::atomic<SiteCell *> Blocks[MaxBlocks] = {};
+
+    ~CellTable();
+    /// The cell for \p Idx, allocating its block on first touch.
+    SiteCell *cell(int Idx);
+    /// The cell for \p Idx, or null when its block was never allocated
+    /// (no recording ever touched it) — for snapshot/merge/reset walks.
+    SiteCell *peek(int Idx) const;
+  };
+
   /// One worker/thread's private accumulator. Relaxed atomics so the
   /// quiescent merge is race-free under TSan without locking the hot path
   /// (the owner is the only writer).
   struct Shard {
-    SiteCell Cells[MaxSites];
+    CellTable Cells;
   };
 
   struct PinRec {
@@ -204,7 +233,7 @@ private:
     std::unordered_map<const void *, PinRec> Live;
   };
 
-  static thread_local SiteCell *TlsCells;
+  static thread_local Shard *TlsShard;
 
   Shard *threadShard();
   PinBucket &bucketOf(const void *Obj) {
@@ -215,7 +244,7 @@ private:
   mutable std::mutex Mu;
   std::vector<ProfileSite *> Sites;          ///< By index; static lifetime.
   std::vector<std::unique_ptr<Shard>> Shards; ///< All threads, ever.
-  SiteCell Merged[MaxSites];                  ///< Folded at quiescence.
+  CellTable Merged;                           ///< Folded at quiescence.
   std::atomic<int64_t> SitesDropped{0};       ///< Registrations past MaxSites.
   PinBucket PinTable[PinShards];
   std::string Path;

@@ -568,6 +568,40 @@ TEST_F(ProfileTest, JsonDumpParsesBack) {
   }
 }
 
+TEST_F(ProfileTest, RegistryGrowsPastSixtyFourSites) {
+  obs::Profiler &P = obs::Profiler::get();
+  int64_t DroppedBefore = P.sitesDropped();
+  // The registry keeps raw pointers for the process lifetime, so these
+  // sites are deliberately leaked (static storage duration, like the
+  // function-local statics MPL_SITE makes).
+  static std::vector<obs::ProfileSite *> Grown;
+  if (Grown.empty())
+    for (int I = 0; I < 80; ++I)
+      Grown.push_back(new obs::ProfileSite(
+          __FILE__, __LINE__, ("test.grow." + std::to_string(I)).c_str()));
+  EXPECT_EQ(P.sitesDropped(), DroppedBefore) << "silent drops under the cap";
+  for (obs::ProfileSite *S : Grown)
+    EXPECT_GE(S->index(), 0) << S->name();
+  EXPECT_GT(P.siteCount(), obs::Profiler::BlockSites);
+
+  // A site past the first 64-cell block records and snapshots like any
+  // other: the growable storage is transparent to attribution.
+  obs::ProfileSite *High = nullptr;
+  for (obs::ProfileSite *S : Grown)
+    if (S->index() >= obs::Profiler::BlockSites) {
+      High = S;
+      break;
+    }
+  ASSERT_NE(High, nullptr);
+  P.enable();
+  obs::profileEvent(*High, 4096, 2);
+  std::vector<obs::ProfileSiteSnap> Sites = P.snapshot();
+  const obs::ProfileSiteSnap *Snap = findSite(Sites, High->name());
+  ASSERT_NE(Snap, nullptr);
+  EXPECT_EQ(Snap->Events, 1);
+  EXPECT_EQ(Snap->Bytes, 4096);
+}
+
 //===----------------------------------------------------------------------===//
 // Heap-tree introspection (obs::snapshotHeapTree)
 //===----------------------------------------------------------------------===//
@@ -580,6 +614,37 @@ TEST_F(ProfileTest, HeapTreeSnapshotWithoutRuntimeIsEmptyFallback) {
   const json::Value *Live = V.field("live_heaps");
   ASSERT_NE(Live, nullptr);
   EXPECT_EQ(Live->NumV, 0);
+}
+
+TEST_F(ProfileTest, MetricsSampleCarriesHeapTreeSummary) {
+  auto &S = obs::MetricsSampler::get();
+  S.clearSeries();
+  obs::MetricsSample Outside = S.sampleOnce();
+  EXPECT_EQ(Outside.LiveHeaps, 0) << "no runtime alive";
+  EXPECT_EQ(Outside.MaxHeapDepth, -1);
+
+  obs::MetricsSample Inside;
+  {
+    rt::Runtime R(workerCfg(2));
+    R.run([&] { Inside = S.sampleOnce(); }); // Root heap live during run.
+  }
+  EXPECT_GE(Inside.LiveHeaps, 1);
+  EXPECT_GE(Inside.MaxHeapDepth, 0);
+
+  // The exported series carries the per-sample summary.
+  json::Value Doc;
+  std::string Err;
+  ASSERT_TRUE(json::parse(S.jsonDump(), Doc, Err)) << Err;
+  const json::Value *Samples = Doc.field("samples");
+  ASSERT_NE(Samples, nullptr);
+  ASSERT_EQ(Samples->Items.size(), 2u);
+  const json::Value *H = Samples->Items[1].field("heaps");
+  ASSERT_NE(H, nullptr);
+  ASSERT_NE(H->field("live"), nullptr);
+  EXPECT_GE(H->field("live")->NumV, 1);
+  ASSERT_NE(H->field("max_depth"), nullptr);
+  EXPECT_GE(H->field("max_depth")->NumV, 0);
+  S.clearSeries();
 }
 
 TEST_F(ProfileTest, HeapTreeSnapshotConcurrentWithForkJoinUnderChaos) {

@@ -1,0 +1,464 @@
+//===- tools/GateLib.cpp - Statistical bench regression gate --------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "GateLib.h"
+
+#include "support/Json.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mpl {
+namespace gate {
+
+namespace {
+
+double numField(const json::Value *V, const char *Name, double Default = 0) {
+  if (!V)
+    return Default;
+  const json::Value *F = V->field(Name);
+  return F && F->isNumber() ? F->NumV : Default;
+}
+
+int64_t intField(const json::Value *V, const char *Name) {
+  return static_cast<int64_t>(numField(V, Name));
+}
+
+std::string strField(const json::Value *V, const char *Name) {
+  if (!V)
+    return "";
+  const json::Value *F = V->field(Name);
+  return F && F->isString() ? F->StrV : "";
+}
+
+std::string fmtMs(double Sec) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3fms", Sec * 1e3);
+  return Buf;
+}
+
+} // namespace
+
+const char *noiseName(Noise N) {
+  switch (N) {
+  case Noise::Unknown:
+    return "unknown";
+  case Noise::Stable:
+    return "stable";
+  case Noise::Moderate:
+    return "moderate";
+  case Noise::Noisy:
+    return "noisy";
+  }
+  return "?";
+}
+
+const char *findingKindName(Finding::Kind K) {
+  switch (K) {
+  case Finding::Kind::MissingRow:
+    return "missing-row";
+  case Finding::Kind::LeakedPins:
+    return "leaked-pins";
+  case Finding::Kind::ChecksumMismatch:
+    return "checksum";
+  case Finding::Kind::AttributionMismatch:
+    return "attribution";
+  case Finding::Kind::TimeRegression:
+    return "time";
+  case Finding::Kind::ResidencyRegression:
+    return "residency";
+  case Finding::Kind::CounterRegression:
+    return "counter";
+  case Finding::Kind::ProfileDrift:
+    return "profile-drift";
+  case Finding::Kind::Note:
+    return "note";
+  }
+  return "?";
+}
+
+double Row::sigmaS() const {
+  if (RepS.size() < 2)
+    return StddevS;
+  double Mean = 0;
+  for (double S : RepS)
+    Mean += S;
+  Mean /= static_cast<double>(RepS.size());
+  double Var = 0;
+  for (double S : RepS)
+    Var += (S - Mean) * (S - Mean);
+  return std::sqrt(Var / static_cast<double>(RepS.size() - 1));
+}
+
+Noise Row::noiseClass() const {
+  double Sigma = sigmaS();
+  if (Sigma <= 0 || MedianS <= 0)
+    return Noise::Unknown;
+  double Cv = Sigma / MedianS;
+  if (Cv < 0.02)
+    return Noise::Stable;
+  if (Cv < 0.10)
+    return Noise::Moderate;
+  return Noise::Noisy;
+}
+
+const Row *BenchFile::find(const std::string &Name,
+                           const std::string &Config) const {
+  for (const Row &R : Rows)
+    if (R.Name == Name && R.Config == Config)
+      return &R;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+bool parseBenchJson(const std::string &Text, BenchFile &Out, std::string &Err) {
+  if (Text.find_first_not_of(" \t\r\n") == std::string::npos) {
+    Err = "empty input (expected an mpl-bench/1 document)";
+    return false;
+  }
+  json::Value Root;
+  if (!json::parse(Text, Root, Err)) {
+    Err = "parse error: " + Err;
+    return false;
+  }
+  if (!Root.isObject()) {
+    Err = "top-level value is not an object";
+    return false;
+  }
+  std::string Schema = strField(&Root, "schema");
+  if (Schema != "mpl-bench/1") {
+    Err = Schema.empty() ? "missing schema field (not an mpl-bench file)"
+                         : "unsupported schema '" + Schema + "'";
+    return false;
+  }
+  Out.Bench = strField(&Root, "bench");
+  Out.Scale = numField(&Root, "scale");
+  Out.Reps = static_cast<int>(numField(&Root, "reps"));
+  const json::Value *Rows = Root.field("rows");
+  if (!Rows || !Rows->isArray()) {
+    Err = "missing rows array";
+    return false;
+  }
+  Out.Rows.clear();
+  for (size_t I = 0; I < Rows->Items.size(); ++I) {
+    const json::Value &RV = Rows->Items[I];
+    std::string RowId = "row " + std::to_string(I);
+    if (!RV.isObject()) {
+      Err = RowId + ": not an object";
+      return false;
+    }
+    Row R;
+    R.Name = strField(&RV, "name");
+    if (R.Name.empty()) {
+      Err = RowId + ": missing name";
+      return false;
+    }
+    R.Config = strField(&RV, "config");
+    if (const json::Value *E = RV.field("entangled"))
+      R.Entangled = E->BoolV;
+    const json::Value *Time = RV.field("time");
+    if (!Time || !Time->field("median_s") ||
+        !Time->field("median_s")->isNumber()) {
+      Err = RowId + " ('" + R.Name + "'): missing time.median_s";
+      return false;
+    }
+    R.MedianS = numField(Time, "median_s");
+    R.StddevS = numField(Time, "stddev_s");
+    if (const json::Value *Reps = Time->field("rep_s"); Reps && Reps->isArray())
+      for (const json::Value &V : Reps->Items)
+        if (V.isNumber())
+          R.RepS.push_back(V.NumV);
+    const json::Value *WS = RV.field("work_span");
+    R.WorkS = numField(WS, "work_s");
+    R.SpanS = numField(WS, "span_s");
+    const json::Value *Em = RV.field("em");
+    R.EntangledReads = intField(Em, "entangled_reads");
+    R.PinsDown = intField(Em, "pins_down");
+    R.PinsCross = intField(Em, "pins_cross");
+    R.PinsHolder = intField(Em, "pins_holder");
+    R.PinnedObjects = intField(Em, "pinned_objects");
+    R.PinnedBytes = intField(Em, "pinned_bytes");
+    R.Unpins = intField(Em, "unpins");
+    R.GcCount = intField(RV.field("gc"), "collections");
+    R.Residency = intField(&RV, "max_residency_bytes");
+    if (const json::Value *Ck = RV.field("checksum"); Ck && Ck->isNumber()) {
+      R.Checksum = static_cast<int64_t>(Ck->NumV);
+      R.HasChecksum = true;
+    }
+    const json::Value *Prof = RV.field("profile");
+    R.LeakedPins = intField(Prof, "leaked_pins");
+    R.PinBytesAttributed = intField(Prof, "pin_bytes_attributed");
+    if (Prof)
+      if (const json::Value *Sites = Prof->field("sites");
+          Sites && Sites->isArray())
+        for (const json::Value &SV : Sites->Items)
+          R.Sites.push_back(SiteRow{strField(&SV, "name"),
+                                    intField(&SV, "events"),
+                                    intField(&SV, "bytes")});
+    Out.Rows.push_back(std::move(R));
+  }
+  return true;
+}
+
+bool loadBenchFile(const std::string &Path, BenchFile &Out, std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err = Path + ": cannot open";
+    return false;
+  }
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  if (!parseBenchJson(Ss.str(), Out, Err)) {
+    Err = Path + ": " + Err;
+    return false;
+  }
+  Out.Path = Path;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Gate
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Upward-only counter limit: base grown by Pct percent, but never less
+/// than base + AbsSlack (zero/near-zero baselines would otherwise flag
+/// scheduler jitter).
+int64_t counterLimit(int64_t Base, double Pct, int64_t AbsSlack) {
+  double Rel = static_cast<double>(Base) * (1.0 + Pct / 100.0);
+  return std::max(static_cast<int64_t>(Rel), Base + AbsSlack);
+}
+
+struct RowGate {
+  const GateOptions &Opts;
+  const Row &B;
+  const Row &C;
+  std::vector<Finding> &Out;
+
+  void fail(Finding::Kind K, std::string Msg) {
+    Out.push_back(Finding{K, /*Fatal=*/true, B.Name, B.Config,
+                          std::move(Msg)});
+  }
+
+  void counter(const char *What, int64_t Base, int64_t Cur, double Pct,
+               int64_t AbsSlack, Finding::Kind K) {
+    int64_t Limit = counterLimit(Base, Pct, AbsSlack);
+    if (Cur <= Limit)
+      return;
+    fail(K, std::string(What) + " " + std::to_string(Base) + " -> " +
+                std::to_string(Cur) + " (limit " + std::to_string(Limit) +
+                ")");
+  }
+
+  void gateTime() {
+    double Sigma = B.sigmaS();
+    Noise Class = B.noiseClass();
+    double Floor = Opts.FloorPct / 100.0 * (Class == Noise::Noisy ? 2.0 : 1.0);
+    double Allow = std::max(Opts.StddevK * Sigma, Floor * B.MedianS);
+    if (C.MedianS <= B.MedianS + Allow)
+      return;
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s -> %s (+%.0f%%; allowed max(%.1f*sigma=%s, "
+                  "floor=%s), baseline %s)",
+                  fmtMs(B.MedianS).c_str(), fmtMs(C.MedianS).c_str(),
+                  100.0 * (C.MedianS / B.MedianS - 1.0), Opts.StddevK,
+                  fmtMs(Opts.StddevK * Sigma).c_str(),
+                  fmtMs(Floor * B.MedianS).c_str(), noiseName(Class));
+    fail(Finding::Kind::TimeRegression, Buf);
+  }
+
+  void gateResidency() {
+    counter("max_residency_bytes", B.Residency, C.Residency,
+            Opts.ResidencyTolerancePct, Opts.ResidencyAbsSlackBytes,
+            Finding::Kind::ResidencyRegression);
+    counter("pinned_bytes", B.PinnedBytes, C.PinnedBytes,
+            Opts.ResidencyTolerancePct, Opts.CounterAbsSlackBytes,
+            Finding::Kind::ResidencyRegression);
+  }
+
+  void gateCounters() {
+    double Pct = Opts.CounterTolerancePct;
+    int64_t Ev = Opts.CounterAbsSlackEvents;
+    int64_t By = Opts.CounterAbsSlackBytes;
+    auto K = Finding::Kind::CounterRegression;
+    counter("entangled_reads", B.EntangledReads, C.EntangledReads, Pct, Ev, K);
+    counter("pins_down", B.PinsDown, C.PinsDown, Pct, Ev, K);
+    counter("pins_cross", B.PinsCross, C.PinsCross, Pct, Ev, K);
+    counter("pins_holder", B.PinsHolder, C.PinsHolder, Pct, Ev, K);
+    counter("pinned_objects", B.PinnedObjects, C.PinnedObjects, Pct, Ev, K);
+    counter("pinned_bytes", B.PinnedBytes, C.PinnedBytes, Pct, By, K);
+    counter("prof_bytes", B.PinBytesAttributed, C.PinBytesAttributed, Pct, By,
+            K);
+  }
+
+  void gateDrift() {
+    // Current top-K sites vs. the *whole* baseline profile: growth or a
+    // brand-new site fails; a site shrinking or vanishing is an
+    // improvement and never does.
+    int Considered = 0;
+    for (const SiteRow &S : C.Sites) {
+      if (Considered++ >= Opts.DriftTopK)
+        break;
+      const SiteRow *Base = nullptr;
+      for (const SiteRow &BS : B.Sites)
+        if (BS.Name == S.Name) {
+          Base = &BS;
+          break;
+        }
+      int64_t BaseEv = Base ? Base->Events : 0;
+      int64_t BaseBy = Base ? Base->Bytes : 0;
+      int64_t EvLimit = counterLimit(BaseEv, Opts.DriftTolerancePct,
+                                     Opts.DriftAbsSlackEvents);
+      int64_t ByLimit = counterLimit(BaseBy, Opts.DriftTolerancePct,
+                                     Opts.DriftAbsSlackBytes);
+      if (S.Events <= EvLimit && S.Bytes <= ByLimit)
+        continue;
+      std::string Msg = "site '" + S.Name + "' ";
+      if (!Base)
+        Msg += "is new (baseline has no such site): ";
+      Msg += "events " + std::to_string(BaseEv) + " -> " +
+             std::to_string(S.Events) + ", bytes " + std::to_string(BaseBy) +
+             " -> " + std::to_string(S.Bytes) + " (limits " +
+             std::to_string(EvLimit) + " / " + std::to_string(ByLimit) + ")";
+      fail(Finding::Kind::ProfileDrift, std::move(Msg));
+    }
+  }
+};
+
+} // namespace
+
+int GateResult::failures() const {
+  int N = 0;
+  for (const Finding &F : Findings)
+    N += F.Fatal ? 1 : 0;
+  return N;
+}
+
+const Finding *GateResult::first(Finding::Kind K) const {
+  for (const Finding &F : Findings)
+    if (F.K == K && F.Fatal)
+      return &F;
+  return nullptr;
+}
+
+GateResult compare(const BenchFile &Base, const BenchFile &Cur,
+                   const GateOptions &Opts) {
+  GateResult R;
+  R.SameScale = Base.Scale == Cur.Scale;
+  if (!R.SameScale) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "scales differ (%.3g vs %.3g); checksums not compared",
+                  Base.Scale, Cur.Scale);
+    R.Findings.push_back(
+        Finding{Finding::Kind::Note, /*Fatal=*/false, "", "", Buf});
+  }
+
+  for (const Row &B : Base.Rows) {
+    const Row *C = Cur.find(B.Name, B.Config);
+    if (!C) {
+      R.Findings.push_back(Finding{Finding::Kind::MissingRow, true, B.Name,
+                                   B.Config, "row missing from current run"});
+      continue;
+    }
+    ++R.ComparedRows;
+    RowGate G{Opts, B, *C, R.Findings};
+    if (C->LeakedPins > 0)
+      G.fail(Finding::Kind::LeakedPins,
+             std::to_string(C->LeakedPins) +
+                 " leaked pins (joins must release every pin)");
+    if (R.SameScale && B.HasChecksum && C->HasChecksum &&
+        B.Checksum != C->Checksum)
+      G.fail(Finding::Kind::ChecksumMismatch,
+             std::to_string(B.Checksum) + " vs " +
+                 std::to_string(C->Checksum));
+    // The profiler and em counters observe the same chokepoint
+    // (Heap::addPinned): a profiled row that lost track of pinned bytes
+    // is corrupt telemetry, not noise.
+    if (!C->Sites.empty() && C->PinBytesAttributed != C->PinnedBytes)
+      G.fail(Finding::Kind::AttributionMismatch,
+             "profiler attributed " + std::to_string(C->PinBytesAttributed) +
+                 " of " + std::to_string(C->PinnedBytes) + " pinned bytes");
+    if (Opts.GateResidency)
+      G.gateResidency();
+    if (Opts.GateCounters)
+      G.gateCounters();
+    if (Opts.ProfileDrift)
+      G.gateDrift();
+    // The time gate: only rows long enough to be stable across machines.
+    if (!Opts.GateTimes || B.MedianS * 1e3 < Opts.MinTimeMs)
+      continue;
+    ++R.TimeGatedRows;
+    G.gateTime();
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+std::string renderTable(const BenchFile &F) {
+  char Head[160];
+  std::snprintf(Head, sizeof(Head), "== %s (scale=%.2f, %zu rows) — %s ==\n",
+                F.Bench.c_str(), F.Scale, F.Rows.size(), F.Path.c_str());
+  Table T({"benchmark", "config", "median", "+-", "noise", "work/span",
+           "pinned", "gc", "residency", "top site"});
+  for (const Row &R : F.Rows) {
+    std::string Par =
+        R.SpanS > 0 ? Table::fmtRatio(R.WorkS / R.SpanS) : std::string("-");
+    std::string Top = "-";
+    if (!R.Sites.empty())
+      Top = R.Sites.front().Name + " " + Table::fmtBytes(R.Sites.front().Bytes);
+    if (R.LeakedPins > 0)
+      Top += " LEAK:" + Table::fmtInt(R.LeakedPins);
+    double Sigma = R.sigmaS();
+    T.addRow({R.Name, R.Config, Table::fmtSec(R.MedianS),
+              Sigma > 0 ? Table::fmtSec(Sigma) : std::string("-"),
+              noiseName(R.noiseClass()), Par, Table::fmtBytes(R.PinnedBytes),
+              Table::fmtInt(R.GcCount), Table::fmtBytes(R.Residency), Top});
+  }
+  return std::string(Head) + T.render();
+}
+
+std::string renderFindings(const GateResult &R, const GateOptions &Opts) {
+  std::string Out;
+  for (const Finding &F : R.Findings) {
+    if (F.Fatal)
+      Out += "FAIL";
+    else
+      Out += "note";
+    Out += " [";
+    Out += findingKindName(F.K);
+    Out += "]";
+    if (!F.Name.empty())
+      Out += " " + F.Name + "/" + F.Config;
+    Out += ": " + F.Message + "\n";
+  }
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "mpl_report: compared %d rows (%d time-gated at >=%.0fms, "
+                "k=%.1f floor=%.0f%%%s%s%s): %s\n",
+                R.ComparedRows, R.TimeGatedRows, Opts.MinTimeMs, Opts.StddevK,
+                Opts.FloorPct, Opts.GateResidency ? ", residency" : "",
+                Opts.GateCounters ? ", counters" : "",
+                Opts.ProfileDrift ? ", profile-drift" : "",
+                R.ok() ? "ok" : "FAIL");
+  Out += Buf;
+  return Out;
+}
+
+} // namespace gate
+} // namespace mpl

@@ -1,0 +1,209 @@
+//===- tools/GateLib.h - Statistical bench regression gate -----*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The join/compare/gate logic behind tools/mpl_report, extracted into a
+/// library so the CI perf gate is unit-testable like any other subsystem
+/// (tests/report_test.cpp). The CLI is a thin flag-parser over these
+/// entry points.
+///
+/// Inputs are the schema-versioned "mpl-bench/1" records every bench
+/// binary emits with `-json <path>` (bench/Common.h, BenchJson).
+/// parseBenchJson() validates the schema and rejects malformed input with
+/// a diagnostic instead of crashing; compare() joins baseline and current
+/// rows on (name, config) and returns a structured list of findings.
+///
+/// Gate statistics (DESIGN.md §12):
+///
+///  - Time rows are gated **stddev-aware**: a row fails when the current
+///    median exceeds the baseline median by more than
+///    max(K * sigma, floor% * median), where sigma is the sample stddev
+///    recomputed from the baseline's recorded per-rep times (time.rep_s).
+///    The floor absorbs machine-level jitter that a 2-rep sigma cannot
+///    estimate; K (default 2) scales the measured spread.
+///  - Every row carries a **noise class** derived from its relative
+///    spread sigma/median: stable (<2%), moderate (<10%), noisy (>=10%).
+///    Noisy rows double the floor — when the measured spread is already
+///    10%+ at smoke scale, a tight floor only manufactures flakes. The
+///    class is reported with every time verdict so a failure message
+///    states how trustworthy the baseline spread was.
+///  - Counter/space gates (per-table opt-ins): max-residency and
+///    pinned-bytes (space table), em counters and profiler-attributed
+///    pin bytes (entangle table). All gate upward only — improvements
+///    never fail — with a relative tolerance plus an absolute slack so
+///    zero/near-zero baselines do not turn scheduler jitter into
+///    failures, while a disentangled row that *starts* pinning still
+///    fails loudly.
+///  - Profile drift (--profile-drift): the top-K profiler sites of
+///    baseline and current are joined by site name; a site whose events
+///    or bytes grew past tolerance+slack — or that is new against an
+///    empty baseline profile — fails even when the row's time is within
+///    noise.
+///  - Always-fatal regardless of options: rows missing from the current
+///    run, leaked pins, same-scale checksum mismatches, and a profiler
+///    attribution mismatch (sites recorded but attributed pin bytes !=
+///    em pinned bytes; the two observe the same chokepoint).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_TOOLS_GATELIB_H
+#define MPL_TOOLS_GATELIB_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpl {
+namespace gate {
+
+/// One profiler site carried in a row's "profile" block.
+struct SiteRow {
+  std::string Name;
+  int64_t Events = 0;
+  int64_t Bytes = 0;
+};
+
+/// How trustworthy a row's measured spread is (relative stddev of the
+/// recorded per-rep times).
+enum class Noise { Unknown, Stable, Moderate, Noisy };
+const char *noiseName(Noise N);
+
+/// One flattened bench row, keyed by (Name, Config).
+struct Row {
+  std::string Name;
+  std::string Config;
+  bool Entangled = false;
+  double MedianS = 0;
+  double StddevS = 0;          ///< As recorded by the writer.
+  std::vector<double> RepS;    ///< Per-rep times (time.rep_s).
+  double WorkS = 0;
+  double SpanS = 0;
+  int64_t EntangledReads = 0;
+  int64_t PinsDown = 0;
+  int64_t PinsCross = 0;
+  int64_t PinsHolder = 0;
+  int64_t PinnedObjects = 0;
+  int64_t PinnedBytes = 0;
+  int64_t Unpins = 0;
+  int64_t GcCount = 0;
+  int64_t Residency = 0;
+  int64_t Checksum = 0;
+  bool HasChecksum = false;
+  int64_t LeakedPins = 0;
+  int64_t PinBytesAttributed = 0;
+  std::vector<SiteRow> Sites;  ///< Sorted by bytes desc (writer order).
+
+  /// Sample stddev recomputed from RepS (needs >= 2 reps); falls back to
+  /// the recorded StddevS when the per-rep times are absent.
+  double sigmaS() const;
+
+  /// Noise class from sigmaS()/MedianS; Unknown when no spread exists.
+  Noise noiseClass() const;
+};
+
+/// One parsed mpl-bench/1 file.
+struct BenchFile {
+  std::string Path;  ///< "" for in-memory parses.
+  std::string Bench;
+  double Scale = 0;
+  int Reps = 0;
+  std::vector<Row> Rows;
+
+  const Row *find(const std::string &Name, const std::string &Config) const;
+};
+
+/// Parses + validates one mpl-bench/1 document. On failure returns false
+/// with a one-line diagnostic in \p Err (never crashes on malformed or
+/// empty input).
+bool parseBenchJson(const std::string &Text, BenchFile &Out, std::string &Err);
+
+/// loadBenchFile = read \p Path + parseBenchJson; \p Err includes the path.
+bool loadBenchFile(const std::string &Path, BenchFile &Out, std::string &Err);
+
+/// Gate configuration. The defaults match the CI perf-smoke stage; the
+/// per-table opt-ins (GateResidency / GateCounters / ProfileDrift) are off
+/// so the plain time gate stays the cheapest configuration.
+struct GateOptions {
+  // Time gate: fail when cur > base + max(StddevK*sigma, floor*base),
+  // floor = FloorPct/100 (doubled for Noisy rows). Rows whose baseline
+  // median is under MinTimeMs are never time-gated (pure noise across
+  // machines at smoke scale); their counters still gate.
+  bool GateTimes = true;
+  double StddevK = 2.0;
+  double FloorPct = 10.0;
+  double MinTimeMs = 10.0;
+
+  // Space gate (BENCH_T2): max_residency_bytes and em.pinned_bytes.
+  bool GateResidency = false;
+  double ResidencyTolerancePct = 50.0;
+  int64_t ResidencyAbsSlackBytes = 1 << 20;
+
+  // Counter gate (BENCH_T4): em counters + profiler-attributed pin bytes.
+  bool GateCounters = false;
+  double CounterTolerancePct = 100.0;
+  int64_t CounterAbsSlackEvents = 128;
+  int64_t CounterAbsSlackBytes = 64 << 10;
+
+  // Profile-site drift gate (BENCH_T4): join top-K sites by name.
+  bool ProfileDrift = false;
+  int DriftTopK = 5;
+  double DriftTolerancePct = 100.0;
+  int64_t DriftAbsSlackEvents = 64;
+  int64_t DriftAbsSlackBytes = 16 << 10;
+};
+
+/// One gate verdict. Fatal findings fail the gate; non-fatal ones are
+/// informational (e.g. the cross-scale checksum note).
+struct Finding {
+  enum class Kind {
+    MissingRow,
+    LeakedPins,
+    ChecksumMismatch,
+    AttributionMismatch,
+    TimeRegression,
+    ResidencyRegression,
+    CounterRegression,
+    ProfileDrift,
+    Note,
+  };
+  Kind K = Kind::Note;
+  bool Fatal = true;
+  std::string Name;    ///< Row name ("" for file-level notes).
+  std::string Config;
+  std::string Message; ///< Human-readable detail.
+};
+const char *findingKindName(Finding::Kind K);
+
+struct GateResult {
+  std::vector<Finding> Findings;
+  int ComparedRows = 0;
+  int TimeGatedRows = 0;
+  bool SameScale = true;
+
+  int failures() const;
+  bool ok() const { return failures() == 0; }
+  /// First fatal finding of kind \p K, or null.
+  const Finding *first(Finding::Kind K) const;
+};
+
+/// Joins \p Cur against \p Base on (name, config) and applies every gate
+/// enabled in \p Opts. Pure: no I/O, deterministic, safe to call from
+/// tests with synthetic files.
+GateResult compare(const BenchFile &Base, const BenchFile &Cur,
+                   const GateOptions &Opts);
+
+/// The paper-style render of one file (mpl_report FILE.json), returned as
+/// a string so tests can assert on it.
+std::string renderTable(const BenchFile &F);
+
+/// Renders \p R's findings and the one-line summary exactly as the CLI
+/// prints them (findings to the returned string, one per line).
+std::string renderFindings(const GateResult &R, const GateOptions &Opts);
+
+} // namespace gate
+} // namespace mpl
+
+#endif // MPL_TOOLS_GATELIB_H

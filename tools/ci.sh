@@ -27,13 +27,18 @@ RELEASE_SEEDS=${RELEASE_SEEDS:-25}
 TSAN_SEEDS=${TSAN_SEEDS:-50}
 ASAN_SEEDS=${ASAN_SEEDS:-25}
 
-# Perf-smoke knobs. The stage reruns the main time table at smoke scale
-# and gates it against the committed baseline (BENCH_T1.json) with
-# tools/mpl_report: counter/checksum mismatches and leaked pins always
-# fail; times fail only above the tolerance, and only for rows long
-# enough to be stable across machines (mpl_report --min-time-ms).
+# Perf-smoke knobs. The stage reruns three paper tables at smoke scale
+# and gates each against its committed baseline with tools/mpl_report
+# (DESIGN.md §12): checksum mismatches and leaked pins always fail.
+#   T1 (time):     median beyond baseline + max(k*sigma, floor%), sigma
+#                  recomputed from the baseline's per-rep times;
+#   T2 (space):    max residency / pinned bytes past tolerance;
+#   T4 (entangle): em counters past tolerance + top-site profile drift.
+# T2/T4 run single-rep (no spread), so their time rule is off
+# (--no-time-gate); wall time is T1's job.
 PERF_SCALE=${PERF_SCALE:-0.05}
 PERF_REPS=${PERF_REPS:-2}
+PERF_STDDEV_K=${PERF_STDDEV_K:-2}
 PERF_TOLERANCE_PCT=${PERF_TOLERANCE_PCT:-25}
 
 # Memory-pressure stage knobs (see DESIGN.md §10). The stress/fuzz live
@@ -98,16 +103,30 @@ run_config() {
     --require-event pin --require-event gc
 
   if [[ "$preset" == "release" ]]; then
-    echo "==== [$preset] perf smoke (scale $PERF_SCALE, tolerance ${PERF_TOLERANCE_PCT}%) ===="
+    echo "==== [$preset] perf smoke (scale $PERF_SCALE, k=$PERF_STDDEV_K floor ${PERF_TOLERANCE_PCT}%) ===="
     # Sanitizer presets skew times beyond any tolerance, so only release
-    # runs the gate. The fresh JSON and the rendered report are left in
+    # runs the gates. The fresh JSONs and rendered reports are left in
     # the build dir for CI to upload as artifacts.
     "$bdir/bench/bench_table_time" -scale "$PERF_SCALE" -reps "$PERF_REPS" \
       -json "$bdir/perf_smoke.json" > "$bdir/perf_smoke.txt"
     "$bdir/tools/mpl_report" "$bdir/perf_smoke.json"
     "$bdir/tools/mpl_report" --baseline BENCH_T1.json \
       --current "$bdir/perf_smoke.json" \
-      --tolerance-pct "$PERF_TOLERANCE_PCT"
+      --stddev-k "$PERF_STDDEV_K" --floor-pct "$PERF_TOLERANCE_PCT"
+
+    echo "==== [$preset] space gate (BENCH_T2) ===="
+    "$bdir/bench/bench_table_space" -scale "$PERF_SCALE" -reps 1 \
+      -json "$bdir/space_smoke.json" > "$bdir/space_smoke.txt"
+    "$bdir/tools/mpl_report" --baseline BENCH_T2.json \
+      --current "$bdir/space_smoke.json" \
+      --no-time-gate --gate-residency
+
+    echo "==== [$preset] entangle gate (BENCH_T4) ===="
+    "$bdir/bench/bench_table_entangle" -scale "$PERF_SCALE" \
+      -json "$bdir/entangle_smoke.json" > "$bdir/entangle_smoke.txt"
+    "$bdir/tools/mpl_report" --baseline BENCH_T4.json \
+      --current "$bdir/entangle_smoke.json" \
+      --no-time-gate --gate-counters --profile-drift
   fi
 }
 

@@ -2,235 +2,69 @@
 //
 // Part of mpl-em (PLDI 2023 reproduction).
 //
-// Consumes the schema-versioned "mpl-bench/1" records every bench binary
-// emits with `-json <path>` (bench/Common.h, BenchJson) and does two jobs:
+// Thin CLI over tools/GateLib.{h,cpp} — the join/compare/gate logic lives
+// there so tests/report_test.cpp can drive it directly. Consumes the
+// schema-versioned "mpl-bench/1" records every bench binary emits with
+// `-json <path>` (bench/Common.h, BenchJson) and does two jobs:
 //
 //   render:   mpl_report FILE.json
-//             Paper-style table of the measured rows: times with spread,
-//             work/span, entanglement counters, residency, and the top
-//             profiler sites of entangled rows.
+//             Paper-style table of the measured rows: times with spread
+//             and noise class, work/span, entanglement counters,
+//             residency, and the top profiler site.
 //
 //   compare:  mpl_report --baseline A.json --current B.json
-//                        [--tolerance-pct N] [--min-time-ms M]
-//             The CI perf-smoke gate. Joins rows on (name, config) and
-//             exits nonzero when the current run regressed:
-//               * median time worse than baseline by more than N% (default
-//                 25) — only for rows whose baseline median is at least M
-//                 ms (default 10): shorter rows are pure noise across
-//                 machines at smoke scale, so they are gated on their
-//                 counters instead;
-//               * any current row leaks pins (profile.leaked_pins > 0);
-//               * a baseline row is missing from the current run;
-//               * checksums disagree (same scale only — checksums are a
-//                 function of the problem size).
-//             Improvements never fail the gate.
+//                        [--stddev-k K] [--floor-pct N] [--min-time-ms M]
+//                        [--no-time-gate] [--gate-residency]
+//                        [--gate-counters] [--profile-drift]
+//                        [--drift-top-k K]
+//             The CI perf-smoke gate (DESIGN.md §12). Joins rows on
+//             (name, config) and exits nonzero when the current run
+//             regressed:
+//               * median time beyond baseline + max(K*sigma, floor%) —
+//                 sigma recomputed from the baseline's per-rep times,
+//                 floor doubled for noisy rows — and only for rows whose
+//                 baseline median is at least M ms (default 10): shorter
+//                 rows are pure noise across machines at smoke scale;
+//               * with --gate-residency: max residency / pinned bytes
+//                 grew past tolerance (the space table's claim);
+//               * with --gate-counters: em counters or attributed pin
+//                 bytes grew past tolerance (the entangle table's claim);
+//               * with --profile-drift: a top-K profiler site's events or
+//                 bytes grew past tolerance, or a site is new against an
+//                 empty baseline profile — catching a disentangled
+//                 benchmark that starts pinning even when its time is
+//                 within noise;
+//               * always: leaked pins, missing rows, same-scale checksum
+//                 mismatches, profiler attribution mismatches.
+//             Improvements never fail the gate. --no-time-gate turns the
+//             time rule off for tables whose claim is space or counters
+//             (BENCH_T2/T4 run single-rep, so they carry no spread and
+//             their wall time is gated by the T1 stage instead).
+//
+// `--tolerance-pct N` is accepted as an alias of `--floor-pct N` for
+// compatibility with pre-v2 invocations.
 //
 //===----------------------------------------------------------------------===//
 
-#include "support/Json.h"
-#include "support/Table.h"
+#include "GateLib.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
-#include <vector>
 
 using namespace mpl;
 
 namespace {
-
-double numField(const json::Value *V, const char *Name, double Default = 0) {
-  if (!V)
-    return Default;
-  const json::Value *F = V->field(Name);
-  return F && F->isNumber() ? F->NumV : Default;
-}
-
-std::string strField(const json::Value *V, const char *Name) {
-  if (!V)
-    return "";
-  const json::Value *F = V->field(Name);
-  return F && F->isString() ? F->StrV : "";
-}
-
-/// One flattened bench row, keyed by (Name, Config).
-struct Row {
-  std::string Name;
-  std::string Config;
-  double MedianS = 0;
-  double StddevS = 0;
-  double WorkS = 0;
-  double SpanS = 0;
-  int64_t PinnedBytes = 0;
-  int64_t EntangledReads = 0;
-  int64_t GcCount = 0;
-  int64_t Residency = 0;
-  int64_t Checksum = 0;
-  bool HasChecksum = false;
-  int64_t LeakedPins = 0;
-  std::vector<std::pair<std::string, int64_t>> Sites; ///< name -> bytes
-};
-
-struct File {
-  std::string Path;
-  std::string Bench;
-  double Scale = 0;
-  std::vector<Row> Rows;
-
-  const Row *find(const Row &Key) const {
-    for (const Row &R : Rows)
-      if (R.Name == Key.Name && R.Config == Key.Config)
-        return &R;
-    return nullptr;
-  }
-};
-
-bool loadFile(const std::string &Path, File &Out) {
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "mpl_report: cannot open '%s'\n", Path.c_str());
-    return false;
-  }
-  std::stringstream Ss;
-  Ss << In.rdbuf();
-  json::Value Root;
-  std::string Err;
-  if (!json::parse(Ss.str(), Root, Err)) {
-    std::fprintf(stderr, "mpl_report: %s: parse error: %s\n", Path.c_str(),
-                 Err.c_str());
-    return false;
-  }
-  if (strField(&Root, "schema") != "mpl-bench/1") {
-    std::fprintf(stderr, "mpl_report: %s: not an mpl-bench/1 file\n",
-                 Path.c_str());
-    return false;
-  }
-  Out.Path = Path;
-  Out.Bench = strField(&Root, "bench");
-  Out.Scale = numField(&Root, "scale");
-  const json::Value *Rows = Root.field("rows");
-  if (!Rows || !Rows->isArray()) {
-    std::fprintf(stderr, "mpl_report: %s: missing rows array\n", Path.c_str());
-    return false;
-  }
-  for (const json::Value &RV : Rows->Items) {
-    Row R;
-    R.Name = strField(&RV, "name");
-    R.Config = strField(&RV, "config");
-    const json::Value *Time = RV.field("time");
-    R.MedianS = numField(Time, "median_s");
-    R.StddevS = numField(Time, "stddev_s");
-    const json::Value *WS = RV.field("work_span");
-    R.WorkS = numField(WS, "work_s");
-    R.SpanS = numField(WS, "span_s");
-    const json::Value *Em = RV.field("em");
-    R.PinnedBytes = static_cast<int64_t>(numField(Em, "pinned_bytes"));
-    R.EntangledReads = static_cast<int64_t>(numField(Em, "entangled_reads"));
-    R.GcCount = static_cast<int64_t>(numField(RV.field("gc"), "collections"));
-    R.Residency = static_cast<int64_t>(numField(&RV, "max_residency_bytes"));
-    if (const json::Value *Ck = RV.field("checksum");
-        Ck && Ck->isNumber()) {
-      R.Checksum = static_cast<int64_t>(Ck->NumV);
-      R.HasChecksum = true;
-    }
-    const json::Value *Prof = RV.field("profile");
-    R.LeakedPins = static_cast<int64_t>(numField(Prof, "leaked_pins"));
-    if (Prof)
-      if (const json::Value *Sites = Prof->field("sites");
-          Sites && Sites->isArray())
-        for (const json::Value &SV : Sites->Items)
-          R.Sites.emplace_back(strField(&SV, "name"),
-                               static_cast<int64_t>(numField(&SV, "bytes")));
-    Out.Rows.push_back(std::move(R));
-  }
-  return true;
-}
-
-int render(const File &F) {
-  std::printf("== %s (scale=%.2f, %zu rows) — %s ==\n", F.Bench.c_str(),
-              F.Scale, F.Rows.size(), F.Path.c_str());
-  Table T({"benchmark", "config", "median", "+-", "work/span", "pinned",
-           "gc", "residency", "top site"});
-  for (const Row &R : F.Rows) {
-    std::string Par =
-        R.SpanS > 0 ? Table::fmtRatio(R.WorkS / R.SpanS) : std::string("-");
-    std::string Top = "-";
-    if (!R.Sites.empty())
-      Top = R.Sites.front().first + " " +
-            Table::fmtBytes(R.Sites.front().second);
-    if (R.LeakedPins > 0)
-      Top += " LEAK:" + Table::fmtInt(R.LeakedPins);
-    T.addRow({R.Name, R.Config, Table::fmtSec(R.MedianS),
-              R.StddevS > 0 ? Table::fmtSec(R.StddevS) : std::string("-"),
-              Par, Table::fmtBytes(R.PinnedBytes), Table::fmtInt(R.GcCount),
-              Table::fmtBytes(R.Residency), Top});
-  }
-  T.print();
-  return 0;
-}
-
-int compare(const File &Base, const File &Cur, double TolerancePct,
-            double MinTimeMs) {
-  int Failures = 0;
-  auto Fail = [&](const char *Fmt, const std::string &A, const std::string &B,
-                  const std::string &Detail) {
-    std::fprintf(stderr, Fmt, A.c_str(), B.c_str(), Detail.c_str());
-    ++Failures;
-  };
-
-  bool SameScale = Base.Scale == Cur.Scale;
-  if (!SameScale)
-    std::fprintf(stderr,
-                 "mpl_report: note: scales differ (%.3g vs %.3g); "
-                 "checksums not compared\n",
-                 Base.Scale, Cur.Scale);
-
-  int Compared = 0, Gated = 0;
-  for (const Row &B : Base.Rows) {
-    const Row *C = Cur.find(B);
-    if (!C) {
-      Fail("FAIL %s/%s: row missing from current run%s\n", B.Name, B.Config,
-           "");
-      continue;
-    }
-    ++Compared;
-    if (C->LeakedPins > 0)
-      Fail("FAIL %s/%s: %s leaked pins (joins must release every pin)\n",
-           B.Name, B.Config, std::to_string(C->LeakedPins));
-    if (SameScale && B.HasChecksum && C->HasChecksum &&
-        B.Checksum != C->Checksum)
-      Fail("FAIL %s/%s: checksum mismatch (%s)\n", B.Name, B.Config,
-           std::to_string(B.Checksum) + " vs " + std::to_string(C->Checksum));
-    // The time gate: only rows long enough to be stable across machines.
-    if (B.MedianS * 1e3 < MinTimeMs)
-      continue;
-    ++Gated;
-    double Limit = B.MedianS * (1.0 + TolerancePct / 100.0);
-    if (C->MedianS > Limit) {
-      char Detail[96];
-      std::snprintf(Detail, sizeof(Detail), "%.3fms -> %.3fms (+%.0f%% > %.0f%%)",
-                    B.MedianS * 1e3, C->MedianS * 1e3,
-                    100.0 * (C->MedianS / B.MedianS - 1.0), TolerancePct);
-      Fail("FAIL %s/%s: time regression %s\n", B.Name, B.Config, Detail);
-    }
-  }
-
-  std::printf("mpl_report: compared %d rows (%d time-gated at >=%.0fms, "
-              "tolerance %.0f%%): %s\n",
-              Compared, Gated, MinTimeMs, TolerancePct,
-              Failures ? "FAIL" : "ok");
-  return Failures ? 1 : 0;
-}
 
 int usage() {
   std::fprintf(
       stderr,
       "usage: mpl_report FILE.json\n"
       "       mpl_report --baseline A.json --current B.json\n"
-      "                  [--tolerance-pct N] [--min-time-ms M]\n");
+      "                  [--stddev-k K] [--floor-pct N] [--min-time-ms M]\n"
+      "                  [--no-time-gate] [--gate-residency] [--gate-counters]\n"
+      "                  [--profile-drift] [--drift-top-k K]\n"
+      "                  [--tolerance-pct N]   (alias of --floor-pct)\n");
   return 2;
 }
 
@@ -238,7 +72,7 @@ int usage() {
 
 int main(int Argc, char **Argv) {
   std::string BaselinePath, CurrentPath, RenderPath;
-  double TolerancePct = 25.0, MinTimeMs = 10.0;
+  gate::GateOptions Opts;
   for (int I = 1; I < Argc; ++I) {
     auto TakeValue = [&](const char *Flag) -> const char * {
       if (I + 1 >= Argc) {
@@ -246,6 +80,12 @@ int main(int Argc, char **Argv) {
         return nullptr;
       }
       return Argv[++I];
+    };
+    auto TakeDouble = [&](const char *Flag, double &Out) {
+      const char *V = TakeValue(Flag);
+      if (V)
+        Out = std::atof(V);
+      return V != nullptr;
     };
     if (std::strcmp(Argv[I], "--baseline") == 0) {
       const char *V = TakeValue("--baseline");
@@ -257,16 +97,29 @@ int main(int Argc, char **Argv) {
       if (!V)
         return 2;
       CurrentPath = V;
-    } else if (std::strcmp(Argv[I], "--tolerance-pct") == 0) {
-      const char *V = TakeValue("--tolerance-pct");
-      if (!V)
+    } else if (std::strcmp(Argv[I], "--stddev-k") == 0) {
+      if (!TakeDouble("--stddev-k", Opts.StddevK))
         return 2;
-      TolerancePct = std::atof(V);
+    } else if (std::strcmp(Argv[I], "--floor-pct") == 0 ||
+               std::strcmp(Argv[I], "--tolerance-pct") == 0) {
+      if (!TakeDouble(Argv[I], Opts.FloorPct))
+        return 2;
     } else if (std::strcmp(Argv[I], "--min-time-ms") == 0) {
-      const char *V = TakeValue("--min-time-ms");
+      if (!TakeDouble("--min-time-ms", Opts.MinTimeMs))
+        return 2;
+    } else if (std::strcmp(Argv[I], "--no-time-gate") == 0) {
+      Opts.GateTimes = false;
+    } else if (std::strcmp(Argv[I], "--gate-residency") == 0) {
+      Opts.GateResidency = true;
+    } else if (std::strcmp(Argv[I], "--gate-counters") == 0) {
+      Opts.GateCounters = true;
+    } else if (std::strcmp(Argv[I], "--profile-drift") == 0) {
+      Opts.ProfileDrift = true;
+    } else if (std::strcmp(Argv[I], "--drift-top-k") == 0) {
+      const char *V = TakeValue("--drift-top-k");
       if (!V)
         return 2;
-      MinTimeMs = std::atof(V);
+      Opts.DriftTopK = std::atoi(V);
     } else if (Argv[I][0] == '-') {
       std::fprintf(stderr, "mpl_report: unknown flag '%s'\n", Argv[I]);
       return usage();
@@ -279,18 +132,29 @@ int main(int Argc, char **Argv) {
     return usage(); // --baseline and --current come as a pair.
 
   if (!BaselinePath.empty()) {
-    File Base, Cur;
-    if (!loadFile(BaselinePath, Base) || !loadFile(CurrentPath, Cur))
-      return 2;
     if (!RenderPath.empty())
       return usage();
-    return compare(Base, Cur, TolerancePct, MinTimeMs);
+    gate::BenchFile Base, Cur;
+    std::string Err;
+    if (!gate::loadBenchFile(BaselinePath, Base, Err) ||
+        !gate::loadBenchFile(CurrentPath, Cur, Err)) {
+      std::fprintf(stderr, "mpl_report: %s\n", Err.c_str());
+      return 2;
+    }
+    gate::GateResult R = gate::compare(Base, Cur, Opts);
+    std::string Report = gate::renderFindings(R, Opts);
+    std::fputs(Report.c_str(), R.ok() ? stdout : stderr);
+    return R.ok() ? 0 : 1;
   }
 
   if (RenderPath.empty())
     return usage();
-  File F;
-  if (!loadFile(RenderPath, F))
+  gate::BenchFile F;
+  std::string Err;
+  if (!gate::loadBenchFile(RenderPath, F, Err)) {
+    std::fprintf(stderr, "mpl_report: %s\n", Err.c_str());
     return 2;
-  return render(F);
+  }
+  std::fputs(gate::renderTable(F).c_str(), stdout);
+  return 0;
 }
