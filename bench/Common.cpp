@@ -174,6 +174,8 @@ StatSnap StatSnap::read() {
   S.PinnedObjects = Reg.valueOf("em.pins.objects");
   S.PinnedBytes = Reg.valueOf("em.pinned.bytes");
   S.Unpins = Reg.valueOf("em.unpins");
+  S.ContCaptured = Reg.valueOf("em.cont.captured");
+  S.ContResumed = Reg.valueOf("em.cont.resumed");
   S.GcCount = Reg.valueOf("gc.collections");
   S.GcMaxPauseNs = Reg.valueOf("gc.pause.max.ns");
   S.GcTotalPauseNs = Reg.valueOf("gc.pause.ns");
@@ -418,7 +420,9 @@ void BenchJson::addRow(const std::string &Name, const std::string &Config,
        ",\"pins_holder\":" + std::to_string(St.PinsHolder) +
        ",\"pinned_objects\":" + std::to_string(St.PinnedObjects) +
        ",\"pinned_bytes\":" + std::to_string(St.PinnedBytes) +
-       ",\"unpins\":" + std::to_string(St.Unpins) + "},";
+       ",\"unpins\":" + std::to_string(St.Unpins) +
+       ",\"cont_captured\":" + std::to_string(St.ContCaptured) +
+       ",\"cont_resumed\":" + std::to_string(St.ContResumed) + "},";
   S += "\"gc\":{\"collections\":" + std::to_string(St.GcCount) +
        ",\"max_pause_ns\":" + std::to_string(St.GcMaxPauseNs) +
        ",\"total_pause_ns\":" + std::to_string(St.GcTotalPauseNs) +

@@ -64,6 +64,8 @@ struct StatSnap {
   int64_t PinnedObjects = 0;
   int64_t PinnedBytes = 0;
   int64_t Unpins = 0;
+  int64_t ContCaptured = 0; ///< pml continuations captured (em.cont.captured).
+  int64_t ContResumed = 0;  ///< pml continuations resumed (em.cont.resumed).
   int64_t GcCount = 0;
   int64_t GcMaxPauseNs = 0;
   int64_t GcTotalPauseNs = 0;

@@ -17,6 +17,7 @@
 
 #include "baseline/Native.h"
 #include "bench/Common.h"
+#include "core/Em.h"
 #include "pml/Vm.h"
 #include "support/Cli.h"
 
@@ -51,6 +52,35 @@ double timePml(const std::string &Src, int Reps, std::string *ValueOut) {
       *ValueOut = Rendered;
     });
     Times.push_back(T.elapsedSec());
+  }
+  return medianOf(std::move(Times));
+}
+
+/// Like timePml but for effectful programs: the interesting result is the
+/// printed output (not the final value), and the em continuation counters
+/// of the run are reported so the CI gate (BENCH_T3, --gate-counters) can
+/// hold the row's capture/resume traffic steady.
+double timePmlEff(const std::string &Src, int Reps, std::string *OutputOut,
+                  int64_t *CapturedOut, int64_t *ResumedOut) {
+  std::vector<double> Times;
+  for (int I = 0; I < Reps; ++I) {
+    rt::Config Cfg;
+    Cfg.NumWorkers = 1;
+    Cfg.Profile = false;
+    em::Counts.reset();
+    rt::Runtime R(Cfg);
+    Timer T;
+    R.run([&] {
+      std::string Output, Rendered, TypeStr;
+      std::vector<std::string> Errors;
+      bool Ok = pml::evalSource(Src, Output, Rendered, TypeStr, Errors);
+      MPL_CHECK(Ok, "pml benchmark program failed");
+      *OutputOut = Output;
+    });
+    Times.push_back(T.elapsedSec());
+    auto S = em::Counts.snapshot();
+    *CapturedOut = S.ContCaptured;
+    *ResumedOut = S.ContResumed;
   }
   return medianOf(std::move(Times));
 }
@@ -182,6 +212,55 @@ int main(int Argc, char **Argv) {
               Table::fmtSec(Pml), Table::fmtRatio(Pml / Rt),
               Table::fmtRatio(Rt / Nat)});
     AddJson("primes-200k", Nat, Rt, Pml);
+  }
+
+  // Two-stage generator/async pipeline built from effect handlers: a
+  // producer Yields 0..N-1, a middle handler transforms each element and
+  // re-performs it outward, the sink accumulates. Every element crosses
+  // two handlers, so the row's cost is dominated by continuation
+  // capture/resume (2N captures + 2N resumes). The native/embedding
+  // columns run the same arithmetic as a plain loop — the vm/embed ratio
+  // is therefore the *whole* cost of first-class effects in the VM.
+  {
+    constexpr int64_t N = 2'000;
+    int64_t NatV = 0, RtV = 0;
+    std::string PmlOut;
+    int64_t Captured = 0, Resumed = 0;
+    auto Loop = [] {
+      volatile int64_t Acc = 0;
+      for (int64_t I = 0; I < N; ++I)
+        Acc += I * 2 + 1;
+      return static_cast<int64_t>(Acc);
+    };
+    double Nat = timeNat(Loop, Reps, &NatV);
+    double Rt = timeRt(Loop, Reps, &RtV);
+    double Pml = timePmlEff(
+        "effect Yield\n"
+        "effect Out\n"
+        "val acc = alloc 1 0\n"
+        "fun produce i = if i = 2000 then () else (perform Yield i; "
+        "produce (i + 1))\n"
+        "fun stage1 u = handle produce 0 with\n"
+        "  | Yield v k => (perform Out (v * 2 + 1); resume k ()) end\n"
+        "fun sink u = handle stage1 () with\n"
+        "  | Out v k => (set acc 0 (get acc 0 + v); resume k ()) end\n"
+        "sink ();\nprintInt (get acc 0)",
+        Reps, &PmlOut, &Captured, &Resumed);
+    MPL_CHECK(NatV == RtV && PmlOut == std::to_string(NatV) + "\n",
+              "pipeline results disagree");
+    MPL_CHECK(Captured == 2 * N && Resumed == 2 * N,
+              "pipeline capture/resume counts off");
+    T.addRow({"eff-pipeline 2k", Table::fmtSec(Nat), Table::fmtSec(Rt),
+              Table::fmtSec(Pml), Table::fmtRatio(Pml / Rt),
+              Table::fmtRatio(Rt / Nat)});
+    char Extra[256];
+    std::snprintf(Extra, sizeof(Extra),
+                  "\"native_s\":%.9g,\"embedding_s\":%.9g,"
+                  "\"em\":{\"cont_captured\":%lld,\"cont_resumed\":%lld},"
+                  "\"checksum\":%lld",
+                  Nat, Rt, (long long)Captured, (long long)Resumed,
+                  (long long)NatV);
+    J.addCustomRow("eff-pipeline-2k", "pml-vm-w1", Pml, Extra);
   }
 
   T.print();

@@ -1,0 +1,23 @@
+(* First-class effect handlers: an effect-based generator.
+   `range` performs Yield once per element; the handler captures the rest
+   of the walk as a one-shot continuation k, folds the element into its
+   result, and resumes. The walk never knows it was suspended.
+   Run: pml_repl examples/pml/generator.pml *)
+
+effect Yield
+
+fun range i n = if i = n then 0 else (perform Yield i) + range (i + 1) n
+
+(* Sum 0..99 through the handler. Each resume feeds 1 back as the value
+   of the perform, so the walk itself counts the elements: 4950 + 100. *)
+val total = handle range 0 100 with
+  | Yield v k => v + resume k 1 end
+
+(* The continuation is a first-class value: here every resume runs inside
+   a par branch, so the suspended walk migrates to whichever worker picks
+   it up — its captured heap travels with it (pinned until resumed). *)
+fun gen u = handle range 0 50 with
+  | Yield v k => let val p = par (resume k 0, v) in fst p + snd p end end
+
+printInt total;
+printInt (gen ())

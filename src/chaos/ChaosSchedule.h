@@ -59,6 +59,8 @@ enum class Point : uint8_t {
   ReadBarrier,  ///< em::readBarrierSlow entry (before the deepen).
   JoinMerge,    ///< HeapManager::join entry (before taking pin locks).
   GcStart,      ///< Collector::collectChain entry (before taking locks).
+  ContCapture,  ///< pml Suspend: before the frame chain is captured/pinned.
+  ContResume,   ///< pml Resume: after the one-shot claim, before restore.
   NumPoints
 };
 

@@ -7,6 +7,7 @@
 #include "core/Em.h"
 
 #include "chaos/ChaosSchedule.h"
+#include "mm/MemoryGovernor.h"
 #include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "support/Assert.h"
@@ -14,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 
 using namespace mpl;
 
@@ -30,6 +32,8 @@ Stat StatHolderPins("em.pins.holder");
 Stat StatPinnedObjects("em.pins.objects");
 Stat StatPinnedBytes("em.pinned.bytes");
 Stat StatDetectRejections("em.detect.rejections");
+Stat StatContCaptured("em.cont.captured");
+Stat StatContResumed("em.cont.resumed");
 
 const char *objKindName(ObjKind K) {
   switch (K) {
@@ -170,6 +174,61 @@ void readBarrierSlow(Heap *Reader, Object *P, Heap *HP) {
     StatPinnedObjects.inc();
     StatPinnedBytes.add(static_cast<int64_t>(P->sizeBytes()));
   }
+}
+
+bool pinContCapture(Object *P, Heap *CaptureHeap) {
+  if (mode() != Mode::Manage)
+    return false;
+  uint32_t Depth = CaptureHeap->depth();
+  if (Depth == 0)
+    return false; // A depth-0 pin would outlive every join; GC keeps the
+                  // root heap's objects alive through the rooted cont anyway.
+  if (Heap::of(P) != CaptureHeap)
+    return false; // Ancestor-heap objects: ordinary barriers cover them.
+  if (!CaptureHeap->addPinned(P, Depth, &MPL_SITE("em.cont.capture")))
+    return false; // Already pinned (entanglement or an earlier capture).
+  Counts.PinnedObjects.fetch_add(1, std::memory_order_relaxed);
+  Counts.PinnedBytes.fetch_add(static_cast<int64_t>(P->sizeBytes()),
+                               std::memory_order_relaxed);
+  StatPinnedObjects.inc();
+  StatPinnedBytes.add(static_cast<int64_t>(P->sizeBytes()));
+  return true;
+}
+
+bool unpinContResume(Object *P, uint32_t CaptureDepth) {
+  if (mode() != Mode::Manage)
+    return false;
+  Heap *HP = Heap::of(P);
+  std::lock_guard<std::mutex> G(HP->PinLock);
+  if (!P->isPinned() || P->unpinDepth() != CaptureDepth)
+    return false; // Released by a join already, or deepened by a barrier —
+                  // entanglement owns the pin now; the join rule releases it.
+  // Mirror the join rule's release bookkeeping (hh/Heap.cpp), plus the
+  // per-heap gauge decrements a join does wholesale.
+  int64_t Size = static_cast<int64_t>(P->sizeBytes());
+  Counts.UnpinnedObjects.fetch_add(1, std::memory_order_relaxed);
+  Counts.UnpinnedBytes.fetch_add(Size, std::memory_order_relaxed);
+  MemoryGovernor::get().notePinnedBytes(-Size);
+  obs::emit(obs::Ev::Unpin, P->sizeBytes());
+  obs::profileUnpin(P, Size, CaptureDepth);
+  HP->PinnedObjsGauge.fetch_sub(1, std::memory_order_relaxed);
+  HP->PinnedBytesGauge.fetch_sub(Size, std::memory_order_relaxed);
+  P->unpin();
+  // The stale Pinned-vector entry is tolerated: joins and the invariant
+  // checker both skip entries whose object is no longer pinned.
+  return true;
+}
+
+void noteContCaptured(int64_t Bytes, uint32_t Depth) {
+  Counts.ContCaptured.fetch_add(1, std::memory_order_relaxed);
+  StatContCaptured.inc();
+  obs::emit(obs::Ev::ContCapture, static_cast<uint64_t>(Bytes), Depth);
+}
+
+void noteContResumed(int64_t Bytes, uint32_t Depth) {
+  Counts.ContResumed.fetch_add(1, std::memory_order_relaxed);
+  StatContResumed.inc();
+  obs::emit(obs::Ev::ContResume, static_cast<uint64_t>(Bytes), Depth);
 }
 
 } // namespace em

@@ -161,6 +161,42 @@ inline void readBarrier(Heap *Reader, Slot V) {
   readBarrierSlow(Reader, P, HP);
 }
 
+//===--------------------------------------------------------------------===//
+// First-class continuations (pml effect handlers; DESIGN.md §13).
+//
+// A suspending strand captures its frame chain into a heap continuation
+// object. The handler may drop that continuation, or resume it later —
+// possibly from a different worker, inside a par branch forked after the
+// capture. Until then the captured objects must survive *in place*: a
+// local collection of the capture heap knows nothing about the snapshot
+// and would otherwise move or reclaim them.
+//===--------------------------------------------------------------------===//
+
+/// Capture side of the continuation pin protocol: pins \p P at the capture
+/// heap's own depth (attribution site "em.cont.capture"). Only objects that
+/// live in \p CaptureHeap itself need this — ancestor-heap objects are
+/// reachable by ancestors regardless and are covered by the ordinary
+/// barrier discipline. No-op (returns false) in Detect/Off mode, at depth 0
+/// (a depth-0 pin would never reach an unpin depth), or when \p P was
+/// already pinned. Returns true exactly when this call newly pinned P, so
+/// the capturer can record which pins it owns (and may release on resume).
+bool pinContCapture(Object *P, Heap *CaptureHeap);
+
+/// Resume side: releases a pin taken by pinContCapture, in place, without
+/// waiting for the join. Only sound when the caller has established that
+/// the continuation object itself was never published cross-heap (its pin
+/// bit is sticky, so !isPinned() proves that) — then every path to \p P
+/// runs through heaps that have the capture heap as ancestor, and the pin
+/// is pure retention. Declines (returns false) when P's unpin depth no
+/// longer equals \p CaptureDepth: a barrier deepened the pin since capture,
+/// so entanglement owns it now and the join rule must release it.
+bool unpinContResume(Object *P, uint32_t CaptureDepth);
+
+/// Accounting for one capture / resume event: em.cont.* counters, stats
+/// and trace events. \p Bytes is the continuation object's size.
+void noteContCaptured(int64_t Bytes, uint32_t Depth);
+void noteContResumed(int64_t Bytes, uint32_t Depth);
+
 } // namespace em
 } // namespace mpl
 

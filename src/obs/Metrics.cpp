@@ -103,9 +103,15 @@ MetricsSample MetricsSampler::recordSampleLocked() {
     if (const json::Value *Heaps = Tree.field("heaps"))
       if (Heaps->isArray())
         for (const json::Value &H : Heaps->Items)
-          if (const json::Value *D = H.field("depth"))
-            S.MaxHeapDepth =
-                std::max(S.MaxHeapDepth, static_cast<int64_t>(D->NumV));
+          if (const json::Value *D = H.field("depth")) {
+            int64_t Depth = static_cast<int64_t>(D->NumV);
+            S.MaxHeapDepth = std::max(S.MaxHeapDepth, Depth);
+            if (Depth >= 0) {
+              if (S.DepthHist.size() <= static_cast<size_t>(Depth))
+                S.DepthHist.resize(static_cast<size_t>(Depth) + 1, 0);
+              ++S.DepthHist[static_cast<size_t>(Depth)];
+            }
+          }
   }
   Series.push_back(S);
   return S;
@@ -136,7 +142,8 @@ void appendEmJson(std::string &Out, const em::CounterSnapshot &E) {
       "\"pins_down\":%lld,\"pins_cross\":%lld,\"pins_holder\":%lld,"
       "\"pinned_objects\":%lld,\"pinned_bytes\":%lld,"
       "\"unpinned_objects\":%lld,\"unpinned_bytes\":%lld,"
-      "\"live_pinned_objects\":%lld,\"live_pinned_bytes\":%lld}",
+      "\"live_pinned_objects\":%lld,\"live_pinned_bytes\":%lld,"
+      "\"cont_captured\":%lld,\"cont_resumed\":%lld}",
       static_cast<long long>(E.EntangledReads),
       static_cast<long long>(E.EntangledReadsUnpinned),
       static_cast<long long>(E.DownPointerPins),
@@ -147,19 +154,23 @@ void appendEmJson(std::string &Out, const em::CounterSnapshot &E) {
       static_cast<long long>(E.UnpinnedObjects),
       static_cast<long long>(E.UnpinnedBytes),
       static_cast<long long>(E.livePinnedObjects()),
-      static_cast<long long>(E.livePinnedBytes()));
+      static_cast<long long>(E.livePinnedBytes()),
+      static_cast<long long>(E.ContCaptured),
+      static_cast<long long>(E.ContResumed));
   Out += Buf;
 }
 
 const char *const EmCsvColumns =
     "entangled_reads,entangled_reads_unpinned,pins_down,pins_cross,"
     "pins_holder,pinned_objects,pinned_bytes,unpinned_objects,"
-    "unpinned_bytes,live_pinned_objects,live_pinned_bytes";
+    "unpinned_bytes,live_pinned_objects,live_pinned_bytes,"
+    "cont_captured,cont_resumed";
 
 void appendEmCsv(std::string &Out, const em::CounterSnapshot &E) {
   char Buf[512];
   std::snprintf(Buf, sizeof(Buf),
-                "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld",
+                "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,"
+                "%lld,%lld",
                 static_cast<long long>(E.EntangledReads),
                 static_cast<long long>(E.EntangledReadsUnpinned),
                 static_cast<long long>(E.DownPointerPins),
@@ -170,7 +181,9 @@ void appendEmCsv(std::string &Out, const em::CounterSnapshot &E) {
                 static_cast<long long>(E.UnpinnedObjects),
                 static_cast<long long>(E.UnpinnedBytes),
                 static_cast<long long>(E.livePinnedObjects()),
-                static_cast<long long>(E.livePinnedBytes()));
+                static_cast<long long>(E.livePinnedBytes()),
+                static_cast<long long>(E.ContCaptured),
+                static_cast<long long>(E.ContResumed));
   Out += Buf;
 }
 
@@ -211,10 +224,19 @@ std::string MetricsSampler::jsonDump() const {
       Out += Buf;
     }
     std::snprintf(Buf, sizeof(Buf),
-                  "},\"heaps\":{\"live\":%lld,\"max_depth\":%lld}}",
+                  "},\"heaps\":{\"live\":%lld,\"max_depth\":%lld,"
+                  "\"depth_hist\":[",
                   static_cast<long long>(S.LiveHeaps),
                   static_cast<long long>(S.MaxHeapDepth));
     Out += Buf;
+    for (size_t D = 0; D < S.DepthHist.size(); ++D) {
+      if (D)
+        Out += ",";
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(S.DepthHist[D]));
+      Out += Buf;
+    }
+    Out += "]}}";
   }
   Out += "\n],\"histograms\":[\n";
   bool FirstH = true;
@@ -273,9 +295,17 @@ bool MetricsSampler::writeCsv(const std::string &P) const {
           GaugeCols.end())
         GaugeCols.push_back(Name);
 
+  // Depth-histogram columns: one per depth seen anywhere in the series
+  // (short samples pad with zeros), mirroring the gauge-union policy.
+  size_t DepthCols = 0;
+  for (const MetricsSample &S : Snap)
+    DepthCols = std::max(DepthCols, S.DepthHist.size());
+
   std::string Out = "t_ns,";
   Out += EmCsvColumns;
   Out += ",live_heaps,max_heap_depth";
+  for (size_t D = 0; D < DepthCols; ++D)
+    Out += ",heaps_d" + std::to_string(D);
   for (const std::string &C : GaugeCols)
     Out += "," + C;
   Out += "\n";
@@ -288,6 +318,11 @@ bool MetricsSampler::writeCsv(const std::string &P) const {
                   static_cast<long long>(S.LiveHeaps),
                   static_cast<long long>(S.MaxHeapDepth));
     Out += Buf;
+    for (size_t D = 0; D < DepthCols; ++D) {
+      int64_t N = D < S.DepthHist.size() ? S.DepthHist[D] : 0;
+      std::snprintf(Buf, sizeof(Buf), ",%lld", static_cast<long long>(N));
+      Out += Buf;
+    }
     for (const std::string &C : GaugeCols) {
       Out += ",";
       for (const auto &[Name, V] : S.Gauges)

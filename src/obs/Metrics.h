@@ -55,6 +55,11 @@ struct MetricsSample {
   /// live depth (0 / -1 when no runtime is alive).
   int64_t LiveHeaps = 0;
   int64_t MaxHeapDepth = -1;
+  /// Live heaps per depth: DepthHist[d] heaps at depth d (empty when no
+  /// runtime is alive). Sums to LiveHeaps; shows the *shape* of the task
+  /// tree over time, not just its height — a wide fork fan-out and one
+  /// deep spine have the same MaxHeapDepth but very different histograms.
+  std::vector<int64_t> DepthHist;
 };
 
 /// Process-wide sampler. Start()/stop() manage the background thread;

@@ -75,6 +75,8 @@ constexpr KindInfo Kinds[] = {
     /* PressureChange   */ {"pressure_change", 'i', "level", "bytes"},
     /* EmergencyGc      */ {"emergency_gc", 'i', "before_bytes", "after_bytes"},
     /* AllocRetry       */ {"alloc_retry", 'i', "attempt", "bytes"},
+    /* ContCapture      */ {"cont_capture", 'i', "bytes", "depth"},
+    /* ContResume       */ {"cont_resume", 'i', "bytes", "depth"},
 };
 static_assert(sizeof(Kinds) / sizeof(Kinds[0]) ==
                   static_cast<size_t>(Ev::NumKinds),

@@ -77,6 +77,8 @@ enum class Ev : uint16_t {
   PressureChange,   ///< Governor level changed; Arg0 = level, Arg1 = bytes.
   EmergencyGc,      ///< Pressure-forced GC; Arg0/Arg1 = bytes before/after.
   AllocRetry,       ///< Chunk alloc recovery; Arg0 = attempt, Arg1 = bytes.
+  ContCapture,      ///< Continuation captured; Arg0 = bytes, Arg1 = depth.
+  ContResume,       ///< Continuation resumed; Arg0 = bytes, Arg1 = depth.
   NumKinds
 };
 

@@ -46,6 +46,11 @@ enum class ExprKind : uint8_t {
   NilLit, ///< [].
   Cons,   ///< A :: B.
   Case,   ///< case A of Arms.
+  // Effect handlers (DESIGN.md §13).
+  LetEffect, ///< effect Str [in B end]; B = scope body.
+  Perform,   ///< perform Str A — suspend to the innermost handler of Str.
+  Handle,    ///< handle A with HArms end.
+  Resume,    ///< resume A B — resume continuation A with value B.
 };
 
 enum class PatKind : uint8_t {
@@ -72,6 +77,16 @@ struct Pat {
 
 using PatPtr = std::unique_ptr<Pat>;
 
+/// One handler arm: `Eff ValName KName => Body`. ValName binds the
+/// performed payload, KName the one-shot continuation.
+struct HArm {
+  std::string Eff;
+  std::string ValName;
+  std::string KName;
+  std::unique_ptr<struct Expr> Body;
+  int Line = 0, Col = 0;
+};
+
 /// One AST node. Position is the source location of the introducing token.
 struct Expr {
   ExprKind Kind;
@@ -86,6 +101,9 @@ struct Expr {
 
   /// Case arms (pattern, body), tried in order.
   std::vector<std::pair<PatPtr, std::unique_ptr<Expr>>> Arms;
+
+  /// Handler arms (Kind == Handle only), matched by effect identity.
+  std::vector<HArm> HandlerArms;
 
   explicit Expr(ExprKind K) : Kind(K) {}
 };

@@ -58,7 +58,20 @@ struct Compiler {
 
   FnState *Cur = nullptr;
 
+  /// Lexically scoped `effect` declarations (name -> static effect id).
+  /// Lives on the compiler, not the FnState: compilation of nested
+  /// functions happens inline, so effects stay visible across function
+  /// boundaries exactly as lexical scoping demands.
+  std::vector<std::pair<std::string, int>> EffectScope;
+
   Compiler(Program &P, std::vector<std::string> &E) : P(P), Errors(E) {}
+
+  int resolveEffect(const std::string &Name) {
+    for (auto It = EffectScope.rbegin(); It != EffectScope.rend(); ++It)
+      if (It->first == Name)
+        return It->second;
+    return -1;
+  }
 
   void errorAt(const Expr &E, const std::string &Msg) {
     char Buf[64];
@@ -430,6 +443,81 @@ struct Compiler {
       emit(Op::MkPair);
       return;
 
+    case ExprKind::LetEffect: {
+      // A fresh static identity per declaration, so shadowing re-declares
+      // a distinct effect rather than aliasing the outer one.
+      int Id = static_cast<int>(P.EffectNames.size());
+      P.EffectNames.push_back(E.Str);
+      EffectScope.emplace_back(E.Str, Id);
+      compileExpr(*E.B, Tail);
+      EffectScope.pop_back();
+      return;
+    }
+
+    case ExprKind::Perform: {
+      compileExpr(*E.A);
+      int Id = resolveEffect(E.Str);
+      if (Id < 0) {
+        errorAt(E, "unbound effect '" + E.Str + "' (compiler)");
+        Id = 0;
+      }
+      emit(Op::Suspend, Id);
+      return;
+    }
+
+    case ExprKind::Resume:
+      compileExpr(*E.A);
+      compileExpr(*E.B);
+      emit(Op::Resume);
+      return;
+
+    case ExprKind::Handle: {
+      // Arm effect identities resolve in the scope of the handle itself.
+      HandlerTable Table;
+      for (const HArm &Arm : E.HandlerArms) {
+        int Id = resolveEffect(Arm.Eff);
+        if (Id < 0) {
+          errorAt(E, "unbound effect '" + Arm.Eff + "' (compiler)");
+          Id = 0;
+        }
+        Table.EffectIds.push_back(Id);
+      }
+      int TableIdx = static_cast<int>(P.Handlers.size());
+      P.Handlers.push_back(std::move(Table));
+
+      // Each arm is one unary function whose parameter is the
+      // (payload, continuation) pair the VM builds at capture time; the
+      // arm closures sit on the stack below the body thunk for the whole
+      // dynamic extent of the handled body.
+      for (const HArm &Arm : E.HandlerArms) {
+        compileFunction("handler$" + Arm.Eff, "", [&] {
+          Cur->Locals.push_back({"$pk", 0});
+          emit(Op::LoadLocal, 0);
+          emit(Op::Fst);
+          int ValSlot = newLocal(Arm.ValName);
+          emit(Op::StoreLocal, ValSlot);
+          emit(Op::LoadLocal, 0);
+          emit(Op::Snd);
+          int KSlot = newLocal(Arm.KName);
+          emit(Op::StoreLocal, KSlot);
+          compileExpr(*Arm.Body, /*Tail=*/true);
+        });
+      }
+
+      // The handled body compiles to a thunk exactly like a par branch.
+      Expr Thunk(ExprKind::Lambda);
+      Thunk.Line = E.A->Line;
+      Thunk.Col = E.A->Col;
+      Thunk.Params.push_back("$unit");
+      Thunk.A = std::unique_ptr<Expr>(const_cast<Expr *>(E.A.get()));
+      compileLambdaFrom(Thunk, 0, "");
+      (void)Thunk.A.release();
+
+      emit(Op::Handle, TableIdx,
+           static_cast<int32_t>(E.HandlerArms.size()));
+      return;
+    }
+
     case ExprKind::Case: {
       compileExpr(*E.A);
       int ScrutSlot = Cur->Proto.NumLocals++; // Anonymous local.
@@ -555,7 +643,8 @@ std::string mpl::pml::disassemble(const Program &P) {
       "FixSelf", "Call", "TailCall", "Ret", "Jmp", "Jz", "Add", "Sub", "Mul", "Div",
       "Mod", "Neg", "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "Not", "MkPair",
       "Fst", "Snd", "MkRef", "Deref", "Assign", "Alloc", "AGet", "ASet",
-      "ALen", "ParCall", "Print", "PrintInt", "Jnz", "MatchFail"};
+      "ALen", "ParCall", "Print", "PrintInt", "Jnz", "MatchFail",
+      "Suspend", "Resume", "Handle"};
   std::string Out;
   char Buf[128];
   for (size_t F = 0; F < P.Fns.size(); ++F) {

@@ -71,6 +71,16 @@ enum class Op : uint8_t {
   PrintInt,
   Jnz,       ///< A = absolute target; pops condition, jumps when true.
   MatchFail, ///< Traps: no case arm matched.
+  // Effect handlers (DESIGN.md §13).
+  Suspend, ///< A = effect id. Pops payload; captures the frame chain up to
+           ///< the innermost matching handler into a heap continuation
+           ///< object and invokes the handler arm with (payload, cont).
+  Resume,  ///< Pops value then continuation; reinstates the captured
+           ///< frames (one-shot) and delivers the value to the suspended
+           ///< perform. Yields the reinstated computation's final answer.
+  Handle,  ///< A = handler table index, B = arm count. Pops the body
+           ///< thunk; the B arm closures below it stay on the stack for
+           ///< the dynamic extent of the body.
 };
 
 struct Instr {
@@ -86,11 +96,21 @@ struct FnProto {
   std::vector<Instr> Code;
 };
 
+/// One handler's arm table: EffectIds[I] is the static effect identity
+/// the I-th arm (closure) handles. Arm order matches the stack order the
+/// Handle opcode expects.
+struct HandlerTable {
+  std::vector<int> EffectIds;
+};
+
 /// A compiled program. Fns[Main] is the zero-argument entry function.
 struct Program {
   std::vector<FnProto> Fns;
   std::vector<std::string> StrPool;
   std::vector<int64_t> IntPool;
+  std::vector<HandlerTable> Handlers;
+  /// Effect declaration names, indexed by static effect id (diagnostics).
+  std::vector<std::string> EffectNames;
   int Main = 0;
 };
 

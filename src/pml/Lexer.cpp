@@ -134,6 +134,16 @@ Tok keywordOf(const std::string &S) {
     return Tok::KwCase;
   if (S == "of")
     return Tok::KwOf;
+  if (S == "effect")
+    return Tok::KwEffect;
+  if (S == "perform")
+    return Tok::KwPerform;
+  if (S == "handle")
+    return Tok::KwHandle;
+  if (S == "with")
+    return Tok::KwWith;
+  if (S == "resume")
+    return Tok::KwResume;
   return Tok::Ident;
 }
 
@@ -341,6 +351,16 @@ const char *mpl::pml::tokName(Tok K) {
     return "'case'";
   case Tok::KwOf:
     return "'of'";
+  case Tok::KwEffect:
+    return "'effect'";
+  case Tok::KwPerform:
+    return "'perform'";
+  case Tok::KwHandle:
+    return "'handle'";
+  case Tok::KwWith:
+    return "'with'";
+  case Tok::KwResume:
+    return "'resume'";
   case Tok::LParen:
     return "'('";
   case Tok::RParen:

@@ -52,6 +52,11 @@ enum class Tok : uint8_t {
   KwOrelse,
   KwCase,
   KwOf,
+  KwEffect,
+  KwPerform,
+  KwHandle,
+  KwWith,
+  KwResume,
   // Punctuation and operators.
   LParen,
   RParen,

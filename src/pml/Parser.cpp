@@ -90,6 +90,15 @@ struct Parser {
       D->A = parseExpr();
       return D->A ? std::move(D) : nullptr;
     }
+    if (match(Tok::KwEffect)) {
+      ExprPtr D = node(ExprKind::LetEffect);
+      if (!check(Tok::Ident)) {
+        error("expected effect name after 'effect'");
+        return nullptr;
+      }
+      D->Str = advance().Text;
+      return D;
+    }
     return nullptr;
   }
 
@@ -121,7 +130,50 @@ struct Parser {
       return parseIf();
     if (check(Tok::KwCase))
       return parseCase();
+    if (check(Tok::KwHandle))
+      return parseHandle();
     return parseAssign();
+  }
+
+  /// handle e with [|] E x k => body | ... end
+  ExprPtr parseHandle() {
+    ExprPtr E = node(ExprKind::Handle);
+    advance(); // handle
+    E->A = parseExpr();
+    if (!E->A || !expect(Tok::KwWith, "in handle expression"))
+      return nullptr;
+    match(Tok::Pipe); // Optional leading bar.
+    while (true) {
+      HArm Arm;
+      Arm.Line = peek().Line;
+      Arm.Col = peek().Col;
+      if (!check(Tok::Ident)) {
+        error("expected effect name in handler arm");
+        return nullptr;
+      }
+      Arm.Eff = advance().Text;
+      if (!check(Tok::Ident)) {
+        error("expected payload binder in handler arm");
+        return nullptr;
+      }
+      Arm.ValName = advance().Text;
+      if (!check(Tok::Ident)) {
+        error("expected continuation binder in handler arm");
+        return nullptr;
+      }
+      Arm.KName = advance().Text;
+      if (!expect(Tok::Arrow, "after handler arm binders"))
+        return nullptr;
+      Arm.Body = parseExpr();
+      if (!Arm.Body)
+        return nullptr;
+      E->HandlerArms.push_back(std::move(Arm));
+      if (!match(Tok::Pipe))
+        break;
+    }
+    if (!expect(Tok::KwEnd, "to close 'handle'"))
+      return nullptr;
+    return E;
   }
 
   //===--------------------------------------------------------------------===
@@ -236,14 +288,14 @@ struct Parser {
   ExprPtr parseLet() {
     advance(); // let
     std::vector<ExprPtr> Decls;
-    while (check(Tok::KwVal) || check(Tok::KwFun)) {
+    while (check(Tok::KwVal) || check(Tok::KwFun) || check(Tok::KwEffect)) {
       ExprPtr D = parseDecl();
       if (!D)
         return nullptr;
       Decls.push_back(std::move(D));
     }
     if (Decls.empty()) {
-      error("expected 'val' or 'fun' after 'let'");
+      error("expected 'val', 'fun' or 'effect' after 'let'");
       return nullptr;
     }
     if (!expect(Tok::KwIn, "after let declarations"))
@@ -432,6 +484,26 @@ struct Parser {
       E->A = parsePrefix();
       return E->A ? std::move(E) : nullptr;
     }
+    if (check(Tok::KwPerform)) {
+      ExprPtr E = node(ExprKind::Perform);
+      advance();
+      if (!check(Tok::Ident)) {
+        error("expected effect name after 'perform'");
+        return nullptr;
+      }
+      E->Str = advance().Text;
+      E->A = parsePrefix();
+      return E->A ? std::move(E) : nullptr;
+    }
+    if (check(Tok::KwResume)) {
+      ExprPtr E = node(ExprKind::Resume);
+      advance();
+      E->A = parseAtom();
+      if (!E->A)
+        return nullptr;
+      E->B = parseAtom();
+      return E->B ? std::move(E) : nullptr;
+    }
     return parseAtom();
   }
 
@@ -546,7 +618,8 @@ ExprPtr mpl::pml::parseProgram(const std::string &Source,
 
   // Top-level declarations followed by the main expression.
   std::vector<ExprPtr> Decls;
-  while (P.check(Tok::KwVal) || P.check(Tok::KwFun)) {
+  while (P.check(Tok::KwVal) || P.check(Tok::KwFun) ||
+         P.check(Tok::KwEffect)) {
     ExprPtr D = P.parseDecl();
     if (!D)
       return nullptr;

@@ -268,6 +268,15 @@ void TypeChecker::pushBuiltins() {
   Env.push_back({"printInt", {alloc(TyTag::Arrow, TInt, TUnit), {}}});
 }
 
+TypeChecker::EffectBinding *TypeChecker::lookupEffect(const Expr &E,
+                                                      const std::string &Name) {
+  for (auto It = EffEnv.rbegin(); It != EffEnv.rend(); ++It)
+    if (It->Name == Name)
+      return &*It;
+  errorAt(E, "unbound effect '" + Name + "'");
+  return nullptr;
+}
+
 Ty *TypeChecker::lookupVar(const Expr &E) {
   for (auto It = Env.rbegin(); It != Env.rend(); ++It)
     if (It->Name == E.Str)
@@ -445,6 +454,57 @@ Ty *TypeChecker::inferExpr(const Expr &E) {
     unify(inferExpr(*E.A), alloc(TyTag::Unit), *E.A);
     return inferExpr(*E.B);
   }
+
+  case ExprKind::LetEffect: {
+    // The payload/resume types are monomorphic vars fixed here, so every
+    // perform and every handler arm of this effect must agree on both.
+    EffEnv.push_back({E.Str, freshVar(), freshVar()});
+    Ty *Body = inferExpr(*E.B);
+    EffEnv.pop_back();
+    return Body;
+  }
+
+  case ExprKind::Perform: {
+    Ty *Arg = inferExpr(*E.A);
+    EffectBinding *Eff = lookupEffect(E, E.Str);
+    if (!Eff)
+      return freshVar();
+    unify(Arg, Eff->Payload, *E.A);
+    return Eff->ResumeTy;
+  }
+
+  case ExprKind::Handle: {
+    // Deep handlers: the handled body, every arm body, and `resume` all
+    // produce the same answer type, which is the handle's result.
+    Ty *Ans = inferExpr(*E.A);
+    MPL_CHECK(!E.HandlerArms.empty(), "handle with no arms");
+    for (const HArm &Arm : E.HandlerArms) {
+      Expr At(ExprKind::UnitLit);
+      At.Line = Arm.Line;
+      At.Col = Arm.Col;
+      At.Str = Arm.Eff;
+      EffectBinding *Eff = lookupEffect(At, Arm.Eff);
+      Ty *Payload = Eff ? Eff->Payload : freshVar();
+      Ty *ResumeTy = Eff ? Eff->ResumeTy : freshVar();
+      size_t Saved = Env.size();
+      Env.push_back({Arm.ValName, {Payload, {}}});
+      Env.push_back({Arm.KName, {alloc(TyTag::Cont, ResumeTy, Ans), {}}});
+      Ty *Body = inferExpr(*Arm.Body);
+      Env.resize(Saved);
+      unify(Body, Ans, *Arm.Body);
+    }
+    return Ans;
+  }
+
+  case ExprKind::Resume: {
+    Ty *K = inferExpr(*E.A);
+    Ty *V = inferExpr(*E.B);
+    Ty *R = freshVar();
+    Ty *Ans = freshVar();
+    unify(K, alloc(TyTag::Cont, R, Ans), *E.A);
+    unify(V, R, *E.B);
+    return Ans;
+  }
   }
   MPL_UNREACHABLE("covered switch");
 }
@@ -454,6 +514,7 @@ Ty *TypeChecker::infer(const Expr &Program,
   Errors = &Errs;
   Failed = false;
   Env.clear();
+  EffEnv.clear();
   pushBuiltins();
   Ty *T = inferExpr(Program);
   return Failed ? nullptr : resolve(T);
@@ -488,6 +549,8 @@ std::string TypeChecker::show(Ty *T) {
     return "(" + show(T->A) + " * " + show(T->B) + ")";
   case TyTag::Arrow:
     return "(" + show(T->A) + " -> " + show(T->B) + ")";
+  case TyTag::Cont:
+    return "(" + show(T->A) + ", " + show(T->B) + ") cont";
   }
   return "?";
 }

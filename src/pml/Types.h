@@ -37,6 +37,7 @@ enum class TyTag : uint8_t {
   List,  // A
   Pair,  // A * B
   Arrow, // A -> B
+  Cont,  // (A, B) cont: resume-value type A, answer type B.
 };
 
 /// A type term. Var nodes form a union-find structure through Link.
@@ -69,6 +70,14 @@ private:
     std::string Name;
     Scheme S;
   };
+  /// One lexically scoped `effect E` declaration. Effects are monomorphic:
+  /// the payload and resume types are fresh vars fixed at the declaration,
+  /// so every perform/handle of E agrees on both.
+  struct EffectBinding {
+    std::string Name;
+    Ty *Payload = nullptr;
+    Ty *ResumeTy = nullptr;
+  };
 
   Ty *alloc(TyTag Tag, Ty *A = nullptr, Ty *B = nullptr);
   Ty *freshVar();
@@ -83,6 +92,7 @@ private:
 
   Ty *inferExpr(const Expr &E);
   Ty *lookupVar(const Expr &E);
+  EffectBinding *lookupEffect(const Expr &E, const std::string &Name);
   void checkPat(const Pat &P, Ty *Scrut, size_t &Bound);
   void errorAt(const Expr &E, const std::string &Msg);
 
@@ -91,7 +101,8 @@ private:
   void pushBuiltins();
 
   std::vector<std::unique_ptr<Ty>> Arena;
-  std::vector<Binding> Env; ///< Scoped stack of bindings.
+  std::vector<Binding> Env;          ///< Scoped stack of bindings.
+  std::vector<EffectBinding> EffEnv; ///< Scoped stack of effect decls.
   std::vector<std::string> *Errors = nullptr;
   int CurLevel = 0;
   int NextId = 0;

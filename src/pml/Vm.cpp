@@ -3,9 +3,37 @@
 // Part of mpl-em (PLDI 2023 reproduction).
 //
 //===----------------------------------------------------------------------===//
+///
+/// Continuation representation (DESIGN.md §13): a captured continuation is
+/// one mutable heap array with uniformly tagged slots —
+///
+///   [0]  state: 0 fresh, 1 consumed (one-shot; claimed by CAS)
+///   [1]  handler table index        [2] arm count
+///   [3]  captured frame count       [4] captured inner-handler count
+///   [5]  captured value-slot count  [6] capture-heap depth
+///   [7]  W = pin-bitmap word count
+///   [8 .. 8+W)                      bitmap: which captured values this
+///                                   capture newly pinned (32 bits/word,
+///                                   arms first, then the segment)
+///   [8+W ..]                        the arm closures,
+///   then per frame  5 ints: fn idx, ip, base offset, handler idx
+///                   (relative to the captured handler, -1 = none),
+///                   operands-to-pop,
+///   then per inner handler 4 ints: table idx, arms offset, arm count,
+///                   frame index relative to the first captured frame,
+///   then the captured value-stack segment.
+///
+/// Everything is either a tagged int or an ordinary value, so the GC traces
+/// a parked continuation like any other array — captured frames stay alive
+/// (and updated, if a local collection moves their objects) no matter how
+/// long the handler sits on it or which strand finally resumes it.
+///
+//===----------------------------------------------------------------------===//
 
 #include "pml/Vm.h"
 
+#include "chaos/ChaosSchedule.h"
+#include "core/Em.h"
 #include "core/Handles.h"
 #include "core/Ops.h"
 #include "core/Runtime.h"
@@ -54,6 +82,19 @@ bool isClosure(Slot V) {
          isInt(O->getSlot(0));
 }
 
+/// Fixed continuation-array header slots (see file comment).
+enum ContSlot : uint32_t {
+  ContState = 0,
+  ContTable = 1,
+  ContNumArms = 2,
+  ContNumFrames = 3,
+  ContNumInner = 4,
+  ContSegLen = 5,
+  ContDepth = 6,
+  ContBitmapWords = 7,
+  ContHeader = 8,
+};
+
 /// Structural equality: immediates by value, strings by bytes, immutable
 /// pairs recursively, everything mutable by identity (the ML semantics).
 bool slotsEqual(Slot A, Slot B) {
@@ -97,40 +138,316 @@ struct mpl::pml::VmBranch {
       Env.Trap->trap("par branch is not a closure");
       return unit();
     }
-    return Sub.execFunction(closureFn(C), Env.Closure, unit(), 0);
+    return Sub.callFunction(closureFn(C), Env.Closure, unit());
   }
 };
 
-Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
-  if (Depth > MaxCallDepth) {
+bool Vm::pushFrame(int FnIdx, int HandlerIdx, uint32_t OperandsToPop) {
+  if (Frames.size() > static_cast<size_t>(MaxCallDepth)) {
     Trap->trap("call depth limit exceeded");
-    return unit();
+    return false;
   }
-  const FnProto *Fn = &P.Fns[static_cast<size_t>(FnIdx)];
+  Frame F;
+  F.Fn = &P.Fns[static_cast<size_t>(FnIdx)];
+  F.FnIdx = FnIdx;
+  F.Ip = 0;
+  F.Base = Sp - 2; // Reuses the caller's [fn, arg] as [closure, param].
+  F.HandlerIdx = HandlerIdx;
+  F.OperandsToPop = OperandsToPop;
+  Frames.push_back(F);
+  for (int I = 1; I < F.Fn->NumLocals; ++I)
+    push(unit());
+  return !Trap->Trapped.load(std::memory_order_relaxed);
+}
 
-  // Frame layout: [closure, param, locals..., operands...]. TailCall
-  // rebuilds this frame in place instead of recursing.
-  size_t Base = Sp;
+Slot Vm::callFunction(int FnIdx, Slot Closure, Slot Arg) {
+  size_t Floor = Frames.size();
+  size_t HandlerFloor = Handlers.size();
+  size_t EntrySp = Sp;
   push(Closure);
   push(Arg);
-  for (int I = 1; I < Fn->NumLocals; ++I)
-    push(unit());
+  if (pushFrame(FnIdx, -1, 0))
+    runLoop(Floor);
   if (Trap->Trapped.load(std::memory_order_relaxed)) {
-    Sp = Base;
+    Frames.resize(Floor);
+    Handlers.resize(HandlerFloor);
+    Sp = EntrySp;
     return unit();
   }
-  auto Local = [&](int32_t I) -> Slot & {
-    return Stack[Base + 1 + static_cast<size_t>(I)];
-  };
+  return pop(); // The floor frame's Ret left the result on top.
+}
 
-  size_t Ip = 0;
-  while (true) {
-    MPL_DASSERT(Ip < Fn->Code.size(), "instruction pointer out of range");
-    if (Trap->Trapped.load(std::memory_order_relaxed)) {
-      Sp = Base;
-      return unit();
+void Vm::doSuspend(int32_t EffectId) {
+  // Dynamic handler search: innermost installed handler whose table
+  // contains this effect. Effects are delimited by rt::par (each branch is
+  // a fresh sub-VM), so an unhandled perform is a structured trap, never an
+  // escape into another strand's handlers.
+  int EntIdx = -1, ArmPos = -1;
+  for (int I = static_cast<int>(Handlers.size()) - 1; I >= 0 && EntIdx < 0;
+       --I) {
+    const std::vector<int> &Ids =
+        P.Handlers[static_cast<size_t>(Handlers[static_cast<size_t>(I)]
+                                           .TableIdx)]
+            .EffectIds;
+    for (size_t J = 0; J < Ids.size(); ++J)
+      if (Ids[J] == EffectId) {
+        EntIdx = I;
+        ArmPos = static_cast<int>(J);
+        break;
+      }
+  }
+  if (EntIdx < 0) {
+    Trap->trap("unhandled effect '" +
+               P.EffectNames[static_cast<size_t>(EffectId)] + "'");
+    return;
+  }
+  // Schedule fuzzing: stretch the window between deciding to capture and
+  // publishing the continuation to the handler arm.
+  chaos::preemptPoint(chaos::Point::ContCapture);
+
+  const HandlerEnt Ent = Handlers[static_cast<size_t>(EntIdx)];
+  size_t B = Ent.FrameIdx; // First captured frame: the handle body thunk.
+  size_t SegBase = Frames[B].Base;
+  size_t PayloadIdx = Sp - 1; // Payload rides to the arm, not the cont.
+  size_t SegLen = PayloadIdx - SegBase;
+  size_t NumFrames = Frames.size() - B;
+  size_t NumInner = Handlers.size() - static_cast<size_t>(EntIdx) - 1;
+  size_t NumArms = static_cast<size_t>(Ent.NumArms);
+  size_t W = (NumArms + SegLen + 31) / 32;
+  size_t Len = ContHeader + W + NumArms + 5 * NumFrames + 4 * NumInner +
+               SegLen;
+  if (Len > Object::MaxLength) {
+    Trap->trap("continuation too large");
+    return;
+  }
+
+  // Everything captured is still on the (rooted) value stack, so the
+  // allocation below may collect — and move objects — safely; stack slots
+  // and frame Base indices survive, raw pointers would not.
+  Object *C = newArray(static_cast<uint32_t>(Len), boxInt(0));
+  push(Object::fromPointer(C)); // Root the cont for the pair allocation.
+  if (Trap->Trapped.load(std::memory_order_relaxed))
+    return;
+
+  auto SetInt = [&](size_t I, int64_t V) {
+    C->setSlot(static_cast<uint32_t>(I), boxInt(V));
+  };
+  SetInt(ContState, 0);
+  SetInt(ContTable, Ent.TableIdx);
+  SetInt(ContNumArms, static_cast<int64_t>(NumArms));
+  SetInt(ContNumFrames, static_cast<int64_t>(NumFrames));
+  SetInt(ContNumInner, static_cast<int64_t>(NumInner));
+  SetInt(ContSegLen, static_cast<int64_t>(SegLen));
+  Heap *CapHeap = rt::Runtime::ctx()->CurrentHeap;
+  uint32_t CapDepth = CapHeap->depth();
+  SetInt(ContDepth, CapDepth);
+  SetInt(ContBitmapWords, static_cast<int64_t>(W));
+
+  // Arm closures and the value segment. arrSet's write barrier sees only
+  // intra-heap or up-pointer stores here (the cont is a fresh leaf-heap
+  // object), so building the snapshot itself pins nothing.
+  size_t ArmsSlot = ContHeader + W;
+  for (size_t I = 0; I < NumArms; ++I)
+    arrSet(C, static_cast<uint32_t>(ArmsSlot + I), Stack[Ent.ArmsBase + I]);
+  size_t FrameSlot = ArmsSlot + NumArms;
+  for (size_t I = 0; I < NumFrames; ++I) {
+    const Frame &F = Frames[B + I];
+    SetInt(FrameSlot + 5 * I + 0, F.FnIdx);
+    SetInt(FrameSlot + 5 * I + 1, static_cast<int64_t>(F.Ip));
+    SetInt(FrameSlot + 5 * I + 2, static_cast<int64_t>(F.Base - SegBase));
+    SetInt(FrameSlot + 5 * I + 3,
+           F.HandlerIdx < 0 ? -1 : F.HandlerIdx - EntIdx);
+    SetInt(FrameSlot + 5 * I + 4, F.OperandsToPop);
+  }
+  size_t InnerSlot = FrameSlot + 5 * NumFrames;
+  for (size_t I = 0; I < NumInner; ++I) {
+    const HandlerEnt &IE = Handlers[static_cast<size_t>(EntIdx) + 1 + I];
+    SetInt(InnerSlot + 4 * I + 0, IE.TableIdx);
+    SetInt(InnerSlot + 4 * I + 1, static_cast<int64_t>(IE.ArmsBase - SegBase));
+    SetInt(InnerSlot + 4 * I + 2, IE.NumArms);
+    SetInt(InnerSlot + 4 * I + 3, static_cast<int64_t>(IE.FrameIdx - B));
+  }
+  size_t SegSlot = InnerSlot + 4 * NumInner;
+  for (size_t I = 0; I < SegLen; ++I)
+    arrSet(C, static_cast<uint32_t>(SegSlot + I), Stack[SegBase + I]);
+
+  // Capture-pin pass (Manage mode; see em::pinContCapture): the captured
+  // objects must survive *in place* until the resume — the handler may park
+  // the continuation past this strand's join, where a local collection of
+  // the merged heap would otherwise move them out from under the snapshot.
+  // The bitmap records exactly the pins this capture took, so the resume
+  // can release them early when the continuation stayed private.
+  int64_t PinnedHere = 0;
+  for (size_t I = 0; I < NumArms + SegLen; ++I) {
+    Slot V = I < NumArms ? Stack[Ent.ArmsBase + I]
+                         : Stack[SegBase + (I - NumArms)];
+    Object *O = Object::asPointer(V);
+    if (O && em::pinContCapture(O, CapHeap)) {
+      uint32_t WordIdx = static_cast<uint32_t>(ContHeader + I / 32);
+      int64_t Word = unboxInt(C->getSlot(WordIdx));
+      SetInt(WordIdx, Word | (int64_t(1) << (I % 32)));
+      ++PinnedHere;
     }
-    const Instr &In = Fn->Code[Ip++];
+  }
+  (void)PinnedHere;
+  int64_t ContBytes = static_cast<int64_t>(C->sizeBytes());
+
+  // (payload, cont) for the arm. Both operands are rooted on the stack;
+  // after this allocation C may be stale — read everything via the stack.
+  Object *Pair = newRecord(0b11, {Stack[PayloadIdx], Stack[PayloadIdx + 1]});
+  Slot ArmV = Stack[Ent.ArmsBase + static_cast<size_t>(ArmPos)];
+  MPL_DASSERT(isClosure(ArmV), "handler arm is not a closure");
+
+  // Uninstall the handler and everything above it, then run the arm where
+  // the handle expression's result belongs: the enclosing frame's Ip is
+  // already past the Handle, so the arm's Ret lands as its result.
+  Frames.resize(B);
+  Handlers.resize(static_cast<size_t>(EntIdx));
+  Sp = Ent.ArmsBase;
+  push(ArmV);
+  push(Object::fromPointer(Pair));
+  pushFrame(closureFn(Object::asPointer(ArmV)), -1, 0);
+  em::noteContCaptured(ContBytes, CapDepth);
+}
+
+void Vm::doResume() {
+  // Stack: [..., k, v].
+  Object *C = Object::asPointer(Stack[Sp - 2]);
+  if (!C || C->kind() != ObjKind::Array || C->length() < ContHeader) {
+    Trap->trap("resume of a non-continuation value");
+    return;
+  }
+  for (uint32_t I = 0; I < ContHeader; ++I)
+    if (!isInt(C->getSlot(I))) {
+      Trap->trap("resume of a non-continuation value");
+      return;
+    }
+  size_t W = static_cast<size_t>(unboxInt(C->getSlot(ContBitmapWords)));
+  int TableIdx = static_cast<int>(unboxInt(C->getSlot(ContTable)));
+  size_t NumArms = static_cast<size_t>(unboxInt(C->getSlot(ContNumArms)));
+  size_t NumFrames = static_cast<size_t>(unboxInt(C->getSlot(ContNumFrames)));
+  size_t NumInner = static_cast<size_t>(unboxInt(C->getSlot(ContNumInner)));
+  size_t SegLen = static_cast<size_t>(unboxInt(C->getSlot(ContSegLen)));
+  uint32_t CapDepth = static_cast<uint32_t>(unboxInt(C->getSlot(ContDepth)));
+  if (C->length() != ContHeader + W + NumArms + 5 * NumFrames +
+                         4 * NumInner + SegLen ||
+      TableIdx < 0 || static_cast<size_t>(TableIdx) >= P.Handlers.size()) {
+    Trap->trap("resume of a non-continuation value");
+    return;
+  }
+  if (Sp + NumArms + SegLen + 1 > StackCap) {
+    Trap->trap("value stack overflow");
+    return;
+  }
+  if (Frames.size() + NumFrames > static_cast<size_t>(MaxCallDepth)) {
+    Trap->trap("call depth limit exceeded");
+    return;
+  }
+
+  // One-shot claim: exactly one resume wins, even when racing another
+  // strand holding the same continuation.
+  Slot Fresh = boxInt(0);
+  if (!std::atomic_ref<Slot>(C->slots()[ContState])
+           .compare_exchange_strong(Fresh, boxInt(1),
+                                    std::memory_order_acq_rel)) {
+    Trap->trap("continuation already resumed (one-shot)");
+    return;
+  }
+  // Schedule fuzzing: the claim is published; stretch the window before the
+  // frames are spliced back in (another strand may be failing its CAS, a
+  // join may be releasing the capture pins).
+  chaos::preemptPoint(chaos::Point::ContResume);
+
+  // Nothing below allocates (arrGet barriers pin but never allocate), so
+  // raw locals are safe across the whole splice.
+  Slot ResumeV = Stack[Sp - 1];
+  size_t ArmsBase = Sp - 2; // k's slot: where the final answer lands.
+  Sp = ArmsBase;
+
+  // Re-push the arms and the captured segment. Reading them out of the
+  // continuation goes through the read barrier: when the resumer's heap is
+  // not a descendant of the capture heap this is where entanglement is
+  // re-established (Manage deepens pins to the LCA, Detect rejects).
+  size_t ArmsSlot = ContHeader + W;
+  for (size_t I = 0; I < NumArms; ++I)
+    push(arrGet(C, static_cast<uint32_t>(ArmsSlot + I)));
+  size_t SegStart = Sp;
+  size_t SegSlot = ArmsSlot + NumArms + 5 * NumFrames + 4 * NumInner;
+  for (size_t I = 0; I < SegLen; ++I)
+    push(arrGet(C, static_cast<uint32_t>(SegSlot + I)));
+
+  // Reinstall the handler (deep handler semantics: further performs in the
+  // reinstated computation are answered by the same arms) and the captured
+  // inner handlers, then the frames.
+  int TargetEnt = static_cast<int>(Handlers.size());
+  size_t FrameStart = Frames.size();
+  Handlers.push_back(
+      {TableIdx, ArmsBase, static_cast<int>(NumArms), FrameStart});
+  size_t InnerSlot = ArmsSlot + NumArms + 5 * NumFrames;
+  for (size_t I = 0; I < NumInner; ++I) {
+    auto Rd = [&](size_t K) {
+      return unboxInt(C->getSlot(static_cast<uint32_t>(InnerSlot + 4 * I + K)));
+    };
+    Handlers.push_back({static_cast<int>(Rd(0)),
+                        SegStart + static_cast<size_t>(Rd(1)),
+                        static_cast<int>(Rd(2)),
+                        FrameStart + static_cast<size_t>(Rd(3))});
+  }
+  size_t FrameSlot = ArmsSlot + NumArms;
+  for (size_t I = 0; I < NumFrames; ++I) {
+    auto Rd = [&](size_t K) {
+      return unboxInt(C->getSlot(static_cast<uint32_t>(FrameSlot + 5 * I + K)));
+    };
+    int FnIdx = static_cast<int>(Rd(0));
+    if (FnIdx < 0 || static_cast<size_t>(FnIdx) >= P.Fns.size()) {
+      Trap->trap("resume of a non-continuation value");
+      return;
+    }
+    int HRel = static_cast<int>(Rd(3));
+    Frame F;
+    F.Fn = &P.Fns[static_cast<size_t>(FnIdx)];
+    F.FnIdx = FnIdx;
+    F.Ip = static_cast<size_t>(Rd(1));
+    F.Base = SegStart + static_cast<size_t>(Rd(2));
+    F.HandlerIdx = HRel < 0 ? -1 : TargetEnt + HRel;
+    F.OperandsToPop = static_cast<uint32_t>(Rd(4));
+    Frames.push_back(F);
+  }
+
+  // Early pin release: only for pins this capture took (the bitmap), only
+  // while they still sit at the capture depth, and only when the cont was
+  // never published cross-heap — its pin bit is sticky, so !isPinned()
+  // proves every path to the captured objects goes through this strand.
+  // Otherwise the pins stay and the join rule releases them (always sound).
+  if (em::mode() == em::Mode::Manage && CapDepth > 0 && !C->isPinned()) {
+    for (size_t I = 0; I < NumArms + SegLen; ++I) {
+      int64_t Word = unboxInt(
+          C->getSlot(static_cast<uint32_t>(ContHeader + I / 32)));
+      if (!(Word & (int64_t(1) << (I % 32))))
+        continue;
+      Slot V = I < NumArms ? Stack[ArmsBase + I]
+                           : Stack[SegStart + (I - NumArms)];
+      if (Object *O = Object::asPointer(V))
+        em::unpinContResume(O, CapDepth);
+    }
+  }
+  em::noteContResumed(static_cast<int64_t>(C->sizeBytes()), CapDepth);
+
+  // The innermost restored frame's Ip is already past its Suspend; v is
+  // the perform expression's result.
+  push(ResumeV);
+}
+
+void Vm::runLoop(size_t Floor) {
+  while (true) {
+    if (Trap->Trapped.load(std::memory_order_relaxed))
+      return; // callFunction unwinds the stacks to its entry state.
+    Frame &F = Frames.back();
+    MPL_DASSERT(F.Ip < F.Fn->Code.size(), "instruction pointer out of range");
+    const Instr &In = F.Fn->Code[F.Ip++];
+    auto Local = [&](int32_t I) -> Slot & {
+      return Stack[F.Base + 1 + static_cast<size_t>(I)];
+    };
     switch (In.O) {
     case Op::PushInt:
       push(boxInt(In.A));
@@ -156,7 +473,7 @@ Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
       Local(In.A) = pop();
       break;
     case Op::LoadCapture: {
-      Object *C = Object::asPointer(Stack[Base]);
+      Object *C = Object::asPointer(Stack[F.Base]);
       MPL_DASSERT(C, "missing closure for capture load");
       push(arrGet(C, static_cast<uint32_t>(In.A) + 1));
       break;
@@ -183,22 +500,14 @@ Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
     }
 
     case Op::Call: {
-      // Keep operands on the stack (rooted) while reading them.
-      Slot ArgV = Stack[Sp - 1];
       Slot FnV = Stack[Sp - 2];
       if (!isClosure(FnV)) {
         Trap->trap("calling a non-function value");
-        Sp = Base;
-        return unit();
+        break;
       }
-      Object *C = Object::asPointer(FnV);
-      Slot R = execFunction(closureFn(C), FnV, ArgV, Depth + 1);
-      Sp -= 2;
-      push(R);
-      if (Trap->Trapped.load(std::memory_order_relaxed)) {
-        Sp = Base;
-        return unit();
-      }
+      // The callee's frame adopts the [fn, arg] slots in place; its Ret
+      // pops back to them and pushes the result.
+      pushFrame(closureFn(Object::asPointer(FnV)), -1, 0);
       break;
     }
 
@@ -207,47 +516,51 @@ Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
       Slot FnV = Stack[Sp - 2];
       if (!isClosure(FnV)) {
         Trap->trap("calling a non-function value");
-        Sp = Base;
-        return unit();
+        break;
       }
       // Rebuild the frame in place: proper tail calls give PML loops
-      // constant stack space (both value stack and native stack).
-      Fn = &P.Fns[static_cast<size_t>(
-          closureFn(Object::asPointer(FnV)))];
-      Sp = Base;
+      // constant stack space. HandlerIdx/OperandsToPop carry over — the
+      // final Ret still settles this frame's protocol slots.
+      int NewFn = closureFn(Object::asPointer(FnV));
+      F.Fn = &P.Fns[static_cast<size_t>(NewFn)];
+      F.FnIdx = NewFn;
+      F.Ip = 0;
+      Sp = F.Base;
       push(FnV);
       push(ArgV);
-      for (int I = 1; I < Fn->NumLocals; ++I)
+      for (int I = 1; I < F.Fn->NumLocals; ++I)
         push(unit());
-      if (Trap->Trapped.load(std::memory_order_relaxed)) {
-        Sp = Base;
-        return unit();
-      }
-      Ip = 0;
       break;
     }
 
     case Op::Ret: {
       Slot R = Stack[Sp - 1];
-      Sp = Base;
-      return R;
+      Frame Popped = Frames.back();
+      Frames.pop_back();
+      Sp = Popped.Base;
+      if (Popped.HandlerIdx >= 0)
+        Handlers.resize(static_cast<size_t>(Popped.HandlerIdx));
+      Sp -= Popped.OperandsToPop;
+      push(R);
+      if (Frames.size() == Floor)
+        return;
+      break;
     }
 
     case Op::Jmp:
-      Ip = static_cast<size_t>(In.A);
+      F.Ip = static_cast<size_t>(In.A);
       break;
     case Op::Jz:
       if (!unboxBool(pop()))
-        Ip = static_cast<size_t>(In.A);
+        F.Ip = static_cast<size_t>(In.A);
       break;
     case Op::Jnz:
       if (unboxBool(pop()))
-        Ip = static_cast<size_t>(In.A);
+        F.Ip = static_cast<size_t>(In.A);
       break;
     case Op::MatchFail:
       Trap->trap("match failure: no case arm matched");
-      Sp = Base;
-      return unit();
+      break;
 
 #define MPL_ARITH(OPNAME, EXPR)                                              \
   case Op::OPNAME: {                                                         \
@@ -273,8 +586,7 @@ Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
       int64_t A2 = unboxInt(pop());
       if (B2 == 0) {
         Trap->trap("division by zero");
-        Sp = Base;
-        return unit();
+        break;
       }
       push(boxInt(In.O == Op::Div ? A2 / B2 : A2 % B2));
       break;
@@ -344,8 +656,7 @@ Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
       int64_t N = unboxInt(pop());
       if (N < 0 || N > int64_t(Object::MaxLength)) {
         Trap->trap("alloc size out of range");
-        Sp = Base;
-        return unit();
+        break;
       }
       push(Object::fromPointer(newArray(static_cast<uint32_t>(N), Init)));
       break;
@@ -356,8 +667,7 @@ Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
       MPL_DASSERT(A && A->kind() == ObjKind::Array, "get on non-array");
       if (I < 0 || I >= int64_t(arrLen(A))) {
         Trap->trap("array index out of bounds");
-        Sp = Base;
-        return unit();
+        break;
       }
       push(arrGet(A, static_cast<uint32_t>(I)));
       break;
@@ -369,8 +679,7 @@ Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
       MPL_DASSERT(A && A->kind() == ObjKind::Array, "set on non-array");
       if (I < 0 || I >= int64_t(arrLen(A))) {
         Trap->trap("array index out of bounds");
-        Sp = Base;
-        return unit();
+        break;
       }
       arrSet(A, static_cast<uint32_t>(I), V);
       push(unit());
@@ -395,10 +704,6 @@ Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
       Object *Pr = newRecord(0b11, {Stack[Sp - 2], Stack[Sp - 1]});
       Sp -= 2;
       push(Object::fromPointer(Pr));
-      if (Trap->Trapped.load(std::memory_order_relaxed)) {
-        Sp = Base;
-        return unit();
-      }
       break;
     }
 
@@ -423,13 +728,37 @@ Slot Vm::execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth) {
       push(unit());
       break;
     }
+
+    case Op::Handle: {
+      // Stack: [..., arms..., thunk]. The arms stay below the body's frame
+      // for its dynamic extent; the frame's OperandsToPop settles them.
+      Slot Thunk = Stack[Sp - 1];
+      MPL_DASSERT(isClosure(Thunk), "handle body is not a thunk");
+      int EntIdx = static_cast<int>(Handlers.size());
+      HandlerEnt E;
+      E.TableIdx = In.A;
+      E.ArmsBase = Sp - 1 - static_cast<size_t>(In.B);
+      E.NumArms = In.B;
+      E.FrameIdx = Frames.size();
+      Handlers.push_back(E);
+      push(unit()); // The thunk's () argument.
+      pushFrame(closureFn(Object::asPointer(Thunk)), EntIdx,
+                static_cast<uint32_t>(In.B));
+      break;
+    }
+    case Op::Suspend:
+      doSuspend(In.A);
+      break;
+    case Op::Resume:
+      doResume();
+      break;
     }
   }
 }
 
 Vm::Result Vm::run() {
   Result R;
-  Slot V = execFunction(P.Main, /*Closure=*/0, unit(), 0);
+  Slot V = callFunction(P.Main, /*Closure=*/0, unit());
   if (Trap->Trapped.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> G(Trap->Lock);
     R.Error = Trap->Message;
@@ -487,6 +816,8 @@ std::string mpl::pml::renderValue(Slot V, Ty *T) {
     return "<array>";
   case TyTag::Arrow:
     return "<fn>";
+  case TyTag::Cont:
+    return "<cont>";
   case TyTag::Var:
     return "<poly>";
   }

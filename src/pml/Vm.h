@@ -13,6 +13,17 @@
 /// exactly the semantics the paper gives Parallel ML: fork-join
 /// parallelism with unrestricted effects, managed entanglement included.
 ///
+/// Guest calls run on an explicit frame stack (no native recursion), which
+/// is what makes first-class effect handlers possible: Suspend slices the
+/// frame chain between the perform and the innermost matching handler out
+/// of the Frames/value stacks into a heap continuation object, and Resume
+/// splices it back in — on whichever strand holds the continuation, which
+/// need not be the strand (or worker, or heap) that captured it. The pin
+/// protocol for those captured frames lives in core/Em (DESIGN.md §13).
+/// Only ParCall recurses natively, via a sub-VM per branch; effects are
+/// delimited by rt::par — a perform in a branch cannot be answered by a
+/// handler outside it.
+///
 /// The VM's value stack is registered as a GC root range; a collection can
 /// safely happen at any allocation point during execution.
 ///
@@ -29,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace mpl {
 namespace pml {
@@ -74,7 +86,42 @@ private:
   Vm(const Program &P, std::string *CaptureOut,
      std::shared_ptr<TrapState> Trap);
 
-  Slot execFunction(int FnIdx, Slot Closure, Slot Arg, int Depth);
+  /// One guest frame. The value-stack layout at Base is
+  /// [closure, param, locals..., operands...]; a call reuses the caller's
+  /// [fn, arg] operand slots as the callee's [closure, param], so Ret
+  /// restoring Sp = Base removes them for free. OperandsToPop covers extra
+  /// protocol slots *below* Base that belong to this frame: zero for a
+  /// plain call, the arm count for a Handle body thunk (whose arm closures
+  /// sit just below the thunk for the body's dynamic extent).
+  struct Frame {
+    const FnProto *Fn = nullptr;
+    int FnIdx = 0;
+    size_t Ip = 0;
+    size_t Base = 0;
+    int HandlerIdx = -1; ///< Handlers entry this frame owns (pops on Ret).
+    uint32_t OperandsToPop = 0;
+  };
+
+  /// One installed `handle ... with ... end`. ArmsBase is where the arm
+  /// closures sit on the value stack — and where the handle expression's
+  /// result lands, whether the body returns normally or an arm answers for
+  /// it. FrameIdx is the body-thunk frame: Suspend captures Frames[FrameIdx
+  /// ..] when this handler answers a perform.
+  struct HandlerEnt {
+    int TableIdx = 0;
+    size_t ArmsBase = 0;
+    int NumArms = 0;
+    size_t FrameIdx = 0;
+  };
+
+  /// Pushes [Closure, Arg], runs to completion, returns the result.
+  Slot callFunction(int FnIdx, Slot Closure, Slot Arg);
+  /// Executes until the frame stack shrinks back to \p Floor.
+  void runLoop(size_t Floor);
+  /// Expects [closure, arg] on top of the value stack; false on trap.
+  bool pushFrame(int FnIdx, int HandlerIdx, uint32_t OperandsToPop);
+  void doSuspend(int32_t EffectId);
+  void doResume();
   void push(Slot V);
   Slot pop();
 
@@ -83,10 +130,10 @@ private:
   std::shared_ptr<TrapState> Trap;
 
   static constexpr size_t StackCap = 1 << 16;
-  // The guest call-depth guard must trip before the *native* stack runs
-  // out (execFunction recurses for guest calls). ASan redzones inflate
-  // each native frame by roughly an order of magnitude, so the guard has
-  // to be proportionally lower there.
+  // Guest calls are frame-stack entries, not native recursion, so this
+  // bound is about guest resource sanity; but ParCall still nests a native
+  // sub-VM per branch, and under ASan redzones inflate those native frames
+  // enough that deeply nested par must trip proportionally earlier.
 #if defined(__SANITIZE_ADDRESS__)
   static constexpr int MaxCallDepth = 3000;
 #elif defined(__has_feature)
@@ -102,10 +149,12 @@ private:
   std::unique_ptr<Slot[]> Stack;
   Slot *StackBase = nullptr;
   size_t Sp = 0;
+  std::vector<Frame> Frames;
+  std::vector<HandlerEnt> Handlers;
 };
 
 /// Renders a PML value of (resolved) type \p T for display, e.g.
-/// "(3, true)". Refs/arrays/functions render opaquely.
+/// "(3, true)". Refs/arrays/functions/continuations render opaquely.
 std::string renderValue(Slot V, Ty *T);
 
 /// One-stop evaluation: parse, type-check, compile, and run \p Source.

@@ -43,6 +43,9 @@ struct CounterSnapshot {
   int64_t PinnedBytes = 0;
   int64_t UnpinnedObjects = 0;
   int64_t UnpinnedBytes = 0;
+  /// Effect-handler continuations captured (pml Suspend) / resumed.
+  int64_t ContCaptured = 0;
+  int64_t ContResumed = 0;
 
   /// Bytes currently retained in place by live pins. Zero at any quiescent
   /// point where the whole task tree has joined (every pin released).
@@ -61,6 +64,8 @@ struct Counters {
   std::atomic<int64_t> PinnedBytes{0};
   std::atomic<int64_t> UnpinnedObjects{0};
   std::atomic<int64_t> UnpinnedBytes{0};
+  std::atomic<int64_t> ContCaptured{0};
+  std::atomic<int64_t> ContResumed{0};
 
   /// Reads every counter (relaxed; exact at quiescent points).
   CounterSnapshot snapshot() const {
@@ -75,6 +80,8 @@ struct Counters {
     S.PinnedBytes = PinnedBytes.load(std::memory_order_relaxed);
     S.UnpinnedObjects = UnpinnedObjects.load(std::memory_order_relaxed);
     S.UnpinnedBytes = UnpinnedBytes.load(std::memory_order_relaxed);
+    S.ContCaptured = ContCaptured.load(std::memory_order_relaxed);
+    S.ContResumed = ContResumed.load(std::memory_order_relaxed);
     return S;
   }
 
@@ -89,6 +96,8 @@ struct Counters {
     PinnedBytes.store(0, std::memory_order_relaxed);
     UnpinnedObjects.store(0, std::memory_order_relaxed);
     UnpinnedBytes.store(0, std::memory_order_relaxed);
+    ContCaptured.store(0, std::memory_order_relaxed);
+    ContResumed.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -26,6 +26,7 @@
 #include "core/Ops.h"
 #include "core/Runtime.h"
 #include "obs/Trace.h"
+#include "pml/Vm.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "workloads/Entangled.h"
@@ -70,6 +71,7 @@ struct FuzzOutcome {
     S << "; reads=" << Final.EntangledReads
       << " readsUnpinned=" << Final.EntangledReadsUnpinned
       << " pins=" << Final.PinnedObjects << " unpins=" << Final.UnpinnedObjects
+      << " conts=" << Final.ContCaptured << "/" << Final.ContResumed
       << " faults=" << Totals.FaultsInjected;
     return S.str();
   }
@@ -172,6 +174,36 @@ FuzzOutcome runUnderChaos(const chaos::Config &C, int Workers) {
         valueCheck(Got == Expect, "dedup distinct count");
       }
       phaseCheck("dedup");
+
+      // Phase 5: first-class effect handlers (DESIGN.md §13). Each par
+      // branch captures a continuation at depth 1 and resumes it inside a
+      // nested branch at depth 2 — the capture/resume pin protocol runs
+      // with the ContCapture/ContResume preemption points armed, racing
+      // steals, joins and forced collections. The aborting task drops its
+      // continuation, so its capture pins must be released by the join
+      // rule instead of the resume.
+      {
+        static const char *EffSrc =
+            "effect Yield\n"
+            "effect Abort\n"
+            "fun task u =\n"
+            "  handle 100 + perform Yield 0 with\n"
+            "  | Yield x k =>\n"
+            "      let val p = par (resume k 7, 1 + 1)\n"
+            "      in fst p * snd p end\n"
+            "  end\n"
+            "fun drop u = handle 1 + perform Abort 0 with\n"
+            "             | Abort x k => 42 end\n"
+            "val pr = par (task (), task ())\n"
+            "val dr = par (drop (), drop ())\n"
+            "printInt (fst pr + snd pr + fst dr + snd dr)";
+        std::string Out, Val, TyS;
+        std::vector<std::string> Errs;
+        bool Ok = pml::evalSource(EffSrc, Out, Val, TyS, Errs);
+        valueCheck(Ok, "effects program evaluates");
+        valueCheck(Out == "512\n", "effects checksum");
+      }
+      phaseCheck("effects");
     });
 
     // Final quiescence, after the root task finished.
@@ -247,6 +279,11 @@ TEST_P(ScheduleFuzz, CleanTreeHoldsAllInvariants) {
   // fuzzing nothing.
   EXPECT_GT(Out.Final.PinnedObjects, 0);
   EXPECT_GT(Out.Final.EntangledReads, 0);
+  // ...and the continuation capture/resume protocol (phase 5), with its
+  // chaos decision points armed. Four captures per run: two resumed on a
+  // deeper strand, two dropped (released by the join rule).
+  EXPECT_EQ(Out.Final.ContCaptured, 4);
+  EXPECT_EQ(Out.Final.ContResumed, 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, ScheduleFuzz,

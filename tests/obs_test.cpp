@@ -631,6 +631,18 @@ TEST_F(ProfileTest, MetricsSampleCarriesHeapTreeSummary) {
   EXPECT_GE(Inside.LiveHeaps, 1);
   EXPECT_GE(Inside.MaxHeapDepth, 0);
 
+  // The depth histogram partitions the live heaps: one bucket per depth,
+  // summing back to the live count, and no buckets beyond the max depth.
+  EXPECT_EQ(Outside.DepthHist.size(), 0u);
+  ASSERT_EQ(static_cast<int64_t>(Inside.DepthHist.size()),
+            Inside.MaxHeapDepth + 1);
+  int64_t HistSum = 0;
+  for (int64_t N : Inside.DepthHist) {
+    EXPECT_GE(N, 0);
+    HistSum += N;
+  }
+  EXPECT_EQ(HistSum, Inside.LiveHeaps);
+
   // The exported series carries the per-sample summary.
   json::Value Doc;
   std::string Err;
@@ -644,6 +656,13 @@ TEST_F(ProfileTest, MetricsSampleCarriesHeapTreeSummary) {
   EXPECT_GE(H->field("live")->NumV, 1);
   ASSERT_NE(H->field("max_depth"), nullptr);
   EXPECT_GE(H->field("max_depth")->NumV, 0);
+  const json::Value *Hist = H->field("depth_hist");
+  ASSERT_NE(Hist, nullptr);
+  ASSERT_TRUE(Hist->isArray());
+  int64_t JsonSum = 0;
+  for (const json::Value &B : Hist->Items)
+    JsonSum += static_cast<int64_t>(B.NumV);
+  EXPECT_EQ(JsonSum, static_cast<int64_t>(H->field("live")->NumV));
   S.clearSeries();
 }
 

@@ -11,17 +11,29 @@
 // model: same tags, same shape, same sharing. Pinned objects must never
 // move across a collection.
 //
+// A second harness generates random *effect-handler programs* (random
+// handler nesting, perform depth, par placement) whose value is known by
+// construction, runs them on the full pml stack, and checks the capture
+// pin protocol: zero leaked pins at quiescence, capture/resume counters
+// balancing the generated perform count, and the em.cont.capture profile
+// site accounting for every pinned byte.
+//
 //===----------------------------------------------------------------------===//
 
+#include "core/Em.h"
+#include "core/Runtime.h"
 #include "gc/Collector.h"
 #include "gc/ShadowStack.h"
 #include "hh/Heap.h"
+#include "obs/Profile.h"
+#include "pml/Vm.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 using namespace mpl;
@@ -268,6 +280,147 @@ TEST_P(GcPropertyTest, ReachableGraphAlwaysIsomorphicToModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GcPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                            89, 144, 233),
+                         [](const ::testing::TestParamInfo<uint64_t> &I) {
+                           return "seed" + std::to_string(I.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Random effect-handler programs: the capture pin protocol never leaks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A generated pml program together with the value it must print and the
+/// number of performs it executes (== captures == resumes: every
+/// generated arm resumes exactly once).
+struct EffectProgram {
+  std::string Src;
+  int64_t Expected = 0;
+  int64_t Performs = 0;
+};
+
+/// Builds a random handler-nesting / perform-depth program. Shape:
+///
+///   effect E0 .. E{D-1}
+///   fun dive<i> n x = if n = 0 then perform E<i> x
+///                     else (dive<i> (n - 1) x) + 0   -- non-tail: real depth
+///   <handlers nested D deep around a sum of perform terms>
+///
+/// Every arm for E<i> resumes with (x + C<i>) — some through a nested par
+/// (resume on another strand, deeper than the capture). The whole handled
+/// expression itself randomly runs inside a par branch, so captures happen
+/// at heap depth > 0 and the capture pins actually fire. The printed value
+/// is sum over terms of (payload + C<effect>) by construction.
+EffectProgram generate(uint64_t Seed) {
+  Rng R(Seed);
+  int D = 1 + static_cast<int>(R.nextBounded(3));  // handler nesting
+  int T = 1 + static_cast<int>(R.nextBounded(4));  // perform terms
+  bool ParWrap = R.nextBounded(2) == 0;            // handle inside a par?
+  std::vector<int64_t> C;                          // arm increments
+  std::vector<bool> ParResume;                     // resume via nested par?
+  for (int I = 0; I < D; ++I) {
+    C.push_back(static_cast<int64_t>(R.nextBounded(50)));
+    ParResume.push_back(R.nextBounded(3) == 0);
+  }
+
+  EffectProgram P;
+  std::string S;
+  for (int I = 0; I < D; ++I)
+    S += "effect E" + std::to_string(I) + "\n";
+  for (int I = 0; I < D; ++I) {
+    std::string N = std::to_string(I);
+    S += "fun dive" + N + " n x = if n = 0 then perform E" + N +
+         " x else (dive" + N + " (n - 1) x) + 0\n";
+  }
+
+  std::string Body;
+  for (int J = 0; J < T; ++J) {
+    int E = static_cast<int>(R.nextBounded(static_cast<uint64_t>(D)));
+    int64_t A = static_cast<int64_t>(R.nextBounded(100));
+    int Depth = static_cast<int>(R.nextBounded(6));
+    if (J)
+      Body += " + ";
+    Body += "(dive" + std::to_string(E) + " " + std::to_string(Depth) + " " +
+            std::to_string(A) + ")";
+    P.Expected += A + C[static_cast<size_t>(E)];
+    ++P.Performs;
+  }
+
+  // Innermost handler is E{D-1}; every perform of E<i> is answered by its
+  // own handler (each effect has exactly one).
+  std::string H = Body;
+  for (int I = D - 1; I >= 0; --I) {
+    std::string N = std::to_string(I);
+    std::string Resume = "resume k (x + " + std::to_string(C[static_cast<size_t>(I)]) + ")";
+    std::string Arm = ParResume[static_cast<size_t>(I)]
+                          ? "fst (par (" + Resume + ", 1))"
+                          : Resume;
+    H = "(handle " + H + " with | E" + N + " x k => " + Arm + " end)";
+  }
+  S += ParWrap ? "printInt (fst (par (" + H + ", 1)))"
+               : "printInt (" + H + ")";
+  P.Src = std::move(S);
+  return P;
+}
+
+class EffectHandlerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(EffectHandlerProperty, CapturePinsNeverLeakAndAttributionBalances) {
+  EffectProgram P = generate(GetParam());
+  SCOPED_TRACE(P.Src);
+
+  em::Counts.reset();
+  obs::Profiler &Prof = obs::Profiler::get();
+  Prof.reset();
+  Prof.enable();
+
+  bool Ok = false;
+  std::string Out, Val, TyS, Err;
+  {
+    rt::Config Cfg;
+    Cfg.NumWorkers = 1 + static_cast<int>(GetParam() % 3);
+    Cfg.GcMinBytes = 1 << 16; // Collections race parked continuations.
+    rt::Runtime Rt(Cfg);
+    Rt.run([&] {
+      std::vector<std::string> Errs;
+      Ok = pml::evalSource(P.Src, Out, Val, TyS, Errs);
+      if (!Errs.empty())
+        Err = Errs[0];
+      em::InvariantReport Rep =
+          em::verifyInvariants(/*ExpectFullyJoined=*/true);
+      EXPECT_TRUE(Rep.ok()) << Rep.str();
+    });
+  }
+  ASSERT_TRUE(Ok) << Err;
+  EXPECT_EQ(Out, std::to_string(P.Expected) + "\n");
+
+  em::CounterSnapshot Snap = em::Counts.snapshot();
+  EXPECT_EQ(Snap.ContCaptured, P.Performs);
+  EXPECT_EQ(Snap.ContResumed, P.Performs) << "every generated arm resumes";
+  EXPECT_EQ(Snap.livePinnedObjects(), 0) << "leaked pins after the run";
+  EXPECT_EQ(Snap.livePinnedBytes(), 0);
+
+  // These programs share no refs or arrays across strands, so *every* pin
+  // is a capture pin: the em.cont.capture site must account for all of
+  // the pinned bytes (both zero when the captures happened at depth 0).
+  std::vector<obs::ProfileSiteSnap> Sites = Prof.snapshot();
+  Prof.disable();
+  int64_t SiteBytes = 0, SiteEvents = 0;
+  for (const obs::ProfileSiteSnap &SS : Sites)
+    if (SS.Name == "em.cont.capture") {
+      SiteBytes += SS.Bytes;
+      SiteEvents += SS.Events;
+    }
+  EXPECT_EQ(SiteEvents, Snap.PinnedObjects);
+  EXPECT_EQ(SiteBytes, Snap.PinnedBytes)
+      << "capture-site attribution must sum to the pinned bytes";
+  EXPECT_EQ(Prof.livePinCount(), 0) << "profiler pin-lifetime table drained";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EffectHandlerProperty,
+                         ::testing::Range<uint64_t>(1, 17),
                          [](const ::testing::TestParamInfo<uint64_t> &I) {
                            return "seed" + std::to_string(I.param);
                          });

@@ -45,6 +45,8 @@ struct RowSpec {
   int64_t PinnedObjects = 0;
   int64_t PinnedBytes = 0;
   int64_t Unpins = 0;
+  int64_t ContCaptured = 0;
+  int64_t ContResumed = 0;
   int64_t Residency = 0;
   int64_t Checksum = 1234;
   int64_t LeakedPins = 0;
@@ -65,7 +67,7 @@ std::string rowJson(const RowSpec &S) {
       "\"work_span\":{\"work_s\":0.05,\"span_s\":0.01},"
       "\"em\":{\"entangled_reads\":%lld,\"pins_down\":%lld,\"pins_cross\":0,"
       "\"pins_holder\":0,\"pinned_objects\":%lld,\"pinned_bytes\":%lld,"
-      "\"unpins\":%lld},"
+      "\"unpins\":%lld,\"cont_captured\":%lld,\"cont_resumed\":%lld},"
       "\"gc\":{\"collections\":1,\"max_pause_ns\":0,\"total_pause_ns\":0,"
       "\"inplace_bytes\":0},"
       "\"max_residency_bytes\":%lld,\"checksum\":%lld,"
@@ -77,6 +79,8 @@ std::string rowJson(const RowSpec &S) {
       static_cast<long long>(S.PinsDown),
       static_cast<long long>(S.PinnedObjects),
       static_cast<long long>(S.PinnedBytes), static_cast<long long>(S.Unpins),
+      static_cast<long long>(S.ContCaptured),
+      static_cast<long long>(S.ContResumed),
       static_cast<long long>(S.Residency), static_cast<long long>(S.Checksum),
       static_cast<long long>(S.LeakedPins),
       static_cast<long long>(S.ProfBytes), S.SitesJson.c_str());
@@ -400,6 +404,31 @@ TEST(ReportCounterGate, DisentangledStartsPinning) {
   Cur.PinnedObjects = 5000;
   Cur.PinnedBytes = 1 << 20;
   EXPECT_FALSE(gateOne(Base, Cur, Opts).ok());
+}
+
+TEST(ReportCounterGate, ContinuationTrafficJump) {
+  // The BENCH_T3 effects row: a pml program whose continuation
+  // capture/resume counts are a function of the program alone, so a jump
+  // past tolerance means the VM started capturing where it didn't before.
+  RowSpec Base, Cur;
+  Base.ContCaptured = Base.ContResumed = 4000;
+  Cur.ContCaptured = Cur.ContResumed = 4000;
+  GateOptions Opts;
+  Opts.GateCounters = true;
+  EXPECT_TRUE(gateOne(Base, Cur, Opts).ok());
+  // Fewer captures (an optimization) passes: counters gate upward only.
+  Cur.ContCaptured = Cur.ContResumed = 100;
+  EXPECT_TRUE(gateOne(Base, Cur, Opts).ok());
+  // A 3x capture jump fails, and names the counter.
+  Cur.ContCaptured = 12000;
+  Cur.ContResumed = 4000;
+  GateResult R = gateOne(Base, Cur, Opts);
+  EXPECT_FALSE(R.ok());
+  const Finding *F = R.first(Finding::Kind::CounterRegression);
+  ASSERT_NE(F, nullptr);
+  EXPECT_NE(F->Message.find("cont_captured"), std::string::npos) << F->Message;
+  // Without the counter opt-in the same jump passes.
+  EXPECT_TRUE(gateOne(Base, Cur).ok());
 }
 
 //===----------------------------------------------------------------------===//

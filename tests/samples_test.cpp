@@ -81,6 +81,14 @@ TEST_P(SamplesTest, ArrayMergesort) {
   EXPECT_EQ(R.Output.substr(0, 7), "sorted\n");
 }
 
+TEST_P(SamplesTest, Generator) {
+  SampleResult R = runSample("generator.pml", GetParam());
+  EXPECT_TRUE(R.Ok) << R.Error;
+  // Both sums are deterministic at any worker count; the second handler
+  // resumes every captured continuation inside a par branch.
+  EXPECT_EQ(R.Output, "5050\n1225\n");
+}
+
 TEST_P(SamplesTest, ListMergesort) {
   SampleResult R = runSample("listsort.pml", GetParam());
   EXPECT_TRUE(R.Ok) << R.Error;

@@ -189,6 +189,8 @@ bool parseBenchJson(const std::string &Text, BenchFile &Out, std::string &Err) {
     R.PinnedObjects = intField(Em, "pinned_objects");
     R.PinnedBytes = intField(Em, "pinned_bytes");
     R.Unpins = intField(Em, "unpins");
+    R.ContCaptured = intField(Em, "cont_captured");
+    R.ContResumed = intField(Em, "cont_resumed");
     R.GcCount = intField(RV.field("gc"), "collections");
     R.Residency = intField(&RV, "max_residency_bytes");
     if (const json::Value *Ck = RV.field("checksum"); Ck && Ck->isNumber()) {
@@ -299,6 +301,11 @@ struct RowGate {
     counter("pins_holder", B.PinsHolder, C.PinsHolder, Pct, Ev, K);
     counter("pinned_objects", B.PinnedObjects, C.PinnedObjects, Pct, Ev, K);
     counter("pinned_bytes", B.PinnedBytes, C.PinnedBytes, Pct, By, K);
+    // pml effect-handler activity (BENCH_T3): capture/resume counts are a
+    // proxy for how much continuation traffic (and capture pinning) the
+    // carrier generates; upward-only like every counter.
+    counter("cont_captured", B.ContCaptured, C.ContCaptured, Pct, Ev, K);
+    counter("cont_resumed", B.ContResumed, C.ContResumed, Pct, Ev, K);
     counter("prof_bytes", B.PinBytesAttributed, C.PinBytesAttributed, Pct, By,
             K);
   }

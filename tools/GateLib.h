@@ -88,6 +88,8 @@ struct Row {
   int64_t PinnedObjects = 0;
   int64_t PinnedBytes = 0;
   int64_t Unpins = 0;
+  int64_t ContCaptured = 0; ///< pml effect-handler captures (em block).
+  int64_t ContResumed = 0;
   int64_t GcCount = 0;
   int64_t Residency = 0;
   int64_t Checksum = 0;

@@ -33,8 +33,10 @@ ASAN_SEEDS=${ASAN_SEEDS:-25}
 #   T1 (time):     median beyond baseline + max(k*sigma, floor%), sigma
 #                  recomputed from the baseline's per-rep times;
 #   T2 (space):    max residency / pinned bytes past tolerance;
+#   T3 (pml):      VM carrier checksums + effect-handler continuation
+#                  capture/resume counters past tolerance;
 #   T4 (entangle): em counters past tolerance + top-site profile drift.
-# T2/T4 run single-rep (no spread), so their time rule is off
+# T2/T3/T4 run single-rep (no spread), so their time rule is off
 # (--no-time-gate); wall time is T1's job.
 PERF_SCALE=${PERF_SCALE:-0.05}
 PERF_REPS=${PERF_REPS:-2}
@@ -120,6 +122,16 @@ run_config() {
     "$bdir/tools/mpl_report" --baseline BENCH_T2.json \
       --current "$bdir/space_smoke.json" \
       --no-time-gate --gate-residency
+
+    echo "==== [$preset] pml carrier gate (BENCH_T3) ===="
+    # The effects row's continuation capture/resume counts are a pure
+    # function of the program, so the counter gate pins them exactly
+    # (upward only); checksums catch VM miscompiles at any scale.
+    "$bdir/bench/bench_table_pml" -reps 1 \
+      -json "$bdir/pml_smoke.json" > "$bdir/pml_smoke.txt"
+    "$bdir/tools/mpl_report" --baseline BENCH_T3.json \
+      --current "$bdir/pml_smoke.json" \
+      --no-time-gate --gate-counters
 
     echo "==== [$preset] entangle gate (BENCH_T4) ===="
     "$bdir/bench/bench_table_entangle" -scale "$PERF_SCALE" \
