@@ -8,6 +8,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Profile.h"
+#include "obs/Span.h"
 #include "obs/Trace.h"
 #include "support/Json.h"
 
@@ -263,7 +264,8 @@ int64_t RunResult::profilePinnedBytes() const {
 }
 
 RunResult measure(const SuiteEntry &Entry, bool Sequential, int Workers,
-                  em::Mode Mode, bool Profile, int Reps, bool SiteProfile) {
+                  em::Mode Mode, bool Profile, int Reps, bool SiteProfile,
+                  bool Spans) {
   rt::Config Cfg;
   Cfg.NumWorkers = Workers;
   Cfg.Mode = Mode;
@@ -339,6 +341,28 @@ RunResult measure(const SuiteEntry &Entry, bool Sequential, int Workers,
       Var += (S - Mean) * (S - Mean);
     Out.StddevSeconds =
         std::sqrt(Var / static_cast<double>(Out.RepSeconds.size() - 1));
+  }
+
+  if (Spans) {
+    // One extra untimed rep with the span ledger armed, mirroring the
+    // dumpObservability pattern: the ledger's per-task bookkeeping never
+    // contaminates the timed reps, and the DAG belongs to exactly one run.
+    auto &Ledger = obs::SpanLedger::get();
+    bool WasEnabled = Ledger.enabled();
+    Ledger.enable();
+    {
+      rt::Runtime R(Cfg);
+      R.run([&] { (void)Entry.Run(Sequential); });
+    }
+    if (!WasEnabled)
+      Ledger.disable();
+    obs::SpanRunSummary Sum = Ledger.lastRun();
+    Out.Spans.Valid = Sum.Valid;
+    Out.Spans.Tasks = Sum.Tasks;
+    Out.Spans.Stolen = Sum.Stolen;
+    Out.Spans.WorkSec = Sum.LedgerWorkSec;
+    Out.Spans.CriticalPathSec = Sum.CriticalPathSec;
+    Out.Spans.AgreementPct = Sum.agreementPct();
   }
 
   dumpObservability(Entry, Sequential, Cfg);
@@ -429,6 +453,14 @@ void BenchJson::addRow(const std::string &Name, const std::string &Config,
        ",\"inplace_bytes\":" + std::to_string(St.GcInPlaceBytes) + "},";
   S += "\"max_residency_bytes\":" + std::to_string(St.PeakResidency) + ",";
   S += "\"checksum\":" + std::to_string(R.Checksum) + ",";
+  // Additive: rows measured without Spans carry no block, so existing
+  // baselines keep parsing and the gate's join is unaffected.
+  if (R.Spans.Valid)
+    S += "\"spans\":{\"tasks\":" + std::to_string(R.Spans.Tasks) +
+         ",\"stolen\":" + std::to_string(R.Spans.Stolen) +
+         ",\"work_s\":" + jsonDouble(R.Spans.WorkSec) +
+         ",\"critical_path_s\":" + jsonDouble(R.Spans.CriticalPathSec) +
+         ",\"agreement_pct\":" + jsonDouble(R.Spans.AgreementPct) + "},";
   S += "\"profile\":{\"leaked_pins\":" + std::to_string(R.ProfileLeakedPins) +
        ",\"leaked_bytes\":" + std::to_string(R.ProfileLeakedBytes) +
        ",\"pin_bytes_attributed\":" + std::to_string(R.profilePinnedBytes()) +

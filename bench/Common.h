@@ -85,6 +85,26 @@ struct ProfileSiteRow {
   int64_t LifetimeP99Ns = 0;
 };
 
+/// Span-ledger snapshot (obs/Span.h) from one extra *untimed* repetition
+/// run with the causal span ledger armed — attached only when measure()
+/// is called with Spans=true, so the published times never carry the
+/// ledger's overhead. CriticalPathSec/WorkSec come from the ledger DAG;
+/// AgreementPct is the ledger-vs-scheduler consistency check.
+struct SpanSnap {
+  bool Valid = false;
+  int64_t Tasks = 0;
+  int64_t Stolen = 0;
+  double WorkSec = 0;
+  double CriticalPathSec = 0;
+  double AgreementPct = 0;
+
+  /// Critical-path fraction CP/W in percent — the table column. 100% on
+  /// one worker means a serial schedule; low % means slack to steal.
+  double cpPct() const {
+    return WorkSec > 0 ? 100.0 * CriticalPathSec / WorkSec : 0;
+  }
+};
+
 /// Result of one measured configuration.
 ///
 /// Headline statistic: the (lower) median across the timed repetitions —
@@ -109,6 +129,10 @@ struct RunResult {
   /// Sum of bytes attributed to pin sites ("em.pin.*" / "hh.pin"): equals
   /// Stats.PinnedBytes when the profiler attributed every pin.
   int64_t profilePinnedBytes() const;
+
+  /// Span-ledger snapshot of the extra untimed rep (Valid only when
+  /// measured with Spans=true and the ledger captured a complete DAG).
+  SpanSnap Spans;
 };
 
 /// Runs \p Entry under the given configuration, with stats reset before
@@ -117,10 +141,12 @@ struct RunResult {
 /// timed repetitions. With \p SiteProfile the entanglement profiler
 /// (obs/Profile.h) is armed around every rep and the median rep's site
 /// table is attached to the result — this adds slow-path overhead, so time
-/// tables keep it off except for entanglement-focused rows.
+/// tables keep it off except for entanglement-focused rows. With \p Spans
+/// one extra untimed rep runs with the causal span ledger armed and its
+/// DAG summary is attached as RunResult::Spans (the cp%% table column).
 RunResult measure(const SuiteEntry &Entry, bool Sequential, int Workers,
                   em::Mode Mode, bool Profile, int Reps = 3,
-                  bool SiteProfile = false);
+                  bool SiteProfile = false, bool Spans = false);
 
 /// The one-line methodology statement every bench table prints under its
 /// header, so the text and JSON outputs agree on the statistic.

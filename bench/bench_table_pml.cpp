@@ -18,6 +18,7 @@
 #include "baseline/Native.h"
 #include "bench/Common.h"
 #include "core/Em.h"
+#include "obs/Span.h"
 #include "pml/Vm.h"
 #include "support/Cli.h"
 
@@ -85,6 +86,35 @@ double timePmlEff(const std::string &Src, int Reps, std::string *OutputOut,
   return medianOf(std::move(Times));
 }
 
+/// One extra *untimed* run of \p Src with the causal span ledger armed
+/// (obs/Span.h) — mirrors bench::measure's Spans rep. Returns the run's
+/// critical-path fraction CP/W in percent, or -1 when the DAG is
+/// incomplete. 100% on these 1-worker rows means a serial schedule; the
+/// effect rows show how much of the VM's work the run's length depends on.
+double pmlCpPct(const std::string &Src) {
+  auto &Ledger = obs::SpanLedger::get();
+  bool WasEnabled = Ledger.enabled();
+  Ledger.enable();
+  {
+    rt::Config Cfg;
+    Cfg.NumWorkers = 1;
+    Cfg.Profile = false;
+    rt::Runtime R(Cfg);
+    R.run([&] {
+      std::string Output, Rendered, TypeStr;
+      std::vector<std::string> Errors;
+      bool Ok = pml::evalSource(Src, Output, Rendered, TypeStr, Errors);
+      MPL_CHECK(Ok, "pml benchmark program failed (spans rep)");
+    });
+  }
+  if (!WasEnabled)
+    Ledger.disable();
+  obs::SpanRunSummary Sum = Ledger.lastRun();
+  if (!Sum.Valid || Sum.LedgerWorkSec <= 0)
+    return -1;
+  return 100.0 * Sum.CriticalPathSec / Sum.LedgerWorkSec;
+}
+
 template <typename Fn>
 double timeRt(Fn &&Body, int Reps, int64_t *ValueOut) {
   std::vector<double> Times;
@@ -124,13 +154,18 @@ int main(int Argc, char **Argv) {
   BenchJson J("table_pml", /*Scale=*/1.0, Reps);
 
   Table T({"benchmark", "native C++", "C++ embedding", "PML (VM)",
-           "vm/embed", "embed/native"});
+           "vm/embed", "embed/native", "cp%"});
 
-  auto AddJson = [&](const char *Name, double Nat, double Rt, double Pml) {
-    char Extra[128];
+  auto AddJson = [&](const char *Name, double Nat, double Rt, double Pml,
+                     double CpPct) {
+    char Extra[160];
     std::snprintf(Extra, sizeof(Extra),
-                  "\"native_s\":%.9g,\"embedding_s\":%.9g", Nat, Rt);
+                  "\"native_s\":%.9g,\"embedding_s\":%.9g,\"cp_pct\":%.4g",
+                  Nat, Rt, CpPct);
     J.addCustomRow(Name, "pml-vm-w1", Pml, Extra);
+  };
+  auto CpCell = [](double CpPct) {
+    return CpPct >= 0 ? Table::fmtPct(CpPct) : std::string("-");
   };
 
   // fib(25), identical recursion everywhere.
@@ -139,15 +174,16 @@ int main(int Argc, char **Argv) {
     std::string PmlV;
     double Nat = timeNat([&] { return nat::fib(25); }, Reps, &NatV);
     double Rt = timeRt([&] { return wl::fib(25, 25); }, Reps, &RtV);
-    double Pml = timePml("fun fib n = if n < 2 then n else fib (n-1) + "
-                         "fib (n-2)\nfib 25",
-                         Reps, &PmlV);
+    const char *Src = "fun fib n = if n < 2 then n else fib (n-1) + "
+                      "fib (n-2)\nfib 25";
+    double Pml = timePml(Src, Reps, &PmlV);
     MPL_CHECK(NatV == RtV && PmlV == std::to_string(NatV),
               "fib results disagree");
+    double Cp = pmlCpPct(Src);
     T.addRow({"fib(25)", Table::fmtSec(Nat), Table::fmtSec(Rt),
               Table::fmtSec(Pml), Table::fmtRatio(Pml / Rt),
-              Table::fmtRatio(Rt / Nat)});
-    AddJson("fib-25", Nat, Rt, Pml);
+              Table::fmtRatio(Rt / Nat), CpCell(Cp)});
+    AddJson("fib-25", Nat, Rt, Pml, Cp);
   }
 
   // Tail-loop sum of 0..N-1 (loop overhead; the embedding uses an array
@@ -170,16 +206,17 @@ int main(int Argc, char **Argv) {
           return wl::sumInts(A.get(), N);
         },
         Reps, &RtV);
-    double Pml = timePml(
+    const char *Src =
         "fun loop i acc = if i = 3000000 then acc else loop (i+1) (acc+i)\n"
-        "loop 0 0",
-        Reps, &PmlV);
+        "loop 0 0";
+    double Pml = timePml(Src, Reps, &PmlV);
     MPL_CHECK(NatV == RtV && PmlV == std::to_string(NatV),
               "sum results disagree");
+    double Cp = pmlCpPct(Src);
     T.addRow({"sum 3M", Table::fmtSec(Nat), Table::fmtSec(Rt),
               Table::fmtSec(Pml), Table::fmtRatio(Pml / Rt),
-              Table::fmtRatio(Rt / Nat)});
-    AddJson("sum-3m", Nat, Rt, Pml);
+              Table::fmtRatio(Rt / Nat), CpCell(Cp)});
+    AddJson("sum-3m", Nat, Rt, Pml, Cp);
   }
 
   // Sieve of Eratosthenes over 200k (array mutation heavy).
@@ -194,7 +231,7 @@ int main(int Argc, char **Argv) {
           return static_cast<int64_t>(arrLen(P.get()));
         },
         Reps, &RtV);
-    double Pml = timePml(
+    const char *Src =
         "val n = 200000\n"
         "val composite = alloc (n + 1) false\n"
         "fun mark m p = if m > n then () else (set composite m true; "
@@ -204,14 +241,15 @@ int main(int Argc, char **Argv) {
         "sieve (p + 1))\n"
         "fun count i acc = if i > n then acc else\n"
         "  count (i + 1) (if get composite i then acc else acc + 1)\n"
-        "sieve 2;\ncount 2 0",
-        Reps, &PmlV);
+        "sieve 2;\ncount 2 0";
+    double Pml = timePml(Src, Reps, &PmlV);
     MPL_CHECK(NatV == RtV && PmlV == std::to_string(NatV),
               "sieve results disagree");
+    double Cp = pmlCpPct(Src);
     T.addRow({"primes 200k", Table::fmtSec(Nat), Table::fmtSec(Rt),
               Table::fmtSec(Pml), Table::fmtRatio(Pml / Rt),
-              Table::fmtRatio(Rt / Nat)});
-    AddJson("primes-200k", Nat, Rt, Pml);
+              Table::fmtRatio(Rt / Nat), CpCell(Cp)});
+    AddJson("primes-200k", Nat, Rt, Pml, Cp);
   }
 
   // Two-stage generator/async pipeline built from effect handlers: a
@@ -234,7 +272,7 @@ int main(int Argc, char **Argv) {
     };
     double Nat = timeNat(Loop, Reps, &NatV);
     double Rt = timeRt(Loop, Reps, &RtV);
-    double Pml = timePmlEff(
+    const char *Src =
         "effect Yield\n"
         "effect Out\n"
         "val acc = alloc 1 0\n"
@@ -244,21 +282,22 @@ int main(int Argc, char **Argv) {
         "  | Yield v k => (perform Out (v * 2 + 1); resume k ()) end\n"
         "fun sink u = handle stage1 () with\n"
         "  | Out v k => (set acc 0 (get acc 0 + v); resume k ()) end\n"
-        "sink ();\nprintInt (get acc 0)",
-        Reps, &PmlOut, &Captured, &Resumed);
+        "sink ();\nprintInt (get acc 0)";
+    double Pml = timePmlEff(Src, Reps, &PmlOut, &Captured, &Resumed);
     MPL_CHECK(NatV == RtV && PmlOut == std::to_string(NatV) + "\n",
               "pipeline results disagree");
     MPL_CHECK(Captured == 2 * N && Resumed == 2 * N,
               "pipeline capture/resume counts off");
+    double Cp = pmlCpPct(Src);
     T.addRow({"eff-pipeline 2k", Table::fmtSec(Nat), Table::fmtSec(Rt),
               Table::fmtSec(Pml), Table::fmtRatio(Pml / Rt),
-              Table::fmtRatio(Rt / Nat)});
+              Table::fmtRatio(Rt / Nat), CpCell(Cp)});
     char Extra[256];
     std::snprintf(Extra, sizeof(Extra),
-                  "\"native_s\":%.9g,\"embedding_s\":%.9g,"
+                  "\"native_s\":%.9g,\"embedding_s\":%.9g,\"cp_pct\":%.4g,"
                   "\"em\":{\"cont_captured\":%lld,\"cont_resumed\":%lld},"
                   "\"checksum\":%lld",
-                  Nat, Rt, (long long)Captured, (long long)Resumed,
+                  Nat, Rt, Cp, (long long)Captured, (long long)Resumed,
                   (long long)NatV);
     J.addCustomRow("eff-pipeline-2k", "pml-vm-w1", Pml, Extra);
   }

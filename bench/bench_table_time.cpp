@@ -34,7 +34,7 @@ int main(int Argc, char **Argv) {
               Scale, P, methodologyLine(Reps).c_str());
 
   Table T({"benchmark", "T_s", "T_1", "ovhd(T_1/T_s)", "W/S",
-           "T_" + std::to_string(P), "speedup(T_s/T_P)"});
+           "T_" + std::to_string(P), "speedup(T_s/T_P)", "cp%"});
   BenchJson J("table_time", Scale, Reps);
   J.addMetaInt("procs", P);
 
@@ -48,8 +48,12 @@ int main(int Argc, char **Argv) {
     // per-event attribution would inflate the entangled T_1 it reports.
     // MPL_PROFILE=1 opts in (measure() honors it); the attribution datum
     // lives in bench_table_entangle, which always arms it.
+    // Spans=true attaches the causal span ledger's critical-path fraction
+    // (cp% column) from one extra untimed rep — the timed T_1 never runs
+    // with the ledger armed.
     RunResult Par = measure(E, /*Sequential=*/false, /*Workers=*/1,
-                            em::Mode::Manage, /*Profile=*/true, Reps);
+                            em::Mode::Manage, /*Profile=*/true, Reps,
+                            /*SiteProfile=*/false, /*Spans=*/true);
     MPL_CHECK(Seq.Checksum == Par.Checksum,
               "sequential and parallel runs disagree");
 
@@ -62,7 +66,8 @@ int main(int Argc, char **Argv) {
               fmtSecPm(Par.Seconds, Par.StddevSeconds),
               Table::fmtRatio(Par.Seconds / Seq.Seconds),
               Table::fmtRatio(Parallelism), Table::fmtSec(TP),
-              Table::fmtRatio(Seq.Seconds / TP)});
+              Table::fmtRatio(Seq.Seconds / TP),
+              Par.Spans.Valid ? Table::fmtPct(Par.Spans.cpPct()) : "-"});
     J.addRow(E.Name, "seq", E.Entangled, Seq);
     J.addRow(E.Name, "par-w1", E.Entangled, Par);
   }

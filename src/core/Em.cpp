@@ -9,6 +9,7 @@
 #include "chaos/ChaosSchedule.h"
 #include "mm/MemoryGovernor.h"
 #include "obs/Profile.h"
+#include "obs/Span.h"
 #include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/Stats.h"
@@ -136,6 +137,7 @@ void writeBarrierSlow(Object *X, Heap *HX, Object *P) {
                                  std::memory_order_relaxed);
     StatPinnedObjects.inc();
     StatPinnedBytes.add(static_cast<int64_t>(P->sizeBytes()));
+    obs::spanNotePin();
   }
 }
 
@@ -164,6 +166,9 @@ void readBarrierSlow(Heap *Reader, Object *P, Heap *HP) {
     Counts.EntangledReadsUnpinned.fetch_add(1, std::memory_order_relaxed);
   obs::profileEvent(MPL_SITE("em.read.entangled"),
                     static_cast<int64_t>(P->sizeBytes()), HP->depth());
+  // Span ledger: count the entangled read against the executing task and
+  // the pml source line whose instruction triggered the barrier.
+  obs::spanNoteEmRead();
   uint32_t Lca = Heap::lcaDepth(Reader, HP);
   if (P->isPinned() && P->unpinDepth() <= Lca)
     return;
@@ -173,6 +178,7 @@ void readBarrierSlow(Heap *Reader, Object *P, Heap *HP) {
                                  std::memory_order_relaxed);
     StatPinnedObjects.inc();
     StatPinnedBytes.add(static_cast<int64_t>(P->sizeBytes()));
+    obs::spanNotePin();
   }
 }
 

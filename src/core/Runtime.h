@@ -31,6 +31,7 @@
 #include "gc/Collector.h"
 #include "hh/Heap.h"
 #include "mm/MemoryGovernor.h"
+#include "obs/Span.h"
 #include "sched/Scheduler.h"
 
 #include <cstdint>
@@ -150,6 +151,7 @@ std::pair<Slot, Slot> par(FA &&A, FB &&B) {
         WorkerCtx *Me = Runtime::ctx();
         Heap *Saved = Me->CurrentHeap;
         Me->CurrentHeap = HA;
+        obs::spanNoteHeapDepth(HA->depth());
         try {
           RA = A();
         } catch (...) {
@@ -161,6 +163,7 @@ std::pair<Slot, Slot> par(FA &&A, FB &&B) {
         WorkerCtx *Me = Runtime::ctx();
         Heap *Saved = Me->CurrentHeap;
         Me->CurrentHeap = HB;
+        obs::spanNoteHeapDepth(HB->depth());
         try {
           RB = B();
         } catch (...) {

@@ -7,6 +7,7 @@
 #include "obs/Metrics.h"
 
 #include "obs/Profile.h"
+#include "obs/Trace.h"
 #include "support/Histogram.h"
 #include "support/Json.h"
 #include "support/Timer.h"
@@ -89,9 +90,15 @@ MetricsSample MetricsSampler::recordSampleLocked() {
   MetricsSample S;
   S.TimeNs = nowNs();
   S.Em = em::Counts.snapshot();
-  S.Gauges.reserve(Gauges.size());
+  S.Gauges.reserve(Gauges.size() + 1);
   for (const Gauge &Ga : Gauges)
     S.Gauges.emplace_back(Ga.Name, Ga.Fn());
+  // Trace-ring overflow is a first-class health signal: a sample series
+  // with rising drops means the capture window was too small for the
+  // workload (tools/trace_check fails on it unless --allow-drops).
+  // Tracer::Mu nests under Mu here; the tracer never takes Mu.
+  S.Gauges.emplace_back("obs.trace.dropped",
+                        static_cast<int64_t>(Tracer::get().totalDropped()));
   // Heap-tree summary: the walk is gauge loads only; keeping just the
   // parsed summary keeps per-sample storage flat. HeapTreeMu nests under
   // Mu here and nowhere takes Mu, so the order is acyclic.

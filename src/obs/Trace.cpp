@@ -8,6 +8,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Profile.h"
+#include "obs/Span.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -77,6 +78,8 @@ constexpr KindInfo Kinds[] = {
     /* AllocRetry       */ {"alloc_retry", 'i', "attempt", "bytes"},
     /* ContCapture      */ {"cont_capture", 'i', "bytes", "depth"},
     /* ContResume       */ {"cont_resume", 'i', "bytes", "depth"},
+    /* FlowOut          */ {"task_flow", 's', nullptr, nullptr},
+    /* FlowIn           */ {"task_flow", 'f', nullptr, nullptr},
 };
 static_assert(sizeof(Kinds) / sizeof(Kinds[0]) ==
                   static_cast<size_t>(Ev::NumKinds),
@@ -101,6 +104,17 @@ void appendEventJson(std::string &Out, const KindInfo &KI, int Track,
   Out += Buf;
   if (KI.Phase == 'i')
     Out += ",\"s\":\"t\""; // Thread-scoped instant.
+  if (KI.Phase == 's' || KI.Phase == 'f') {
+    // Flow events bind by (cat, name, id); 'f' with bp:"e" attaches to the
+    // enclosing slice at the receiving end.
+    std::snprintf(Buf, sizeof(Buf), ",\"cat\":\"spans\",\"id\":%llu",
+                  static_cast<unsigned long long>(E.Arg0));
+    Out += Buf;
+    if (KI.Phase == 'f')
+      Out += ",\"bp\":\"e\"";
+    Out += "}";
+    return;
+  }
   if (KI.Arg0) {
     std::snprintf(Buf, sizeof(Buf), ",\"args\":{\"%s\":%llu", KI.Arg0,
                   static_cast<unsigned long long>(E.Arg0));
@@ -286,7 +300,10 @@ void detail::emitSlow(Ev K, uint64_t A0, uint64_t A1) {
   B->emit(K, nowNs(), A0, A1);
 }
 
-void obs::labelCurrentThread(int Id) { Tracer::get().labelThread(Id); }
+void obs::labelCurrentThread(int Id) {
+  Tracer::get().labelThread(Id);
+  SpanLedger::get().labelThread(Id);
+}
 
 namespace {
 void flushAtExit() {
@@ -328,6 +345,18 @@ void obs::initFromEnv() {
         }
       }
     }
+    // MPL_SPANS mirrors MPL_PROFILE: "0"/unset = off, "1" = armed (query
+    // via SpanLedger / tools), anything else = armed + the last run's
+    // mpl-spans/1 JSON flushed to that path.
+    if (const char *P = std::getenv("MPL_SPANS")) {
+      if (std::strcmp(P, "0") != 0) {
+        SpanLedger::get().enable();
+        if (std::strcmp(P, "1") != 0) {
+          SpanLedger::get().setConfiguredPath(P);
+          AnySink = true;
+        }
+      }
+    }
     if (AnySink)
       std::atexit(flushAtExit);
   });
@@ -347,4 +376,14 @@ void obs::flushEnvSinks() {
       std::fwrite(Json.data(), 1, Json.size(), F);
       std::fclose(F);
     }
+  SpanLedger &S = SpanLedger::get();
+  if (std::string SpanPath = S.configuredPath(); !SpanPath.empty()) {
+    SpanRunSummary Sum = S.lastRun();
+    if (Sum.Valid || Sum.Tasks > 0)
+      if (std::FILE *F = std::fopen(SpanPath.c_str(), "w")) {
+        std::string Json = Sum.toJson();
+        std::fwrite(Json.data(), 1, Json.size(), F);
+        std::fclose(F);
+      }
+  }
 }

@@ -79,6 +79,8 @@ enum class Ev : uint16_t {
   AllocRetry,       ///< Chunk alloc recovery; Arg0 = attempt, Arg1 = bytes.
   ContCapture,      ///< Continuation captured; Arg0 = bytes, Arg1 = depth.
   ContResume,       ///< Continuation resumed; Arg0 = bytes, Arg1 = depth.
+  FlowOut,          ///< Fork edge out (Chrome flow 's'); Arg0 = child id.
+  FlowIn,           ///< Task begin (Chrome flow 'f'); Arg0 = task id.
   NumKinds
 };
 

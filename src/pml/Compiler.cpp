@@ -80,8 +80,13 @@ struct Compiler {
     Failed = true;
   }
 
+  /// Packed location of the innermost expression being compiled; every
+  /// emitted instruction carries it into the function's source map.
+  uint32_t CurLoc = 0;
+
   int emit(Op O, int32_t A = 0, int32_t B = 0) {
     Cur->Proto.Code.push_back({O, A, B});
+    Cur->Proto.Src.push_back(CurLoc);
     return static_cast<int>(Cur->Proto.Code.size()) - 1;
   }
 
@@ -248,7 +253,17 @@ struct Compiler {
     }
   }
 
+  /// Sets the source-map location for the duration of \p E's own emits;
+  /// nested child expressions override it and restore on return, so each
+  /// instruction is attributed to the innermost expression that needed it.
   void compileExpr(const Expr &E, bool Tail = false) {
+    uint32_t SavedLoc = CurLoc;
+    CurLoc = packSrcLoc(E.Line, E.Col);
+    compileExprInner(E, Tail);
+    CurLoc = SavedLoc;
+  }
+
+  void compileExprInner(const Expr &E, bool Tail) {
     switch (E.Kind) {
     case ExprKind::IntLit:
       if (E.IntVal >= INT32_MIN && E.IntVal <= INT32_MAX) {

@@ -89,11 +89,23 @@ struct Instr {
   int32_t B = 0;
 };
 
+/// Packed source location for the bytecode source map: (Line << 8) | Col,
+/// both clamped (line to 16 bits, column to 8). 0 means "no location".
+/// The span ledger (obs/Span.h) stores the same encoding in its records.
+inline uint32_t packSrcLoc(int Line, int Col) {
+  uint32_t L = Line < 0 ? 0 : (Line > 0xffff ? 0xffff : uint32_t(Line));
+  uint32_t C = Col < 0 ? 0 : (Col > 0xff ? 0xff : uint32_t(Col));
+  return (L << 8) | C;
+}
+
 /// One compiled function: unary (curried), with a fixed local frame.
 struct FnProto {
   std::string Name;
   int NumLocals = 0; ///< Frame size including the parameter at slot 0.
   std::vector<Instr> Code;
+  /// Source map, parallel to Code: packSrcLoc of the innermost expression
+  /// each instruction was emitted for. Always the same length as Code.
+  std::vector<uint32_t> Src;
 };
 
 /// One handler's arm table: EffectIds[I] is the static effect identity

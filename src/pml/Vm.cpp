@@ -37,6 +37,7 @@
 #include "core/Handles.h"
 #include "core/Ops.h"
 #include "core/Runtime.h"
+#include "obs/Span.h"
 #include "pml/Parser.h"
 
 #include <cstdio>
@@ -445,6 +446,11 @@ void Vm::runLoop(size_t Floor) {
     Frame &F = Frames.back();
     MPL_DASSERT(F.Ip < F.Fn->Code.size(), "instruction pointer out of range");
     const Instr &In = F.Fn->Code[F.Ip++];
+    // Span ledger: publish this instruction's source location so barrier
+    // slow paths and forks can attribute events to pml Line:Col. One TLS
+    // store, behind the same armed check every obs hook uses.
+    if (obs::spansEnabled()) [[unlikely]]
+      obs::spanSetPmlLoc(F.Fn->Src[F.Ip - 1]);
     auto Local = [&](int32_t I) -> Slot & {
       return Stack[F.Base + 1 + static_cast<size_t>(I)];
     };

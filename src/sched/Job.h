@@ -8,6 +8,7 @@
 #define MPL_SCHED_JOB_H
 
 #include <atomic>
+#include <cstdint>
 
 namespace mpl {
 
@@ -23,6 +24,13 @@ struct Job {
   /// Span (critical path) in nanoseconds measured by whoever executed the
   /// job; written before Done is released.
   double SpanOutNs = 0;
+
+  /// Span-ledger identity, stamped by forkImpl when the ledger is armed
+  /// (obs/Span.h): this job's task id, its parent's, and the packed pml
+  /// location of the spawning `par`. All 0 when spans are off.
+  uint64_t SpanId = 0;
+  uint64_t SpanParent = 0;
+  uint32_t SpanLoc = 0;
 
   /// Set (release) once the job body has finished.
   std::atomic<uint32_t> Done{0};

@@ -8,6 +8,7 @@
 
 #include "chaos/ChaosSchedule.h"
 #include "obs/Metrics.h"
+#include "obs/Span.h"
 #include "obs/Trace.h"
 #include "support/Assert.h"
 #include "support/Histogram.h"
@@ -34,6 +35,14 @@ Scheduler *Scheduler::current() { return CurScheduler; }
 Worker *Scheduler::currentWorker() { return CurWorker; }
 
 Scheduler::Scheduler(const Config &Cfg) : ProfileEnabled(Cfg.Profile) {
+  // The span ledger rides the strand clock, so an armed ledger forces
+  // profiling on even when the caller turned it off (e.g. the REPL).
+  // initFromEnv is idempotent; calling it here means MPL_SPANS is honored
+  // even for the first Runtime (whose Scheduler is constructed before the
+  // Runtime constructor body runs).
+  obs::initFromEnv();
+  if (obs::spansEnabled())
+    ProfileEnabled = true;
   int N = std::max(1, Cfg.NumWorkers);
   Workers.reserve(N);
   for (int I = 0; I < N; ++I) {
@@ -74,10 +83,14 @@ void Scheduler::strandPause(Worker *W) {
   if (!ProfileEnabled || W->StrandStartNs == 0)
     return;
   obs::emit(obs::Ev::StrandEnd);
-  double Elapsed = static_cast<double>(nowNs() - W->StrandStartNs);
+  int64_t ElapsedNs = nowNs() - W->StrandStartNs;
+  double Elapsed = static_cast<double>(ElapsedNs);
   W->StrandStartNs = 0;
   W->SpanAccNs += Elapsed;
   W->WorkAccNs += Elapsed;
+  // The ledger's per-task self time is built from the same quanta, so its
+  // critical path and the scheduler's S agree by construction.
+  obs::spanAddSelf(ElapsedNs);
 }
 
 void Scheduler::strandResume(Worker *W) {
@@ -98,11 +111,27 @@ WorkSpan Scheduler::runImpl(Thunk Root, void *Env) {
     Each->WorkAccNs = 0;
     Each->StrandStartNs = 0;
   }
+  // Arm the span ledger for this run. The check happens per run (not just
+  // at construction) so tests and benches that enable the ledger after
+  // building the Runtime still get a DAG; ProfileEnabled stays on for the
+  // scheduler's lifetime once forced (it defaults on anyway).
+  bool SpansOn = obs::spansEnabled();
+  if (SpansOn) {
+    ProfileEnabled = true;
+    obs::SpanLedger::get().runBegin();
+  }
   Active.store(true, std::memory_order_release);
 
+  obs::SpanTask RootTask;
+  obs::SpanTask *SavedTask = nullptr;
+  if (SpansOn)
+    SavedTask = obs::spanEnterTask(&RootTask, obs::spanAllocIds(1),
+                                   ~uint64_t(0), /*Loc=*/0);
   strandResume(W);
   Root(Env);
   strandPause(W);
+  if (SpansOn)
+    obs::spanExitTask(&RootTask, SavedTask);
 
   Active.store(false, std::memory_order_release);
   CurWorker = nullptr;
@@ -113,17 +142,30 @@ WorkSpan Scheduler::runImpl(Thunk Root, void *Env) {
   for (Worker *Each : Workers)
     TotalWork += Each->WorkAccNs;
   Last.WorkSec = TotalWork * 1e-9;
+  if (SpansOn)
+    obs::SpanLedger::get().runEnd(Last.WorkSec, Last.SpanSec);
   return Last;
 }
 
 void Scheduler::executeJob(Worker *W, Job *J) {
   // Strand clock must be paused on entry. Spans of distinct jobs must not
-  // blend, so the accumulator is saved around the body.
+  // blend, so the accumulator is saved around the body; the ledger's task
+  // state nests the same way (helping joins run jobs inside jobs).
   double Saved = W->SpanAccNs;
   W->SpanAccNs = 0;
+  obs::SpanTask Task;
+  obs::SpanTask *SavedTask = nullptr;
+  bool SpansOn = J->SpanId != 0 && obs::spansEnabled();
+  if (SpansOn) {
+    SavedTask = obs::spanEnterTask(&Task, J->SpanId, J->SpanParent,
+                                   J->SpanLoc);
+    obs::emit(obs::Ev::FlowIn, J->SpanId);
+  }
   strandResume(W);
   J->Run(J);
   strandPause(W);
+  if (SpansOn)
+    obs::spanExitTask(&Task, SavedTask);
   J->SpanOutNs = W->SpanAccNs;
   W->SpanAccNs = Saved;
   J->Done.store(1, std::memory_order_release);
@@ -138,15 +180,40 @@ void Scheduler::forkImpl(Thunk A, void *EnvA, Job &JB) {
   double SpanBefore = W->SpanAccNs;
   W->SpanAccNs = 0;
 
+  // Span ledger: allocate the fork's task-id pair (A = n, B = n+1) before
+  // JB becomes stealable, so a thief records the right identity. Both
+  // children inherit the pml location of the spawning `par` (the VM's
+  // current instruction on this thread).
+  uint64_t IdA = 0;
+  bool SpansOn = obs::spansEnabled();
+  if (SpansOn) {
+    IdA = obs::spanAllocIds(2);
+    JB.SpanId = IdA + 1;
+    JB.SpanParent = obs::spanCurrentId();
+    JB.SpanLoc = obs::spanCurrentLoc();
+  }
+
   W->Dq.push(&JB);
   obs::emit(obs::Ev::Fork);
+  if (SpansOn) {
+    obs::emit(obs::Ev::FlowOut, IdA);
+    obs::emit(obs::Ev::FlowOut, IdA + 1);
+  }
   // Schedule fuzzing: widen the window in which JB is stealable.
   chaos::preemptPoint(chaos::Point::Fork);
 
   // Run branch A inline (work-first).
+  obs::SpanTask TaskA;
+  obs::SpanTask *SavedTask = nullptr;
+  if (SpansOn) {
+    SavedTask = obs::spanEnterTask(&TaskA, IdA, JB.SpanParent, JB.SpanLoc);
+    obs::emit(obs::Ev::FlowIn, IdA);
+  }
   strandResume(W);
   A(EnvA);
   strandPause(W);
+  if (SpansOn)
+    obs::spanExitTask(&TaskA, SavedTask);
   double SpanA = W->SpanAccNs;
 
   double SpanB;

@@ -16,6 +16,7 @@
 #include "core/Runtime.h"
 #include "obs/Metrics.h"
 #include "obs/Profile.h"
+#include "obs/Span.h"
 #include "obs/Trace.h"
 #include "support/Histogram.h"
 #include "support/Json.h"
@@ -210,6 +211,90 @@ TEST_F(ObsTest, ChromeTraceJsonParsesBack) {
   EXPECT_TRUE(SawGcSlice);
 }
 
+TEST_F(ObsTest, ChromeTraceFlowEventsExport) {
+  obs::Tracer::get().enable(obs::TraceOptions{});
+  obs::labelCurrentThread(0);
+  obs::emit(obs::Ev::FlowOut, 7);
+  obs::emit(obs::Ev::FlowIn, 7);
+  obs::Tracer::get().disable();
+
+  json::Value Doc;
+  std::string Err;
+  ASSERT_TRUE(json::parse(obs::Tracer::get().chromeTraceJson(), Doc, Err))
+      << Err;
+  int NOut = 0, NIn = 0;
+  for (const json::Value &E : Doc.field("traceEvents")->Items) {
+    const std::string &P = E.field("ph")->StrV;
+    if (P != "s" && P != "f")
+      continue;
+    // Flow events bind by (cat, id); Perfetto drops flows without both.
+    ASSERT_NE(E.field("cat"), nullptr);
+    EXPECT_EQ(E.field("cat")->StrV, "spans");
+    ASSERT_NE(E.field("id"), nullptr);
+    EXPECT_TRUE(E.field("id")->isNumber());
+    EXPECT_EQ(static_cast<uint64_t>(E.field("id")->NumV), 7u);
+    EXPECT_EQ(E.field("name")->StrV, "task_flow");
+    if (P == "s") {
+      ++NOut;
+    } else {
+      ++NIn;
+      // bp:"e" binds the inbound flow to the *enclosing* slice.
+      ASSERT_NE(E.field("bp"), nullptr);
+      EXPECT_EQ(E.field("bp")->StrV, "e");
+    }
+  }
+  EXPECT_EQ(NOut, 1);
+  EXPECT_EQ(NIn, 1);
+}
+
+TEST_F(ObsTest, ChromeTraceRoundTripMatchesBufferCounts) {
+  // Real workload with tracer + span ledger armed: every retained event —
+  // including the span ledger's task_flow edges — must survive the export
+  // with its phase intact, so the JSON's per-phase counts equal the ring
+  // buffers' per-kind counts.
+  obs::Tracer::get().enable(obs::TraceOptions{});
+  obs::SpanLedger::get().enable();
+  {
+    rt::Config Cfg;
+    Cfg.NumWorkers = 2;
+    Cfg.Profile = true;
+    rt::Runtime R(Cfg);
+    R.run([] { wl::fib(18, 5); });
+  }
+  obs::SpanLedger::get().disable();
+  obs::Tracer::get().disable();
+  ASSERT_EQ(obs::Tracer::get().totalDropped(), 0u);
+
+  uint64_t BufFlowOut = 0, BufFlowIn = 0;
+  obs::Tracer::get().forEachBuffer([&](const obs::TraceBuffer &B) {
+    for (uint64_t I = B.first(); I < B.head(); ++I) {
+      uint16_t K = B.at(I).Kind;
+      if (K == static_cast<uint16_t>(obs::Ev::FlowOut))
+        ++BufFlowOut;
+      else if (K == static_cast<uint16_t>(obs::Ev::FlowIn))
+        ++BufFlowIn;
+    }
+  });
+  ASSERT_GT(BufFlowOut, 0u);
+  // Two FlowOuts per fork; one FlowIn when each spawned task starts.
+  EXPECT_EQ(BufFlowIn, BufFlowOut);
+
+  json::Value Doc;
+  std::string Err;
+  ASSERT_TRUE(json::parse(obs::Tracer::get().chromeTraceJson(), Doc, Err))
+      << Err;
+  uint64_t NOut = 0, NIn = 0;
+  for (const json::Value &E : Doc.field("traceEvents")->Items) {
+    const std::string &P = E.field("ph")->StrV;
+    if (P == "s")
+      ++NOut;
+    else if (P == "f")
+      ++NIn;
+  }
+  EXPECT_EQ(NOut, BufFlowOut);
+  EXPECT_EQ(NIn, BufFlowIn);
+}
+
 TEST_F(ObsTest, ExporterDropsOrphanedEndEvents) {
   // A wrapped ring can retain an End whose Begin was overwritten; the
   // exporter must drop it (Perfetto rejects E-without-B timelines).
@@ -252,6 +337,29 @@ TEST_F(ObsTest, DroppedCountIsExported) {
 //===----------------------------------------------------------------------===//
 // Metrics sampler
 //===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, TraceDroppedGaugeIsSampled) {
+  // Every sample carries the tracer's cumulative drop counter so a metrics
+  // series reveals *when* a trace went gappy, not just that it did.
+  obs::TraceOptions O;
+  O.Capacity = 8;
+  obs::Tracer::get().enable(O);
+  for (int I = 0; I < 20; ++I)
+    obs::emit(obs::Ev::Fork);
+  obs::Tracer::get().disable();
+
+  auto &S = obs::MetricsSampler::get();
+  S.sampleOnce();
+  std::vector<obs::MetricsSample> Series = S.series();
+  ASSERT_FALSE(Series.empty());
+  bool Found = false;
+  for (const auto &[Name, V] : Series.back().Gauges)
+    if (Name == "obs.trace.dropped") {
+      Found = true;
+      EXPECT_EQ(V, 12);
+    }
+  EXPECT_TRUE(Found) << "obs.trace.dropped gauge missing from sample";
+}
 
 TEST_F(ObsTest, SamplerSeriesIsMonotoneAndGaugesAreRead) {
   auto &S = obs::MetricsSampler::get();

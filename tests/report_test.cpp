@@ -589,3 +589,114 @@ TEST(BenchJsonRoundTrip, SchemaFieldsSurvive) {
   Opts.GateResidency = Opts.GateCounters = Opts.ProfileDrift = true;
   EXPECT_TRUE(gate::compare(F, F, Opts).ok());
 }
+
+//===----------------------------------------------------------------------===//
+// mpl-spans/1 (tools/mpl_spans)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A minimal but complete mpl-spans/1 document in the exact shape
+/// obs::SpanRunSummary::toJson() emits (root parent -1, 0/1 booleans).
+const char *SpansDoc =
+    "{\"schema\":\"mpl-spans/1\","
+    "\"sched\":{\"work_s\":0.010,\"span_s\":0.006},"
+    "\"ledger\":{\"valid\":1,\"tasks\":3,\"stolen\":1,\"dropped\":0,"
+    "\"work_s\":0.010,\"critical_path_s\":0.006,\"agreement_pct\":0.0,"
+    "\"em_reads\":1,\"pins\":1},"
+    "\"lines\":[{\"line\":6,\"col\":7,\"em_reads\":1,\"pins\":0,\"tasks\":0,"
+    "\"self_s\":0,\"cp_self_s\":0},"
+    "{\"line\":4,\"col\":3,\"em_reads\":0,\"pins\":1,\"tasks\":2,"
+    "\"self_s\":0.004,\"cp_self_s\":0.002}],"
+    "\"critical_path\":[1,3],"
+    "\"tasks\":["
+    "{\"id\":1,\"parent\":-1,\"start_s\":0,\"stop_s\":0.008,\"self_s\":0.004,"
+    "\"worker\":0,\"stolen\":0,\"on_cp\":1,\"line\":0,\"col\":0,\"depth\":0,"
+    "\"em_reads\":0,\"pins\":0},"
+    "{\"id\":2,\"parent\":1,\"start_s\":0.001,\"stop_s\":0.003,"
+    "\"self_s\":0.002,\"worker\":0,\"stolen\":0,\"on_cp\":0,\"line\":4,"
+    "\"col\":3,\"depth\":1,\"em_reads\":0,\"pins\":1},"
+    "{\"id\":3,\"parent\":1,\"start_s\":0.001,\"stop_s\":0.005,"
+    "\"self_s\":0.004,\"worker\":1,\"stolen\":1,\"on_cp\":1,\"line\":4,"
+    "\"col\":3,\"depth\":1,\"em_reads\":1,\"pins\":0}"
+    "]}";
+
+} // namespace
+
+TEST(SpansParse, GoodFileParses) {
+  gate::SpansFile F;
+  std::string Err;
+  ASSERT_TRUE(gate::parseSpansJson(SpansDoc, F, Err)) << Err;
+  EXPECT_TRUE(F.LedgerValid);
+  EXPECT_EQ(F.Tasks, 3);
+  EXPECT_EQ(F.Stolen, 1);
+  EXPECT_EQ(F.Dropped, 0);
+  EXPECT_DOUBLE_EQ(F.SchedWorkS, 0.010);
+  EXPECT_DOUBLE_EQ(F.CriticalPathS, 0.006);
+  EXPECT_EQ(F.EmReads, 1);
+  ASSERT_EQ(F.Lines.size(), 2u);
+  EXPECT_EQ(F.Lines[0].Line, 6);
+  EXPECT_EQ(F.Lines[0].EmReads, 1);
+  ASSERT_EQ(F.TaskRows.size(), 3u);
+  EXPECT_EQ(F.TaskRows[0].Parent, -1);
+  EXPECT_TRUE(F.TaskRows[2].Stolen);
+  EXPECT_TRUE(F.TaskRows[2].OnCp);
+  ASSERT_EQ(F.CriticalPath.size(), 2u);
+  EXPECT_EQ(F.CriticalPath[1], 3u);
+}
+
+TEST(SpansParse, MalformedRejected) {
+  gate::SpansFile F;
+  std::string Err;
+  EXPECT_FALSE(gate::parseSpansJson("", F, Err));
+  EXPECT_NE(Err.find("empty"), std::string::npos) << Err;
+  EXPECT_FALSE(gate::parseSpansJson("{\"schema\":\"mpl-spans/1\",", F, Err));
+  EXPECT_NE(Err.find("parse error"), std::string::npos) << Err;
+  EXPECT_FALSE(gate::parseSpansJson("[1]", F, Err));
+  EXPECT_NE(Err.find("not an object"), std::string::npos) << Err;
+  EXPECT_FALSE(gate::parseSpansJson("{\"schema\":\"mpl-bench/1\"}", F, Err));
+  EXPECT_NE(Err.find("mpl-bench/1"), std::string::npos) << Err;
+  EXPECT_FALSE(gate::parseSpansJson("{\"schema\":\"mpl-spans/1\"}", F, Err));
+  EXPECT_NE(Err.find("ledger"), std::string::npos) << Err;
+  EXPECT_FALSE(gate::parseSpansJson(
+      "{\"schema\":\"mpl-spans/1\",\"ledger\":{\"valid\":1}}", F, Err));
+  EXPECT_NE(Err.find("tasks"), std::string::npos) << Err;
+  EXPECT_FALSE(gate::parseSpansJson(
+      "{\"schema\":\"mpl-spans/1\",\"ledger\":{\"valid\":1},"
+      "\"tasks\":[{\"parent\":-1}]}",
+      F, Err));
+  EXPECT_NE(Err.find("id"), std::string::npos) << Err;
+}
+
+TEST(SpansRender, SummaryPathLinesAndFold) {
+  gate::SpansFile F;
+  std::string Err;
+  ASSERT_TRUE(gate::parseSpansJson(SpansDoc, F, Err)) << Err;
+
+  std::string Sum = gate::renderSpansSummary(F);
+  EXPECT_NE(Sum.find("3 tasks"), std::string::npos) << Sum;
+  EXPECT_NE(Sum.find("critical path"), std::string::npos) << Sum;
+
+  // Critical path render lists exactly the on_cp tasks, root labelled.
+  std::string Cp = gate::renderCriticalPath(F);
+  EXPECT_NE(Cp.find("#1"), std::string::npos) << Cp;
+  EXPECT_NE(Cp.find("root"), std::string::npos) << Cp;
+  EXPECT_NE(Cp.find("(stolen)"), std::string::npos) << Cp;
+  EXPECT_EQ(Cp.find("#2"), std::string::npos) << "off-CP task listed:\n"
+                                              << Cp;
+
+  // Top lines sorted by em reads first: the read line leads.
+  std::string Top = gate::renderTopLines(F, 10);
+  size_t P6 = Top.find("L6:7");
+  size_t P4 = Top.find("L4:3");
+  ASSERT_NE(P6, std::string::npos) << Top;
+  ASSERT_NE(P4, std::string::npos) << Top;
+  EXPECT_LT(P6, P4) << "em-read line must sort first:\n" << Top;
+
+  // Folded stacks: child frames chain through the parent's fork site to
+  // the root; values are self time in ns.
+  std::string Fold = gate::foldSpans(F);
+  EXPECT_NE(Fold.find("root 4000000\n"), std::string::npos) << Fold;
+  EXPECT_NE(Fold.find("root;L4:3 2000000\n"), std::string::npos) << Fold;
+  EXPECT_NE(Fold.find("root;L4:3 4000000\n"), std::string::npos) << Fold;
+}

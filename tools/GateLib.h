@@ -205,6 +205,79 @@ std::string renderTable(const BenchFile &F);
 /// prints them (findings to the returned string, one per line).
 std::string renderFindings(const GateResult &R, const GateOptions &Opts);
 
+//===----------------------------------------------------------------------===//
+// mpl-spans/1 (causal span ledger exports; obs/Span.h, tools/mpl_spans)
+//===----------------------------------------------------------------------===//
+
+/// One per-source-line aggregate from a spans file.
+struct SpanLineRow {
+  int Line = 0;
+  int Col = 0;
+  int64_t EmReads = 0;
+  int64_t Pins = 0;
+  int64_t Tasks = 0;
+  double SelfS = 0;
+  double CpSelfS = 0;
+};
+
+/// One task from a spans file ("tasks" array).
+struct SpanTaskRow {
+  uint64_t Id = 0;
+  int64_t Parent = -1; ///< -1 = root.
+  double StartS = 0;
+  double StopS = 0;
+  double SelfS = 0;
+  int Worker = 0;
+  int Line = 0;
+  int Col = 0;
+  int Depth = 0;
+  bool Stolen = false;
+  bool OnCp = false;
+  int64_t EmReads = 0;
+  int64_t Pins = 0;
+};
+
+/// One parsed mpl-spans/1 document.
+struct SpansFile {
+  std::string Path; ///< "" for in-memory parses.
+  double SchedWorkS = 0;
+  double SchedSpanS = 0;
+  bool LedgerValid = false;
+  int64_t Tasks = 0;
+  int64_t Stolen = 0;
+  int64_t Dropped = 0;
+  double LedgerWorkS = 0;
+  double CriticalPathS = 0;
+  double AgreementPct = 0;
+  int64_t EmReads = 0;
+  int64_t Pins = 0;
+  std::vector<SpanLineRow> Lines;
+  std::vector<SpanTaskRow> TaskRows;
+  std::vector<uint64_t> CriticalPath;
+};
+
+/// Parses + validates one mpl-spans/1 document; same contract as
+/// parseBenchJson (false + diagnostic on malformed input, never crashes).
+bool parseSpansJson(const std::string &Text, SpansFile &Out, std::string &Err);
+
+/// loadSpansFile = read \p Path + parseSpansJson; \p Err includes the path.
+bool loadSpansFile(const std::string &Path, SpansFile &Out, std::string &Err);
+
+/// Human-readable summary table of one spans file (mpl_spans analyze).
+std::string renderSpansSummary(const SpansFile &F);
+
+/// The critical path, one task per line, root first (mpl_spans
+/// critical-path).
+std::string renderCriticalPath(const SpansFile &F);
+
+/// Per-line attribution table sorted by em reads then CP self time, top
+/// \p TopK rows (mpl_spans top-lines).
+std::string renderTopLines(const SpansFile &F, int TopK);
+
+/// Folded stacks for flamegraph tools: one "root;L3:5;L7:2 <self_ns>" line
+/// per task with nonzero self time, stack = chain of ancestor fork sites.
+std::string foldSpans(const SpansFile &F);
+
 } // namespace gate
 } // namespace mpl
 

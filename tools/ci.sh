@@ -104,6 +104,20 @@ run_config() {
     --require-event fork --require-event heap_join \
     --require-event pin --require-event gc
 
+  echo "==== [$preset] span smoke ===="
+  # Run a pml workload with the causal span ledger armed and validate the
+  # exported DAG: the ledger's critical path must agree with the
+  # scheduler's online span S to within 5% (the consistency oracle,
+  # DESIGN.md §14), and the entangled read must attribute to a source line.
+  ASAN_OPTIONS="detect_leaks=0" \
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  MPL_SPANS="$bdir/spans_smoke.json" \
+    "$bdir/examples/pml_repl" -workers 2 -e \
+    'let val r = ref (ref 0) in par ((r := ref 7; 0), !(!r)) end' > /dev/null
+  "$bdir/tools/mpl_spans" critical-path "$bdir/spans_smoke.json" \
+    --check-agreement 5
+  "$bdir/tools/mpl_spans" top-lines "$bdir/spans_smoke.json"
+
   if [[ "$preset" == "release" ]]; then
     echo "==== [$preset] perf smoke (scale $PERF_SCALE, k=$PERF_STDDEV_K floor ${PERF_TOLERANCE_PCT}%) ===="
     # Sanitizer presets skew times beyond any tolerance, so only release
@@ -114,6 +128,17 @@ run_config() {
     "$bdir/tools/mpl_report" "$bdir/perf_smoke.json"
     "$bdir/tools/mpl_report" --baseline BENCH_T1.json \
       --current "$bdir/perf_smoke.json" \
+      --stddev-k "$PERF_STDDEV_K" --floor-pct "$PERF_TOLERANCE_PCT"
+
+    echo "==== [$preset] spans-on overhead gate ===="
+    # Same T1 table with the span ledger armed for every run (MPL_SPANS=1):
+    # the per-task ledger bookkeeping must stay inside the same stddev
+    # envelope as an unchanged build, bounding the ledger's overhead.
+    MPL_SPANS=1 "$bdir/bench/bench_table_time" -scale "$PERF_SCALE" \
+      -reps "$PERF_REPS" -json "$bdir/spans_overhead.json" \
+      > "$bdir/spans_overhead.txt"
+    "$bdir/tools/mpl_report" --baseline BENCH_T1.json \
+      --current "$bdir/spans_overhead.json" \
       --stddev-k "$PERF_STDDEV_K" --floor-pct "$PERF_TOLERANCE_PCT"
 
     echo "==== [$preset] space gate (BENCH_T2) ===="

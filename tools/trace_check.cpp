@@ -9,6 +9,11 @@
 // any malformation so a broken exporter fails the pipeline.
 //
 // Usage: mpl_trace_check <trace.json> [--require-event NAME]...
+//                        [--allow-drops]
+//
+// A trace that dropped events (otherData.dropped_events != 0) fails the
+// check — a gappy trace silently lies about the schedule — unless
+// --allow-drops is given for deliberately tiny ring-buffer runs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -38,10 +43,13 @@ int main(int argc, char **argv) {
     return fail("usage: mpl_trace_check <trace.json> [--require-event N]...");
 
   std::vector<std::string> Required;
+  bool AllowDrops = false;
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--require-event" && I + 1 < argc)
       Required.emplace_back(argv[++I]);
+    else if (A == "--allow-drops")
+      AllowDrops = true;
     else
       return fail("unknown argument: " + A);
   }
@@ -67,7 +75,7 @@ int main(int argc, char **argv) {
   // Per-(pid,tid) B/E nesting depth; Perfetto rejects unbalanced tracks.
   std::map<std::pair<double, double>, long> Depth;
   std::set<std::string> Names;
-  long NEvents = 0, NMeta = 0, NSlices = 0, NInstants = 0;
+  long NEvents = 0, NMeta = 0, NSlices = 0, NInstants = 0, NFlows = 0;
 
   for (const json::Value &E : Evs->Items) {
     if (!E.isObject())
@@ -104,6 +112,13 @@ int main(int argc, char **argv) {
                     std::to_string(static_cast<long>(Tid->NumV)));
     } else if (P == "i") {
       ++NInstants;
+    } else if (P == "s" || P == "f") {
+      // Flow events (span ledger task edges) carry a binding id; Perfetto
+      // drops flows without one.
+      const json::Value *Id = E.field("id");
+      if (!Id || !Id->isNumber())
+        return fail("flow event without numeric id");
+      ++NFlows;
     } else {
       return fail("unexpected phase '" + P + "'");
     }
@@ -122,10 +137,14 @@ int main(int argc, char **argv) {
   if (const json::Value *Other = Doc.field("otherData"))
     if (const json::Value *D = Other->field("dropped_events"))
       Dropped = D->StrV;
+  if (Dropped != "0" && !AllowDrops)
+    return fail(Dropped + " events dropped (ring buffer overflow); the "
+                          "trace is incomplete — rerun with a larger "
+                          "MPL_TRACE_CAPACITY or pass --allow-drops");
 
   std::printf("trace_check: OK: %ld events (%ld slices, %ld instants, "
-              "%ld metadata), %zu distinct names, %s dropped\n",
-              NEvents, NSlices, NInstants, NMeta, Names.size(),
+              "%ld flows, %ld metadata), %zu distinct names, %s dropped\n",
+              NEvents, NSlices, NInstants, NFlows, NMeta, Names.size(),
               Dropped.c_str());
   return 0;
 }
