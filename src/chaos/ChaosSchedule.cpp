@@ -36,6 +36,11 @@ std::atomic<int64_t> TotalFaultsInjected{0};
 /// Global fault-opportunity counter (fires on every FaultEveryN-th).
 std::atomic<uint64_t> FaultOpportunities{0};
 
+/// Separate opportunity counter for the wire channel so arming wire faults
+/// never shifts the alloc/barrier fault cadence (and vice versa).
+std::atomic<uint64_t> WireOpportunities{0};
+std::atomic<int64_t> TotalWireFaults{0};
+
 /// Per-thread decision streams, one per Point plus one for victim choice
 /// and one for GC forcing, all derived from (seed, thread index).
 struct ThreadStreams {
@@ -44,6 +49,7 @@ struct ThreadStreams {
   Rng PointRng[static_cast<size_t>(Point::NumPoints)];
   Rng VictimRng;
   Rng GcRng;
+  Rng WireRng;
 
   void reseed(uint64_t E, uint64_t Seed) {
     SeenEpoch = E;
@@ -52,6 +58,7 @@ struct ThreadStreams {
       PointRng[I] = Rng(hash64(Base + I));
     VictimRng = Rng(hash64(Base ^ 0x51c71ull));
     GcRng = Rng(hash64(Base ^ 0x6cull));
+    WireRng = Rng(hash64(Base ^ 0x317eull));
   }
 };
 
@@ -131,6 +138,30 @@ bool faultFiresSlow(Fault F) {
   return true;
 }
 
+Fault wireFaultNowSlow() {
+  // Deterministic every-N channel: a specific Wire* kind armed by a test.
+  if (ActiveConfig.WireFault != Fault::None) {
+    uint64_t N = WireOpportunities.fetch_add(1, std::memory_order_relaxed);
+    uint32_t Every =
+        ActiveConfig.WireFaultEveryN ? ActiveConfig.WireFaultEveryN : 1;
+    if ((N + 1) % Every != 0)
+      return Fault::None;
+    TotalWireFaults.fetch_add(1, std::memory_order_relaxed);
+    return ActiveConfig.WireFault;
+  }
+  // Seeded mix channel: probability and kind both come from the per-thread
+  // (seed, thread index, counter) stream, so a chaos run replays by seed.
+  if (ActiveConfig.WirePermille == 0)
+    return Fault::None;
+  ThreadStreams &TS = streams();
+  if (TS.WireRng.nextBounded(1000) >= ActiveConfig.WirePermille)
+    return Fault::None;
+  TotalWireFaults.fetch_add(1, std::memory_order_relaxed);
+  static constexpr Fault Kinds[3] = {Fault::WireTruncate, Fault::WireDrop,
+                                     Fault::WireSlowRead};
+  return Kinds[TS.WireRng.nextBounded(3)];
+}
+
 } // namespace detail
 
 Config Config::fromSeed(uint64_t Seed) {
@@ -164,6 +195,8 @@ void enable(const Config &C) {
   TotalForcedGcs.store(0, std::memory_order_relaxed);
   TotalFaultsInjected.store(0, std::memory_order_relaxed);
   FaultOpportunities.store(0, std::memory_order_relaxed);
+  WireOpportunities.store(0, std::memory_order_relaxed);
+  TotalWireFaults.store(0, std::memory_order_relaxed);
   Epoch.fetch_add(1, std::memory_order_acq_rel);
   detail::ActiveFlag.store(1, std::memory_order_release);
 }
@@ -180,6 +213,7 @@ Totals totals() {
   T.ForcedVictims = TotalForcedVictims.load(std::memory_order_relaxed);
   T.ForcedGcs = TotalForcedGcs.load(std::memory_order_relaxed);
   T.FaultsInjected = TotalFaultsInjected.load(std::memory_order_relaxed);
+  T.WireFaults = TotalWireFaults.load(std::memory_order_relaxed);
   return T;
 }
 

@@ -61,15 +61,22 @@ enum class Point : uint8_t {
   GcStart,      ///< Collector::collectChain entry (before taking locks).
   ContCapture,  ///< pml Suspend: before the frame chain is captured/pinned.
   ContResume,   ///< pml Resume: after the one-shot claim, before restore.
+  WireRead,     ///< net: before reading request bytes off a socket.
+  WireWrite,    ///< net: before writing response bytes to a socket.
   NumPoints
 };
 
-/// Deliberate bugs the fuzz suite must catch (see file comment).
+/// Deliberate bugs the fuzz suite must catch (see file comment). The Wire*
+/// kinds live on their own decision channel (wireFaultNow) so arming them
+/// never perturbs the alloc/barrier fault counters.
 enum class Fault : uint8_t {
   None,
   SkipPin,        ///< Write barrier skips addPinned for one victim object.
   SkipUnpin,      ///< Join keeps an object pinned past its unpin depth.
   FailChunkAlloc, ///< ChunkPool treats the allocation attempt as failed.
+  WireTruncate,   ///< net: cut the connection mid-frame (truncated frame).
+  WireDrop,       ///< net: drop the connection mid-request, no response.
+  WireSlowRead,   ///< net: slow-loris — stall between read chunks.
 };
 
 /// One seed fully describes a perturbation mix. Either fill the fields by
@@ -97,6 +104,17 @@ struct Config {
   Fault InjectFault = Fault::None;
   uint32_t FaultEveryN = 1;
 
+  /// Wire-fault channel (src/net). Two arming modes, both explicit (never
+  /// derived by fromSeed):
+  ///  - deterministic: WireFault = a Wire* kind, fires every
+  ///    WireFaultEveryN-th wire opportunity (targeted codec tests);
+  ///  - seeded mix: WireFault = None and WirePermille > 0 — each wire
+  ///    opportunity draws from the per-thread (seed, thread, counter)
+  ///    stream, picking one of the three Wire* kinds. Replayable by seed.
+  Fault WireFault = Fault::None;
+  uint32_t WireFaultEveryN = 1;
+  uint32_t WirePermille = 0;
+
   /// Derives a full perturbation mix from the seed alone, so a single
   /// printed uint64 reproduces a corpus run.
   static Config fromSeed(uint64_t Seed);
@@ -112,6 +130,7 @@ struct Totals {
   int64_t ForcedVictims = 0;
   int64_t ForcedGcs = 0;
   int64_t FaultsInjected = 0;
+  int64_t WireFaults = 0;
 };
 
 namespace detail {
@@ -122,6 +141,7 @@ uint32_t delayedJoinSpinsSlow();
 bool forceGcNowSlow();
 bool stealStormSlow();
 bool faultFiresSlow(Fault F);
+Fault wireFaultNowSlow();
 } // namespace detail
 
 /// Arms the layer with \p C. Not reentrant: one chaos session at a time.
@@ -177,6 +197,15 @@ inline bool stealStorm() {
 /// Clean-tree behaviour: always false.
 inline bool faultFires(Fault F) {
   return active() && detail::faultFiresSlow(F);
+}
+
+/// Wire-fault decision for this socket-I/O opportunity: Fault::None (the
+/// overwhelmingly common answer) or one of the Wire* kinds. Clean-tree
+/// behaviour: always None.
+inline Fault wireFaultNow() {
+  if (!active())
+    return Fault::None;
+  return detail::wireFaultNowSlow();
 }
 
 } // namespace chaos

@@ -1,0 +1,41 @@
+//===- core/Deadline.cpp - Request deadlines and cancellation -------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Deadline.h"
+
+#include "core/Runtime.h"
+
+#include <string>
+
+using namespace mpl;
+
+DeadlineError::DeadlineError(int64_t OverrunNs)
+    : std::runtime_error("deadline expired (overrun " +
+                         std::to_string(OverrunNs) + "ns)"),
+      Overrun(OverrunNs) {}
+
+void rt::checkDeadline() {
+  WorkerCtx *C = Runtime::ctx();
+  DeadlineCtx *D = C->CurrentDeadline;
+  if (!D || !D->poll())
+    return;
+  int64_t DL = D->DeadlineNs.load(std::memory_order_relaxed);
+  int64_t Overrun = DL ? std::max<int64_t>(0, nowNs() - DL) : 0;
+  throw DeadlineError(Overrun);
+}
+
+void rt::deadlinePollCurrent() {
+  WorkerCtx *C = Runtime::ctx();
+  if (DeadlineCtx *D = C->CurrentDeadline)
+    D->poll();
+}
+
+rt::ScopedDeadline::ScopedDeadline(DeadlineCtx *D)
+    : Ctx(Runtime::ctx()), Saved(Ctx->CurrentDeadline) {
+  Ctx->CurrentDeadline = D;
+}
+
+rt::ScopedDeadline::~ScopedDeadline() { Ctx->CurrentDeadline = Saved; }

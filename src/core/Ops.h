@@ -62,6 +62,9 @@ inline Object *allocObject(ObjKind K, bool Mutable, uint32_t Length,
                            uint16_t PtrMap) {
   rt::Runtime *R = rt::Runtime::current();
   MPL_DASSERT(R, "allocation outside Runtime::run");
+  // The allocation poll is a safe point: an expired request deadline
+  // unwinds here (like OOM) rather than buying more memory.
+  rt::checkDeadline();
   R->maybeCollect();
   WorkerCtx *C = rt::Runtime::ctx();
   Object *O = C->CurrentHeap->allocateObject(K, Mutable, Length, PtrMap);

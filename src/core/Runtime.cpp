@@ -121,9 +121,14 @@ Runtime::Runtime(const Config &C)
   // Heap-tree introspection: obs cannot see hh, so the walker is injected
   // here (same inversion as the gauges above).
   obs::setHeapTreeProvider([this] { return heapTreeJson(Heaps); });
+  // Deadline latching at strand-quantum boundaries: sched cannot see core,
+  // so the poll is injected (same inversion again). Non-throwing by
+  // contract — it only flips DeadlineCtx::Expired.
+  Scheduler::setStrandPollHook(&rt::deadlinePollCurrent);
 }
 
 Runtime::~Runtime() {
+  Scheduler::setStrandPollHook(nullptr);
   if (GovGcHookId) {
     MemoryGovernor::get().unregisterEmergencyGc(GovGcHookId);
     GovGcHookId = 0;

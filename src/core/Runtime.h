@@ -26,6 +26,7 @@
 #ifndef MPL_CORE_RUNTIME_H
 #define MPL_CORE_RUNTIME_H
 
+#include "core/Deadline.h"
 #include "core/Em.h"
 #include "core/WorkerCtx.h"
 #include "gc/Collector.h"
@@ -91,6 +92,17 @@ public:
     return WS;
   }
 
+  /// Request-scoped run entry: like run(), but attaches \p DL to the root
+  /// strand for the duration, so rt::checkDeadline() fires inside \p Root
+  /// and all its par descendants. A null \p DL degrades to plain run().
+  template <typename Fn> WorkSpan runWithDeadline(DeadlineCtx *DL, Fn &&Root) {
+    return run([&] {
+      ScopedDeadline SD(DL);
+      checkDeadline();
+      Root();
+    });
+  }
+
   /// The mutator context of the calling thread (created on first use).
   static WorkerCtx *ctx();
 
@@ -140,9 +152,17 @@ std::pair<Slot, Slot> par(FA &&A, FB &&B) {
   Heap *H = C->CurrentHeap;
   MPL_CHECK(H, "rt::par outside a task");
 
+  // A safe point: an expired request aborts before paying for the fork.
+  checkDeadline();
+
   H->setActiveForks(2);
   Heap *HA = R->heaps().forkChild(H);
   Heap *HB = R->heaps().forkChild(H);
+
+  // Branches inherit the forking strand's request deadline: a stolen branch
+  // runs on another worker whose thread-local ctx knows nothing about the
+  // request, so the wrapper re-points it (same discipline as CurrentHeap).
+  DeadlineCtx *DL = C->CurrentDeadline;
 
   Slot RA = 0, RB = 0;
   std::exception_ptr EA, EB;
@@ -150,7 +170,9 @@ std::pair<Slot, Slot> par(FA &&A, FB &&B) {
       [&] {
         WorkerCtx *Me = Runtime::ctx();
         Heap *Saved = Me->CurrentHeap;
+        DeadlineCtx *SavedDl = Me->CurrentDeadline;
         Me->CurrentHeap = HA;
+        Me->CurrentDeadline = DL;
         obs::spanNoteHeapDepth(HA->depth());
         try {
           RA = A();
@@ -158,11 +180,14 @@ std::pair<Slot, Slot> par(FA &&A, FB &&B) {
           EA = std::current_exception();
         }
         Me->CurrentHeap = Saved;
+        Me->CurrentDeadline = SavedDl;
       },
       [&] {
         WorkerCtx *Me = Runtime::ctx();
         Heap *Saved = Me->CurrentHeap;
+        DeadlineCtx *SavedDl = Me->CurrentDeadline;
         Me->CurrentHeap = HB;
+        Me->CurrentDeadline = DL;
         obs::spanNoteHeapDepth(HB->depth());
         try {
           RB = B();
@@ -170,6 +195,7 @@ std::pair<Slot, Slot> par(FA &&A, FB &&B) {
           EB = std::current_exception();
         }
         Me->CurrentHeap = Saved;
+        Me->CurrentDeadline = SavedDl;
       });
 
   R->heaps().join(H, HA);

@@ -14,12 +14,19 @@
 
 namespace mpl {
 
+struct DeadlineCtx;
+
 /// Mutator state of one OS thread: the heap it is allocating into, its GC
 /// root stack, and its collection-policy counters. Tasks migrate between
 /// threads only at fork boundaries, and every branch wrapper re-points
-/// CurrentHeap, so thread-locality is safe.
+/// CurrentHeap (and CurrentDeadline), so thread-locality is safe.
 struct WorkerCtx {
   Heap *CurrentHeap = nullptr;
+
+  /// Deadline of the request this strand is serving, or null outside a
+  /// request scope. Inherited across rt::par exactly like CurrentHeap.
+  DeadlineCtx *CurrentDeadline = nullptr;
+
   ShadowStack Roots;
 
   /// Bytes allocated by this thread since its last local collection.

@@ -156,6 +156,41 @@ void MemoryGovernor::unregisterEmergencyGc(int Id) {
     }
 }
 
+MemoryGovernor::AdmissionDecision
+MemoryGovernor::adviseAdmission(int64_t QueueDepth, int64_t QueueCap) {
+  // Refresh the level first: admission is often the only caller between
+  // allocations (an idle server under external memory movement would
+  // otherwise judge on a stale level).
+  updatePressure();
+  AdmissionDecision D;
+  D.Level = pressure();
+  int64_t Allowed;
+  switch (D.Level) {
+  case Pressure::None:
+    Allowed = QueueCap;
+    break;
+  case Pressure::Soft:
+    Allowed = QueueCap / 2;
+    break;
+  case Pressure::Hard:
+    Allowed = QueueCap / 4;
+    break;
+  case Pressure::Critical:
+  default:
+    Allowed = 0;
+    break;
+  }
+  D.Admit = QueueDepth < Allowed;
+  if (!D.Admit) {
+    // Retry hints grow with severity: a full-but-unpressured queue clears
+    // in milliseconds; Critical means an emergency collection has to win
+    // back headroom first.
+    static constexpr int64_t HintMs[] = {10, 50, 200, 1000};
+    D.RetryAfterMs = HintMs[static_cast<size_t>(D.Level)];
+  }
+  return D;
+}
+
 void MemoryGovernor::setPressureFrom(int64_t WouldBeOutstanding) {
   int64_t Limit = LimitBytes.load(std::memory_order_relaxed);
   Pressure Want = Pressure::None;

@@ -164,6 +164,29 @@ public:
   void unregisterEmergencyGc(int Id);
 
   //===--------------------------------------------------------------------===//
+  // Admission control (the request server's front door, src/net)
+  //===--------------------------------------------------------------------===//
+
+  /// What to do with an incoming request given memory pressure and queue
+  /// occupancy.
+  struct AdmissionDecision {
+    bool Admit = true;
+    /// When !Admit: how long the client should wait before retrying, the
+    /// server's Retry-After hint. Scales with pressure severity.
+    int64_t RetryAfterMs = 0;
+    /// Pressure level the decision was made at (structured SHED payloads).
+    Pressure Level = Pressure::None;
+  };
+
+  /// Admission ladder: maps the pressure level to a shrinking fraction of
+  /// the request queue the server may fill —
+  ///   None: full queue · Soft: 1/2 · Hard: 1/4 · Critical: shed all.
+  /// Shedding at the door under pressure is strictly cheaper than admitting
+  /// a request whose allocations will stall in the recovery ladder and
+  /// likely end in a mid-flight OutOfMemoryError anyway.
+  AdmissionDecision adviseAdmission(int64_t QueueDepth, int64_t QueueCap);
+
+  //===--------------------------------------------------------------------===//
   // Chunk-pool protocol (called by ChunkPool::acquire / acquireLarge)
   //===--------------------------------------------------------------------===//
 

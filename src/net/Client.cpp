@@ -1,0 +1,136 @@
+//===- net/Client.cpp - Request-server client with retry ------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include "support/Random.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+using namespace mpl;
+using namespace mpl::net;
+
+bool Client::connect(uint16_t Port) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    close();
+    return false;
+  }
+  Reader = FrameReader();
+  return true;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Reader = FrameReader();
+}
+
+bool Client::recvResponse(Response &Resp) {
+  std::string Payload;
+  char Buf[4096];
+  for (;;) {
+    DecodeStatus S = Reader.next(Payload);
+    if (S == DecodeStatus::Ok)
+      return decodeResponse(Payload, Resp) == DecodeStatus::Ok;
+    if (S != DecodeStatus::NeedMore)
+      return false; // framing error: the stream is unrecoverable
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N == 0)
+      return false; // server closed (drop fault or drain)
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Reader.feed(Buf, static_cast<size_t>(N));
+  }
+}
+
+bool Client::call(const Request &Req, Response &Resp) {
+  if (Fd < 0)
+    return false;
+  std::string Frame = encodeFrame(encodeRequest(Req));
+  size_t Off = 0;
+  while (Off < Frame.size()) {
+    ssize_t N =
+        ::send(Fd, Frame.data() + Off, Frame.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      close();
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  if (!recvResponse(Resp)) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+int64_t RetryPolicy::backoffMs(int Attempt, int64_t ServerHintMs) {
+  int64_t Exp = BaseBackoffMs;
+  for (int I = 1; I < Attempt && Exp < MaxBackoffMs; ++I)
+    Exp *= 2;
+  if (Exp > MaxBackoffMs)
+    Exp = MaxBackoffMs;
+  // Full jitter on the exponential part: desynchronizes the herd of
+  // clients a shed wave just turned away.
+  Rng R(hash64(JitterSeed ^ static_cast<uint64_t>(Attempt)));
+  JitterSeed = R.next();
+  int64_t Jittered = 1 + static_cast<int64_t>(
+                             R.nextBounded(static_cast<uint64_t>(Exp)));
+  return Jittered > ServerHintMs ? Jittered : ServerHintMs;
+}
+
+CallResult net::callWithRetry(Client &C, uint16_t Port, const Request &Req,
+                              RetryPolicy &P) {
+  CallResult R;
+  for (int Attempt = 1; Attempt <= P.MaxAttempts; ++Attempt) {
+    R.Attempts = Attempt;
+    if (!C.connected() && !C.connect(Port)) {
+      int64_t W = P.backoffMs(Attempt, 0);
+      R.BackoffMsTotal += W;
+      std::this_thread::sleep_for(std::chrono::milliseconds(W));
+      continue;
+    }
+    Response Resp;
+    if (!C.call(Req, Resp)) {
+      // Transport failure (wire chaos, drain close): reconnect + retry.
+      int64_t W = P.backoffMs(Attempt, 0);
+      R.BackoffMsTotal += W;
+      std::this_thread::sleep_for(std::chrono::milliseconds(W));
+      continue;
+    }
+    R.Delivered = true;
+    R.St = Resp.St;
+    R.Resp = std::move(Resp);
+    if (R.St != Status::Shed && R.St != Status::Draining)
+      return R; // terminal: OK / DEADLINE_EXPIRED / ERROR
+    int64_t W = P.backoffMs(Attempt, R.Resp.RetryAfterMs);
+    R.BackoffMsTotal += W;
+    std::this_thread::sleep_for(std::chrono::milliseconds(W));
+  }
+  return R; // gave up; R.St is the last status seen
+}

@@ -1,0 +1,88 @@
+//===- net/Client.h - Request-server client with retry ---------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the wire protocol (net/Frame.h): a blocking one-request-
+/// at-a-time connection, plus the retry loop the robustness story needs —
+/// jittered exponential backoff that *honors the server's Retry-After
+/// hint*: a SHED response carries the admission ladder's suggested wait,
+/// and sleeping at least that long is what turns an overload spike into a
+/// smooth recovery instead of a retry storm. Transport failures (the
+/// server's wire-chaos drops and truncations land here) reconnect and
+/// retry the same request id, so the server-side flow pairing stays
+/// intact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_NET_CLIENT_H
+#define MPL_NET_CLIENT_H
+
+#include "net/Frame.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mpl {
+namespace net {
+
+/// One TCP connection speaking the frame protocol. Not thread-safe.
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to 127.0.0.1:\p Port. Idempotent reconnect: closes first.
+  bool connect(uint16_t Port);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends \p Req and blocks for its response. False on any transport or
+  /// framing failure (the connection is closed and must be reconnected).
+  bool call(const Request &Req, Response &Resp);
+
+private:
+  int Fd = -1;
+  FrameReader Reader;
+  bool recvResponse(Response &Resp);
+};
+
+/// Jittered exponential backoff honoring server Retry-After hints.
+struct RetryPolicy {
+  int MaxAttempts = 6;
+  int64_t BaseBackoffMs = 20;  ///< First retry wait (doubles per attempt).
+  int64_t MaxBackoffMs = 2000; ///< Cap on any single wait.
+  uint64_t JitterSeed = 0x9e3779b97f4a7c15ull;
+
+  /// How long to sleep before retry number \p Attempt (1-based) given the
+  /// server's hint (0 = none). Returns max(hint, jittered exponential):
+  /// the hint is a floor, not a cap — the server knows how long pressure
+  /// takes to clear, the client knows how often it has already failed.
+  int64_t backoffMs(int Attempt, int64_t ServerHintMs);
+};
+
+/// Outcome of callWithRetry, for callers that tally result mixes.
+struct CallResult {
+  bool Delivered = false; ///< A well-formed response was received.
+  Status St = Status::Error;
+  Response Resp;
+  int Attempts = 0;       ///< Total call attempts (>= 1).
+  int64_t BackoffMsTotal = 0;
+};
+
+/// Drives \p Req to completion: reconnects on transport failure, backs off
+/// and retries on SHED/DRAINING (honoring Retry-After), returns the first
+/// terminal response (OK, DEADLINE_EXPIRED, ERROR). Gives up after
+/// P.MaxAttempts, reporting the last status seen.
+CallResult callWithRetry(Client &C, uint16_t Port, const Request &Req,
+                         RetryPolicy &P);
+
+} // namespace net
+} // namespace mpl
+
+#endif // MPL_NET_CLIENT_H

@@ -1,0 +1,560 @@
+//===- net/Server.cpp - Entanglement-managed request server ---------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+
+#include "chaos/ChaosSchedule.h"
+#include "core/Ops.h"
+#include "core/Runtime.h"
+#include "mm/MemoryGovernor.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "pml/Vm.h"
+#include "support/Histogram.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+#include "workloads/Collections.h"
+#include "workloads/Kernels.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+using namespace mpl;
+using namespace mpl::net;
+
+namespace {
+
+/// One admitted request in flight between a connection thread (producer,
+/// waits on Prom's future) and the executor (consumer, fulfills it). The
+/// DeadlineCtx is armed at enqueue so queueing time counts against the
+/// deadline, and shared so an aborted strand's polls stay valid while the
+/// connection thread still holds the future.
+struct Pending {
+  Request Req;
+  DeadlineCtx DL;
+  std::promise<Response> Prom;
+  int64_t EnqueueNs = 0;
+  std::atomic<bool> Fulfilled{false};
+};
+
+std::string fmtPressure(Pressure P, int64_t Depth, int64_t Cap) {
+  std::ostringstream OS;
+  OS << "pressure=" << pressureName(P) << " queue=" << Depth << "/" << Cap;
+  return OS.str();
+}
+
+} // namespace
+
+struct Server::Impl {
+  ServerConfig Cfg;
+  Server *Owner;
+
+  int ListenFd = -1;
+  std::thread AcceptThread;
+  std::thread ExecThread;
+  std::mutex ConnMu;
+  std::vector<std::thread> ConnThreads;
+  std::atomic<int> LiveConns{0};
+  std::atomic<uint64_t> NextConnId{0};
+  std::atomic<bool> AcceptStopped{false};
+  bool Started = false;
+  bool Joined = false;
+  std::mutex JoinMu;
+
+  std::mutex QMu;
+  std::condition_variable QCv;
+  std::deque<std::shared_ptr<Pending>> Queue;
+  std::atomic<int64_t> QueueDepth{0};
+  std::atomic<int64_t> Inflight{0};
+
+  // net.* observability surface (registry-backed, so tests/tools can read
+  // them via StatRegistry::valueOf and the metrics exporters pick them up).
+  Stat Accepted{"net.conns.accepted"};
+  Stat Requests{"net.requests"};
+  Stat RespOk{"net.resp.ok"};
+  Stat RespShed{"net.resp.shed"};
+  Stat RespDeadline{"net.resp.deadline_expired"};
+  Stat RespError{"net.resp.error"};
+  Stat RespDraining{"net.resp.draining"};
+  Stat ProtocolErrors{"net.protocol.errors"};
+  Stat WireFaults{"net.wire.faults"};
+  Histogram LatencyNs{"net.request.latency.ns"};
+  int QueueGaugeId = 0;
+  int InflightGaugeId = 0;
+
+  explicit Impl(const ServerConfig &C, Server *S) : Cfg(C), Owner(S) {
+    QueueGaugeId = obs::MetricsSampler::get().registerGauge(
+        "net.queue.depth",
+        [this] { return QueueDepth.load(std::memory_order_relaxed); });
+    InflightGaugeId = obs::MetricsSampler::get().registerGauge(
+        "net.inflight",
+        [this] { return Inflight.load(std::memory_order_relaxed); });
+  }
+
+  ~Impl() {
+    obs::MetricsSampler::get().unregisterGauge(QueueGaugeId);
+    obs::MetricsSampler::get().unregisterGauge(InflightGaugeId);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Socket I/O with wire-chaos injection
+  //===--------------------------------------------------------------------===//
+
+  /// Sends all of \p Data, consulting the wire-fault channel first: Drop
+  /// closes without writing, Truncate writes half a frame then gives up
+  /// (the peer sees a mid-frame connection loss). Returns false when the
+  /// connection is no longer usable.
+  bool sendAll(int Fd, const std::string &Data) {
+    chaos::preemptPoint(chaos::Point::WireWrite);
+    size_t Limit = Data.size();
+    bool FaultAfter = false;
+    switch (chaos::wireFaultNow()) {
+    case chaos::Fault::WireDrop:
+      WireFaults.inc();
+      return false;
+    case chaos::Fault::WireTruncate:
+      WireFaults.inc();
+      Limit = Data.size() / 2;
+      FaultAfter = true;
+      break;
+    case chaos::Fault::WireSlowRead:
+      WireFaults.inc();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      break;
+    default:
+      break;
+    }
+    size_t Off = 0;
+    while (Off < Limit) {
+      ssize_t N = ::send(Fd, Data.data() + Off, Limit - Off, MSG_NOSIGNAL);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      Off += static_cast<size_t>(N);
+    }
+    return !FaultAfter;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Connection threads
+  //===--------------------------------------------------------------------===//
+
+  void serveConn(int Fd, uint64_t ConnId) {
+    obs::emit(obs::Ev::NetAccept, ConnId);
+    // Bounded recv so the loop notices drain within ~100ms.
+    timeval TV{};
+    TV.tv_usec = 100 * 1000;
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+
+    FrameReader FR;
+    std::string Payload;
+    char Buf[4096];
+    bool Alive = true;
+    while (Alive) {
+      chaos::preemptPoint(chaos::Point::WireRead);
+      switch (chaos::wireFaultNow()) {
+      case chaos::Fault::WireDrop:
+      case chaos::Fault::WireTruncate: // mid-request drop, seen from reads
+        WireFaults.inc();
+        Alive = false;
+        continue;
+      case chaos::Fault::WireSlowRead:
+        WireFaults.inc();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        break;
+      default:
+        break;
+      }
+      ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+      if (N == 0)
+        break; // peer closed
+      if (N < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Idle tick. Once draining, stop waiting for more requests: the
+          // peer gets a clean close and retries elsewhere.
+          if (Owner->draining())
+            break;
+          continue;
+        }
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      FR.feed(Buf, static_cast<size_t>(N));
+      DecodeStatus S = DecodeStatus::NeedMore;
+      while (Alive && (S = FR.next(Payload)) == DecodeStatus::Ok) {
+        Request Req;
+        if (decodeRequest(Payload, Req) != DecodeStatus::Ok) {
+          ProtocolErrors.inc();
+          Alive = false;
+          break;
+        }
+        Requests.inc();
+        Response Resp = dispatch(Req);
+        if (!sendAll(Fd, encodeFrame(encodeResponse(Resp))))
+          Alive = false;
+      }
+      if (S == DecodeStatus::Malformed || S == DecodeStatus::Oversized) {
+        ProtocolErrors.inc();
+        break;
+      }
+    }
+    ::close(Fd);
+    LiveConns.fetch_sub(1, std::memory_order_acq_rel);
+    QCv.notify_all(); // executor may be waiting for quiescence
+  }
+
+  /// Admission + enqueue + wait: turns one decoded request into a response.
+  Response dispatch(const Request &Req) {
+    Response Resp;
+    Resp.Id = Req.Id;
+
+    if (Req.Kind == RequestKind::Ping) { // liveness: never touches the queue
+      Resp.St = Status::Ok;
+      Resp.Body = "pong";
+      RespOk.inc();
+      return Resp;
+    }
+
+    if (Owner->draining()) {
+      Resp.St = Status::Draining;
+      Resp.RetryAfterMs = 500;
+      Resp.Body = "server draining";
+      RespDraining.inc();
+      return Resp;
+    }
+
+    int64_t Depth = QueueDepth.load(std::memory_order_relaxed);
+    auto D = MemoryGovernor::get().adviseAdmission(Depth, Cfg.QueueCap);
+    if (!D.Admit) {
+      Resp.St = Status::Shed;
+      Resp.RetryAfterMs = static_cast<uint32_t>(D.RetryAfterMs);
+      Resp.Body = fmtPressure(D.Level, Depth, Cfg.QueueCap);
+      RespShed.inc();
+      obs::emit(obs::Ev::NetShed, Req.Id,
+                static_cast<uint64_t>(D.Level));
+      return Resp;
+    }
+
+    auto P = std::make_shared<Pending>();
+    P->Req = Req;
+    P->EnqueueNs = nowNs();
+    if (Req.DeadlineMs > 0)
+      P->DL.armAfter(static_cast<int64_t>(Req.DeadlineMs) * 1000000);
+    std::future<Response> Fut = P->Prom.get_future();
+    {
+      std::lock_guard<std::mutex> L(QMu);
+      Queue.push_back(P);
+      QueueDepth.store(static_cast<int64_t>(Queue.size()),
+                       std::memory_order_relaxed);
+    }
+    obs::emit(obs::Ev::NetFlowOut, Req.Id);
+    QCv.notify_one();
+    return Fut.get(); // the executor always fulfills (or sheds on drain)
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Executor: owns the Runtime, runs batches as fork-join tasks
+  //===--------------------------------------------------------------------===//
+
+  void fulfill(Pending &P, Response &&Resp) {
+    if (P.Fulfilled.exchange(true, std::memory_order_acq_rel))
+      return;
+    LatencyNs.record(nowNs() - P.EnqueueNs);
+    switch (Resp.St) {
+    case Status::Ok:
+      RespOk.inc();
+      break;
+    case Status::Shed:
+      RespShed.inc();
+      break;
+    case Status::DeadlineExpired:
+      RespDeadline.inc();
+      break;
+    case Status::Error:
+      RespError.inc();
+      break;
+    case Status::Draining:
+      RespDraining.inc();
+      break;
+    }
+    P.Prom.set_value(std::move(Resp));
+  }
+
+  /// The request body proper; runs on a strand inside Runtime::run with the
+  /// request's DeadlineCtx attached. Throws on evaluation failure.
+  std::string runBody(const Request &Req) {
+    if (Req.Kind == RequestKind::Pml) {
+      std::string Out, Rendered, Ty;
+      std::vector<std::string> Errs;
+      if (!pml::evalSource(Req.Body, Out, Rendered, Ty, Errs))
+        throw std::runtime_error(Errs.empty() ? "pml evaluation failed"
+                                              : Errs.front());
+      return Out + Rendered + " : " + Ty;
+    }
+    // Workload: "<name> <n>".
+    std::istringstream IS(Req.Body);
+    std::string Name;
+    int64_t N = 0;
+    IS >> Name >> N;
+    if (Name == "fib")
+      return std::to_string(wl::fib(N > 0 ? N : 25));
+    if (Name == "nqueens")
+      return std::to_string(wl::nqueens(N > 0 ? static_cast<int>(N) : 8));
+    if (Name == "primes") {
+      Object *A = wl::primesUpTo(N > 0 ? N : 100000);
+      return std::to_string(ops::arrLen(A));
+    }
+    if (Name == "sort") {
+      int64_t Len = N > 0 ? N : 100000;
+      Object *A = wl::randomInts(Len, 1 << 20, 0x5eedull + Req.Id);
+      Object *S = wl::mergesortInts(A);
+      return std::to_string(wl::sumInts(S));
+    }
+    throw std::runtime_error("unknown workload: " + Name);
+  }
+
+  /// Leaf of the batch fan-out: one request on its own strand/leaf heap.
+  void runOne(Pending &P) {
+    obs::emit(obs::Ev::NetFlowIn, P.Req.Id);
+    Inflight.fetch_add(1, std::memory_order_relaxed);
+    rt::ScopedDeadline SD(&P.DL);
+    Response Resp;
+    Resp.Id = P.Req.Id;
+    try {
+      rt::checkDeadline(); // expired while queued
+      Resp.Body = runBody(P.Req);
+      Resp.St = Status::Ok;
+    } catch (const DeadlineError &E) {
+      Resp.St = Status::DeadlineExpired;
+      Resp.Body =
+          "deadline overrun by " + std::to_string(E.overrunNs()) + "ns";
+      obs::emit(obs::Ev::NetDeadlineExpired, P.Req.Id,
+                static_cast<uint64_t>(E.overrunNs()));
+    } catch (const OutOfMemoryError &E) {
+      auto D = MemoryGovernor::get().adviseAdmission(0, 1);
+      Resp.St = Status::Shed;
+      Resp.RetryAfterMs = static_cast<uint32_t>(
+          D.RetryAfterMs > 0 ? D.RetryAfterMs : 100);
+      Resp.Body = "oom: requested=" + std::to_string(E.requestedBytes()) +
+                  " outstanding=" + std::to_string(E.outstandingBytes());
+      obs::emit(obs::Ev::NetShed, P.Req.Id,
+                static_cast<uint64_t>(MemoryGovernor::get().pressure()));
+    } catch (const std::exception &E) {
+      Resp.St = Status::Error;
+      Resp.Body = E.what();
+    }
+    Inflight.fetch_sub(1, std::memory_order_relaxed);
+    fulfill(P, std::move(Resp));
+  }
+
+  /// Binary fan-out so each request lands on its own rt::par leaf heap.
+  void execRange(std::vector<std::shared_ptr<Pending>> &Batch, size_t Lo,
+                 size_t Hi) {
+    if (Hi - Lo == 1) {
+      runOne(*Batch[Lo]);
+      return;
+    }
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    rt::par([&] { execRange(Batch, Lo, Mid); return 0; },
+            [&] { execRange(Batch, Mid, Hi); return 0; });
+  }
+
+  void execLoop() {
+    rt::Config RC;
+    RC.NumWorkers = Cfg.NumWorkers;
+    auto R = std::make_unique<rt::Runtime>(RC);
+    int64_t DrainStartNs = -1;
+    for (;;) {
+      std::vector<std::shared_ptr<Pending>> Batch;
+      {
+        std::unique_lock<std::mutex> L(QMu);
+        QCv.wait_for(L, std::chrono::milliseconds(50),
+                     [&] { return !Queue.empty(); });
+        while (!Queue.empty() &&
+               Batch.size() < static_cast<size_t>(Cfg.BatchMax)) {
+          Batch.push_back(std::move(Queue.front()));
+          Queue.pop_front();
+        }
+        QueueDepth.store(static_cast<int64_t>(Queue.size()),
+                         std::memory_order_relaxed);
+      }
+      bool Draining = Owner->draining();
+      if (Draining && DrainStartNs < 0) {
+        DrainStartNs = nowNs();
+        obs::emit(obs::Ev::NetDrain,
+                  static_cast<uint64_t>(Batch.size() +
+                                        QueueDepth.load()));
+      }
+      if (!Batch.empty()) {
+        bool DrainExpired =
+            DrainStartNs >= 0 &&
+            nowNs() - DrainStartNs >
+                static_cast<int64_t>(Cfg.DrainTimeoutMs) * 1000000;
+        if (DrainExpired) {
+          // Past the drain budget: shed instead of running.
+          for (auto &P : Batch) {
+            Response Resp;
+            Resp.Id = P->Req.Id;
+            Resp.St = Status::Draining;
+            Resp.RetryAfterMs = 500;
+            Resp.Body = "drain timeout";
+            fulfill(*P, std::move(Resp));
+          }
+        } else {
+          try {
+            R->run([&] { execRange(Batch, 0, Batch.size()); });
+          } catch (...) {
+            // Batch-level failure (e.g. OOM in the fan-out itself, before
+            // any request's own catch): shed whatever wasn't fulfilled.
+          }
+          for (auto &P : Batch) {
+            if (!P->Fulfilled.load(std::memory_order_acquire)) {
+              Response Resp;
+              Resp.Id = P->Req.Id;
+              Resp.St = Status::Shed;
+              Resp.RetryAfterMs = 100;
+              Resp.Body = "batch aborted under memory pressure";
+              obs::emit(obs::Ev::NetShed, P->Req.Id,
+                        static_cast<uint64_t>(
+                            MemoryGovernor::get().pressure()));
+              fulfill(*P, std::move(Resp));
+            }
+          }
+        }
+        continue; // drain the queue before checking for exit
+      }
+      // Exit once drain has begun, the accept loop is gone, every
+      // connection has unwound (so nothing can enqueue), and the queue is
+      // empty. Destroying the Runtime below flushes the obs exports.
+      if (Draining && AcceptStopped.load(std::memory_order_acquire) &&
+          LiveConns.load(std::memory_order_acquire) == 0) {
+        std::lock_guard<std::mutex> L(QMu);
+        if (Queue.empty())
+          break;
+      }
+    }
+    R.reset(); // Runtime dtor: trace/metrics/span export flush
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Accept loop
+  //===--------------------------------------------------------------------===//
+
+  void acceptLoop() {
+    pollfd PF{};
+    PF.fd = ListenFd;
+    PF.events = POLLIN;
+    while (!Owner->draining()) {
+      int R = ::poll(&PF, 1, 100);
+      if (R <= 0)
+        continue;
+      sockaddr_in Peer{};
+      socklen_t PeerLen = sizeof(Peer);
+      int Fd = ::accept(ListenFd, reinterpret_cast<sockaddr *>(&Peer),
+                        &PeerLen);
+      if (Fd < 0)
+        continue;
+      if (LiveConns.load(std::memory_order_relaxed) >= Cfg.MaxConns) {
+        ::close(Fd);
+        continue;
+      }
+      Accepted.inc();
+      LiveConns.fetch_add(1, std::memory_order_acq_rel);
+      uint64_t ConnId = NextConnId.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> L(ConnMu);
+      ConnThreads.emplace_back([this, Fd, ConnId] { serveConn(Fd, ConnId); });
+    }
+    ::close(ListenFd);
+    ListenFd = -1;
+    AcceptStopped.store(true, std::memory_order_release);
+    QCv.notify_all();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+Server::Server(const ServerConfig &C) : I(new Impl(C, this)) {}
+
+Server::~Server() {
+  if (I->Started)
+    waitUntilDrained();
+  delete I;
+}
+
+bool Server::start() {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(I->Cfg.Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 64) < 0) {
+    ::close(Fd);
+    return false;
+  }
+  socklen_t AddrLen = sizeof(Addr);
+  ::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen);
+  BoundPort = ntohs(Addr.sin_port);
+  I->ListenFd = Fd;
+  I->Started = true;
+  I->AcceptThread = std::thread([this] { I->acceptLoop(); });
+  I->ExecThread = std::thread([this] { I->execLoop(); });
+  return true;
+}
+
+void Server::waitUntilDrained() {
+  requestDrain();
+  std::lock_guard<std::mutex> JL(I->JoinMu);
+  if (I->Joined || !I->Started)
+    return;
+  I->AcceptThread.join();
+  // The accept thread is gone, so ConnThreads is stable now.
+  {
+    std::lock_guard<std::mutex> L(I->ConnMu);
+    for (auto &T : I->ConnThreads)
+      T.join();
+    I->ConnThreads.clear();
+  }
+  I->ExecThread.join();
+  I->Joined = true;
+}
+
+ServerTotals Server::totals() const {
+  ServerTotals T;
+  T.Accepted = I->Accepted.get();
+  T.Requests = I->Requests.get();
+  T.Ok = I->RespOk.get();
+  T.Shed = I->RespShed.get();
+  T.DeadlineExpired = I->RespDeadline.get();
+  T.Errors = I->RespError.get();
+  T.Draining = I->RespDraining.get();
+  T.WireFaults = I->WireFaults.get();
+  T.ProtocolErrors = I->ProtocolErrors.get();
+  return T;
+}

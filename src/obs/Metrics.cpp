@@ -7,6 +7,7 @@
 #include "obs/Metrics.h"
 
 #include "obs/Profile.h"
+#include "obs/Span.h"
 #include "obs/Trace.h"
 #include "support/Histogram.h"
 #include "support/Json.h"
@@ -120,6 +121,9 @@ MetricsSample MetricsSampler::recordSampleLocked() {
             }
           }
   }
+  // Task-depth throughput from the span ledger (atomic loads only; no lock
+  // ordering concern — the ledger's Mu is never involved).
+  S.TaskDepthHist = SpanLedger::taskDepthHistogram();
   Series.push_back(S);
   return S;
 }
@@ -243,6 +247,14 @@ std::string MetricsSampler::jsonDump() const {
                     static_cast<long long>(S.DepthHist[D]));
       Out += Buf;
     }
+    Out += "],\"task_depth_hist\":[";
+    for (size_t D = 0; D < S.TaskDepthHist.size(); ++D) {
+      if (D)
+        Out += ",";
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(S.TaskDepthHist[D]));
+      Out += Buf;
+    }
     Out += "]}}";
   }
   Out += "\n],\"histograms\":[\n";
@@ -255,12 +267,13 @@ std::string MetricsSampler::jsonDump() const {
     Histogram::Percentiles Pct = H.percentiles();
     std::snprintf(Buf, sizeof(Buf),
                   "\"count\":%lld,\"sum\":%lld,"
-                  "\"p50\":%lld,\"p95\":%lld,\"p99\":%lld,",
+                  "\"p50\":%lld,\"p95\":%lld,\"p99\":%lld,\"p999\":%lld,",
                   static_cast<long long>(H.count()),
                   static_cast<long long>(H.sum()),
                   static_cast<long long>(Pct.P50),
                   static_cast<long long>(Pct.P95),
-                  static_cast<long long>(Pct.P99));
+                  static_cast<long long>(Pct.P99),
+                  static_cast<long long>(Pct.P999));
     Out += Buf;
     Out += "\"buckets\":[";
     bool FirstB = true;
@@ -305,14 +318,19 @@ bool MetricsSampler::writeCsv(const std::string &P) const {
   // Depth-histogram columns: one per depth seen anywhere in the series
   // (short samples pad with zeros), mirroring the gauge-union policy.
   size_t DepthCols = 0;
-  for (const MetricsSample &S : Snap)
+  size_t TaskDepthCols = 0;
+  for (const MetricsSample &S : Snap) {
     DepthCols = std::max(DepthCols, S.DepthHist.size());
+    TaskDepthCols = std::max(TaskDepthCols, S.TaskDepthHist.size());
+  }
 
   std::string Out = "t_ns,";
   Out += EmCsvColumns;
   Out += ",live_heaps,max_heap_depth";
   for (size_t D = 0; D < DepthCols; ++D)
     Out += ",heaps_d" + std::to_string(D);
+  for (size_t D = 0; D < TaskDepthCols; ++D)
+    Out += ",tasks_d" + std::to_string(D);
   for (const std::string &C : GaugeCols)
     Out += "," + C;
   Out += "\n";
@@ -330,6 +348,11 @@ bool MetricsSampler::writeCsv(const std::string &P) const {
       std::snprintf(Buf, sizeof(Buf), ",%lld", static_cast<long long>(N));
       Out += Buf;
     }
+    for (size_t D = 0; D < TaskDepthCols; ++D) {
+      int64_t N = D < S.TaskDepthHist.size() ? S.TaskDepthHist[D] : 0;
+      std::snprintf(Buf, sizeof(Buf), ",%lld", static_cast<long long>(N));
+      Out += Buf;
+    }
     for (const std::string &C : GaugeCols) {
       Out += ",";
       for (const auto &[Name, V] : S.Gauges)
@@ -344,19 +367,20 @@ bool MetricsSampler::writeCsv(const std::string &P) const {
 
   // Histogram summary block (blank-line separated so the time-series part
   // stays directly loadable); same percentile semantics as the JSON dump.
-  Out += "\nhistogram,count,sum,p50,p95,p99\n";
+  Out += "\nhistogram,count,sum,p50,p95,p99,p999\n";
   HistogramRegistry::get().forEach([&](const Histogram &H) {
     int64_t N = H.count();
     if (N == 0)
       return;
     Histogram::Percentiles Pct = H.percentiles();
     char HBuf[256];
-    std::snprintf(HBuf, sizeof(HBuf), "%s,%lld,%lld,%lld,%lld,%lld\n",
+    std::snprintf(HBuf, sizeof(HBuf), "%s,%lld,%lld,%lld,%lld,%lld,%lld\n",
                   H.name(), static_cast<long long>(N),
                   static_cast<long long>(H.sum()),
                   static_cast<long long>(Pct.P50),
                   static_cast<long long>(Pct.P95),
-                  static_cast<long long>(Pct.P99));
+                  static_cast<long long>(Pct.P99),
+                  static_cast<long long>(Pct.P999));
     Out += HBuf;
   });
   return writeFile(P, Out);

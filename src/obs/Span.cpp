@@ -46,6 +46,11 @@ thread_local SpanTlsSlot SpanTls;
 thread_local int SpanTlsWorkerId = -1;
 
 uint16_t sat16(uint32_t V) { return V > 0xffff ? 0xffff : uint16_t(V); }
+
+/// Cumulative per-depth finished-task counters (SpanLedger::TaskDepthBuckets
+/// buckets, last one saturating). Relaxed: sampled asynchronously by the
+/// metrics thread, exactness per sample does not matter.
+std::atomic<int64_t> TaskDepthCounts[SpanLedger::TaskDepthBuckets] = {};
 uint8_t sat8(uint32_t V) { return V > 0xff ? 0xff : uint8_t(V); }
 
 void appendJsonKV(std::string &Out, const char *Key, double V) {
@@ -328,7 +333,22 @@ void obs::detail::finishTask(const SpanTask &T, int64_t StopNs) {
   R.SrcLine = uint16_t(T.Loc >> 8);
   R.SrcCol = uint8_t(T.Loc & 0xff);
   R.HeapDepth = sat8(T.HeapDepth);
+  uint32_t B = std::min<uint32_t>(T.HeapDepth, SpanLedger::TaskDepthBuckets - 1);
+  TaskDepthCounts[B].fetch_add(1, std::memory_order_relaxed);
   SpanLedger::get().append(R);
+}
+
+std::vector<int64_t> SpanLedger::taskDepthHistogram() {
+  std::vector<int64_t> H(TaskDepthBuckets, 0);
+  int Last = -1;
+  for (int B = 0; B < TaskDepthBuckets; ++B) {
+    H[static_cast<size_t>(B)] =
+        TaskDepthCounts[B].load(std::memory_order_relaxed);
+    if (H[static_cast<size_t>(B)] != 0)
+      Last = B;
+  }
+  H.resize(static_cast<size_t>(Last + 1));
+  return H;
 }
 
 //===----------------------------------------------------------------------===//

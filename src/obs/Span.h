@@ -189,6 +189,14 @@ public:
   /// Internal: append one finished task on the calling thread's shard.
   void append(const SpanRecord &R);
 
+  /// Cumulative finished-task counts per heap depth since process start
+  /// (depth >= TaskDepthBuckets-1 folds into the last bucket). Monotone,
+  /// never reset by runBegin: the metrics sampler snapshots it per sample,
+  /// so deltas between samples show *where in the tree* work is landing
+  /// over time. All-zero while the ledger has never been armed.
+  static constexpr int TaskDepthBuckets = 32;
+  static std::vector<int64_t> taskDepthHistogram();
+
   /// Internal: attribute one barrier event to packed source loc \p Loc.
   void noteLineEvent(uint32_t Loc, bool Pin);
 

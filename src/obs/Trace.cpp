@@ -50,6 +50,9 @@ struct KindInfo {
   char Phase;
   const char *Arg0;
   const char *Arg1;
+  /// Flow-binding category for 's'/'f' phases (flows bind by (cat, name,
+  /// id)); the span flows predate the field, hence the default.
+  const char *Cat = "spans";
 };
 
 constexpr KindInfo Kinds[] = {
@@ -80,6 +83,12 @@ constexpr KindInfo Kinds[] = {
     /* ContResume       */ {"cont_resume", 'i', "bytes", "depth"},
     /* FlowOut          */ {"task_flow", 's', nullptr, nullptr},
     /* FlowIn           */ {"task_flow", 'f', nullptr, nullptr},
+    /* NetAccept        */ {"net.accept", 'i', "conn", nullptr},
+    /* NetShed          */ {"net.shed", 'i', "req", "pressure"},
+    /* NetDeadlineExpired */ {"net.deadline_expired", 'i', "req", "overrun_ns"},
+    /* NetDrain         */ {"net.drain", 'i', "inflight", nullptr},
+    /* NetFlowOut       */ {"net.request_flow", 's', nullptr, nullptr, "net"},
+    /* NetFlowIn        */ {"net.request_flow", 'f', nullptr, nullptr, "net"},
 };
 static_assert(sizeof(Kinds) / sizeof(Kinds[0]) ==
                   static_cast<size_t>(Ev::NumKinds),
@@ -107,7 +116,7 @@ void appendEventJson(std::string &Out, const KindInfo &KI, int Track,
   if (KI.Phase == 's' || KI.Phase == 'f') {
     // Flow events bind by (cat, name, id); 'f' with bp:"e" attaches to the
     // enclosing slice at the receiving end.
-    std::snprintf(Buf, sizeof(Buf), ",\"cat\":\"spans\",\"id\":%llu",
+    std::snprintf(Buf, sizeof(Buf), ",\"cat\":\"%s\",\"id\":%llu", KI.Cat,
                   static_cast<unsigned long long>(E.Arg0));
     Out += Buf;
     if (KI.Phase == 'f')

@@ -81,6 +81,12 @@ enum class Ev : uint16_t {
   ContResume,       ///< Continuation resumed; Arg0 = bytes, Arg1 = depth.
   FlowOut,          ///< Fork edge out (Chrome flow 's'); Arg0 = child id.
   FlowIn,           ///< Task begin (Chrome flow 'f'); Arg0 = task id.
+  NetAccept,        ///< Connection accepted; Arg0 = connection id.
+  NetShed,          ///< Request shed; Arg0 = request id, Arg1 = pressure.
+  NetDeadlineExpired, ///< Request aborted; Arg0 = req id, Arg1 = overrun ns.
+  NetDrain,         ///< Server began draining; Arg0 = in-flight requests.
+  NetFlowOut,       ///< Request enqueued (flow 's'); Arg0 = request id.
+  NetFlowIn,        ///< Request starts executing (flow 'f'); Arg0 = req id.
   NumKinds
 };
 

@@ -440,9 +440,19 @@ void Vm::doResume() {
 }
 
 void Vm::runLoop(size_t Floor) {
+  // Deadline poll cadence: cheap enough to be invisible (one decrement per
+  // dispatch), frequent enough that a tight pml loop that never allocates
+  // still notices an expired request within ~256 instructions. The throw
+  // unwinds like OOM: out of the VM to the rt::par branch boundary.
+  constexpr uint32_t DeadlinePollEvery = 256;
+  uint32_t PollBudget = DeadlinePollEvery;
   while (true) {
     if (Trap->Trapped.load(std::memory_order_relaxed))
       return; // callFunction unwinds the stacks to its entry state.
+    if (--PollBudget == 0) {
+      PollBudget = DeadlinePollEvery;
+      rt::checkDeadline();
+    }
     Frame &F = Frames.back();
     MPL_DASSERT(F.Ip < F.Fn->Code.size(), "instruction pointer out of range");
     const Instr &In = F.Fn->Code[F.Ip++];

@@ -29,6 +29,11 @@ Stat NumForks("sched.forks");
 /// Latency of *successful* steal attempts: entering tryStealAndRun to
 /// acquiring a job (failed probe rounds would swamp the distribution).
 Histogram StealLatencyNs("sched.steal.latency.ns");
+
+/// Strand-quantum poll installed by the runtime layer (deadline latching).
+/// Read on every strandPause; the write happens at Runtime setup/teardown
+/// while workers are quiescent, but an atomic keeps TSan happy.
+std::atomic<void (*)()> StrandPollHook{nullptr};
 } // namespace
 
 Scheduler *Scheduler::current() { return CurScheduler; }
@@ -79,7 +84,16 @@ Scheduler::~Scheduler() {
     delete W;
 }
 
+void Scheduler::setStrandPollHook(void (*Hook)()) {
+  StrandPollHook.store(Hook, std::memory_order_release);
+}
+
 void Scheduler::strandPause(Worker *W) {
+  // The quantum boundary is the deadline poll point: it runs whether or not
+  // the profiler is on, so expired requests are latched even in -noprofile
+  // runs. The hook never throws (flag-latch only).
+  if (void (*Hook)() = StrandPollHook.load(std::memory_order_acquire))
+    Hook();
   if (!ProfileEnabled || W->StrandStartNs == 0)
     return;
   obs::emit(obs::Ev::StrandEnd);

@@ -118,6 +118,13 @@ public:
   /// Work-span totals of the last completed run().
   WorkSpan lastRun() const { return Last; }
 
+  /// Installs a poll run at every strand quantum boundary (strandPause),
+  /// i.e. each time user code yields the worker at a fork or join. The
+  /// runtime layer uses it to latch request-deadline expiry; it runs on
+  /// worker threads mid-schedule, so it must never throw or block. Null
+  /// uninstalls.
+  static void setStrandPollHook(void (*Hook)());
+
 private:
   using Thunk = void (*)(void *);
 

@@ -45,22 +45,23 @@ Histogram::Percentiles Histogram::percentiles() const {
   int64_t Total = count();
   if (Total == 0)
     return P;
-  // One scan, three targets: approxQuantile semantics (first bucket whose
+  // One scan, four targets: approxQuantile semantics (first bucket whose
   // cumulative count strictly exceeds Q * Total; value is the bucket's
   // inclusive upper bound).
-  const double Qs[3] = {0.50, 0.95, 0.99};
-  int64_t *Out[3] = {&P.P50, &P.P95, &P.P99};
+  constexpr int NumQs = 4;
+  const double Qs[NumQs] = {0.50, 0.95, 0.99, 0.999};
+  int64_t *Out[NumQs] = {&P.P50, &P.P95, &P.P99, &P.P999};
   int Next = 0;
   int64_t Seen = 0;
-  for (int B = 0; B < NumBuckets && Next < 3; ++B) {
+  for (int B = 0; B < NumBuckets && Next < NumQs; ++B) {
     Seen += bucketCount(B);
-    while (Next < 3 &&
+    while (Next < NumQs &&
            Seen > static_cast<int64_t>(Qs[Next] * static_cast<double>(Total))) {
       *Out[Next] = B == 0 ? 0 : (static_cast<int64_t>(1) << B) - 1;
       ++Next;
     }
   }
-  for (; Next < 3; ++Next)
+  for (; Next < NumQs; ++Next)
     *Out[Next] = sum();
   return P;
 }

@@ -67,10 +67,14 @@ public:
 
   /// The standard latency-report quantiles, extracted in one pass over
   /// the buckets (same bucket-upper-bound semantics as approxQuantile).
+  /// P999 (the 99.9th percentile) is what tail-latency gates care about:
+  /// at serving rates of thousands of requests, P99 still hides the
+  /// stalls that pages an operator.
   struct Percentiles {
     int64_t P50 = 0;
     int64_t P95 = 0;
     int64_t P99 = 0;
+    int64_t P999 = 0;
   };
   Percentiles percentiles() const;
 

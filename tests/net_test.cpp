@@ -1,0 +1,399 @@
+//===- tests/net_test.cpp - Wire protocol and request server --------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Codec tests (varints, framing, message round-trips, malformed input —
+/// all pure, no sockets) and end-to-end request-server tests: OK
+/// responses, admission shedding, deadline expiry with zero leaked pins,
+/// graceful drain, and seed-replayable wire chaos.
+///
+//===----------------------------------------------------------------------===//
+
+#include "chaos/ChaosSchedule.h"
+#include "net/Client.h"
+#include "net/Frame.h"
+#include "net/Server.h"
+#include "obs/Profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mpl;
+using namespace mpl::net;
+
+namespace {
+
+std::vector<uint8_t> bytes(std::initializer_list<int> L) {
+  std::vector<uint8_t> V;
+  for (int B : L)
+    V.push_back(static_cast<uint8_t>(B));
+  return V;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Varints
+//===----------------------------------------------------------------------===//
+
+TEST(VarintTest, RoundTrip32) {
+  for (uint64_t V : {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                     0xffffffffull}) {
+    std::string S;
+    putVarint(S, V);
+    uint32_t Out = 0;
+    size_t Used = 0;
+    ASSERT_EQ(getVarint(reinterpret_cast<const uint8_t *>(S.data()), S.size(),
+                        Out, Used),
+              DecodeStatus::Ok)
+        << V;
+    EXPECT_EQ(Out, V);
+    EXPECT_EQ(Used, S.size());
+  }
+}
+
+TEST(VarintTest, RoundTrip64) {
+  for (uint64_t V :
+       {0ull, 1ull, 0xffffffffull, 0x100000000ull, ~0ull >> 1, ~0ull}) {
+    std::string S;
+    putVarint(S, V);
+    uint64_t Out = 0;
+    size_t Used = 0;
+    ASSERT_EQ(getVarint64(reinterpret_cast<const uint8_t *>(S.data()),
+                          S.size(), Out, Used),
+              DecodeStatus::Ok);
+    EXPECT_EQ(Out, V);
+    EXPECT_EQ(Used, S.size());
+  }
+}
+
+TEST(VarintTest, TruncatedIsNeedMore) {
+  // 0x80 = "value continues" with no next byte.
+  auto B = bytes({0x80});
+  uint32_t V = 0;
+  size_t Used = 0;
+  EXPECT_EQ(getVarint(B.data(), B.size(), V, Used), DecodeStatus::NeedMore);
+}
+
+TEST(VarintTest, FiveContinuationBytesIsMalformedFor32) {
+  auto B = bytes({0x80, 0x80, 0x80, 0x80, 0x80, 0x01});
+  uint32_t V = 0;
+  size_t Used = 0;
+  EXPECT_EQ(getVarint(B.data(), B.size(), V, Used), DecodeStatus::Malformed);
+}
+
+TEST(VarintTest, Overflow32IsMalformed) {
+  // 2^32 encodes in 5 bytes but exceeds uint32.
+  std::string S;
+  putVarint(S, 0x100000000ull);
+  uint32_t V = 0;
+  size_t Used = 0;
+  EXPECT_EQ(getVarint(reinterpret_cast<const uint8_t *>(S.data()), S.size(),
+                      V, Used),
+            DecodeStatus::Malformed);
+}
+
+TEST(VarintTest, NonCanonicalTrailingZeroIsMalformed) {
+  // "0x80 0x00" is a 2-byte encoding of 0; only "0x00" is canonical.
+  auto B = bytes({0x80, 0x00});
+  uint32_t V = 0;
+  size_t Used = 0;
+  EXPECT_EQ(getVarint(B.data(), B.size(), V, Used), DecodeStatus::Malformed);
+}
+
+TEST(VarintTest, Overflow64IsMalformed) {
+  // Eleven continuation bytes: shift past 64 bits.
+  auto B = bytes({0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                  0x01});
+  uint64_t V = 0;
+  size_t Used = 0;
+  EXPECT_EQ(getVarint64(B.data(), B.size(), V, Used), DecodeStatus::Malformed);
+}
+
+//===----------------------------------------------------------------------===//
+// Frames
+//===----------------------------------------------------------------------===//
+
+TEST(FrameTest, RoundTripIncrementalFeed) {
+  std::string P1(1000, 'a'), P2 = "x";
+  std::string Wire = encodeFrame(P1) + encodeFrame(P2);
+  FrameReader R;
+  std::string Out;
+  // Byte-at-a-time: NeedMore until each frame completes.
+  std::vector<std::string> Got;
+  for (char C : Wire) {
+    R.feed(&C, 1);
+    while (R.next(Out) == DecodeStatus::Ok)
+      Got.push_back(Out);
+  }
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0], P1);
+  EXPECT_EQ(Got[1], P2);
+  EXPECT_EQ(R.pendingBytes(), 0u);
+}
+
+TEST(FrameTest, OversizedLengthIsRejectedAndSticky) {
+  std::string Wire;
+  putVarint(Wire, MaxFrameBytes + 1);
+  FrameReader R;
+  R.feed(Wire.data(), Wire.size());
+  std::string Out;
+  EXPECT_EQ(R.next(Out), DecodeStatus::Oversized);
+  // Sticky: more (even valid) bytes cannot resurrect the stream.
+  std::string Valid = encodeFrame("ok");
+  R.feed(Valid.data(), Valid.size());
+  EXPECT_EQ(R.next(Out), DecodeStatus::Oversized);
+}
+
+TEST(FrameTest, MalformedLengthVarintIsSticky) {
+  auto B = bytes({0x80, 0x80, 0x80, 0x80, 0x80, 0x01});
+  FrameReader R;
+  R.feed(B.data(), B.size());
+  std::string Out;
+  EXPECT_EQ(R.next(Out), DecodeStatus::Malformed);
+  EXPECT_EQ(R.next(Out), DecodeStatus::Malformed);
+}
+
+TEST(FrameTest, TruncatedFrameStaysNeedMore) {
+  std::string Wire = encodeFrame(std::string(100, 'z'));
+  FrameReader R;
+  R.feed(Wire.data(), Wire.size() - 1); // one byte short
+  std::string Out;
+  EXPECT_EQ(R.next(Out), DecodeStatus::NeedMore);
+  R.feed(Wire.data() + Wire.size() - 1, 1);
+  EXPECT_EQ(R.next(Out), DecodeStatus::Ok);
+  EXPECT_EQ(Out.size(), 100u);
+}
+
+//===----------------------------------------------------------------------===//
+// Messages
+//===----------------------------------------------------------------------===//
+
+TEST(MessageTest, RequestRoundTrip) {
+  Request R;
+  R.Id = 0x1234567890abcdefull;
+  R.Kind = RequestKind::Workload;
+  R.DeadlineMs = 2500;
+  R.Body = "fib 30";
+  Request Out;
+  ASSERT_EQ(decodeRequest(encodeRequest(R), Out), DecodeStatus::Ok);
+  EXPECT_EQ(Out.Id, R.Id);
+  EXPECT_EQ(Out.Kind, R.Kind);
+  EXPECT_EQ(Out.DeadlineMs, R.DeadlineMs);
+  EXPECT_EQ(Out.Body, R.Body);
+}
+
+TEST(MessageTest, ResponseRoundTrip) {
+  Response R;
+  R.Id = 42;
+  R.St = Status::Shed;
+  R.RetryAfterMs = 200;
+  R.Body = "pressure=hard queue=8/8";
+  Response Out;
+  ASSERT_EQ(decodeResponse(encodeResponse(R), Out), DecodeStatus::Ok);
+  EXPECT_EQ(Out.Id, R.Id);
+  EXPECT_EQ(Out.St, R.St);
+  EXPECT_EQ(Out.RetryAfterMs, R.RetryAfterMs);
+  EXPECT_EQ(Out.Body, R.Body);
+}
+
+TEST(MessageTest, MalformedMessagesRejected) {
+  Request R;
+  EXPECT_EQ(decodeRequest("", R), DecodeStatus::Malformed);
+  EXPECT_EQ(decodeRequest("X", R), DecodeStatus::Malformed); // bad tag
+  std::string Good = encodeRequest(Request{});
+  // Truncated payload (drop last byte of a complete message).
+  EXPECT_EQ(decodeRequest(Good.substr(0, Good.size() - 1), R),
+            DecodeStatus::Malformed);
+  // Trailing garbage after a complete message.
+  EXPECT_EQ(decodeRequest(Good + "!", R), DecodeStatus::Malformed);
+  // Out-of-range kind byte.
+  std::string BadKind = Good;
+  BadKind[2] = 9; // 'Q' varint(0) <kind> ...
+  EXPECT_EQ(decodeRequest(BadKind, R), DecodeStatus::Malformed);
+  Response S;
+  EXPECT_EQ(decodeResponse("", S), DecodeStatus::Malformed);
+  EXPECT_EQ(decodeResponse("Q", S), DecodeStatus::Malformed); // wrong tag
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end server
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Starts a server, runs \p Fn with it, drains, and returns totals.
+template <typename Fn>
+ServerTotals withServer(ServerConfig SC, Fn &&Body) {
+  Server Srv(SC);
+  EXPECT_TRUE(Srv.start());
+  Body(Srv);
+  Srv.waitUntilDrained();
+  return Srv.totals();
+}
+
+} // namespace
+
+TEST(ServerTest, OkResponsesForMixedKinds) {
+  ServerConfig SC;
+  SC.NumWorkers = 2;
+  ServerTotals T = withServer(SC, [&](Server &Srv) {
+    Client C;
+    ASSERT_TRUE(C.connect(Srv.port()));
+    Request R;
+    R.Id = 1;
+    R.Kind = RequestKind::Workload;
+    R.Body = "fib 20";
+    Response Resp;
+    ASSERT_TRUE(C.call(R, Resp));
+    EXPECT_EQ(Resp.Id, 1u);
+    EXPECT_EQ(Resp.St, Status::Ok);
+    EXPECT_EQ(Resp.Body, "6765");
+
+    R.Id = 2;
+    R.Kind = RequestKind::Pml;
+    R.Body = "1 + 2 * 3";
+    ASSERT_TRUE(C.call(R, Resp));
+    EXPECT_EQ(Resp.St, Status::Ok);
+    EXPECT_EQ(Resp.Body, "7 : int");
+
+    R.Id = 3;
+    R.Kind = RequestKind::Ping;
+    R.Body.clear();
+    ASSERT_TRUE(C.call(R, Resp));
+    EXPECT_EQ(Resp.St, Status::Ok);
+    EXPECT_EQ(Resp.Body, "pong");
+
+    R.Id = 4;
+    R.Kind = RequestKind::Workload;
+    R.Body = "nosuchkernel 1";
+    ASSERT_TRUE(C.call(R, Resp));
+    EXPECT_EQ(Resp.St, Status::Error);
+  });
+  EXPECT_EQ(T.Requests, 4);
+  EXPECT_EQ(T.Ok, 3);
+  EXPECT_EQ(T.Errors, 1);
+}
+
+TEST(ServerTest, ZeroCapacityQueueShedsWithRetryHint) {
+  ServerConfig SC;
+  SC.QueueCap = 0; // the admission ladder can never admit
+  ServerTotals T = withServer(SC, [&](Server &Srv) {
+    Client C;
+    ASSERT_TRUE(C.connect(Srv.port()));
+    Request R;
+    R.Id = 7;
+    R.Kind = RequestKind::Workload;
+    R.Body = "fib 10";
+    Response Resp;
+    ASSERT_TRUE(C.call(R, Resp));
+    EXPECT_EQ(Resp.St, Status::Shed);
+    EXPECT_GT(Resp.RetryAfterMs, 0u);
+    EXPECT_NE(Resp.Body.find("pressure="), std::string::npos);
+  });
+  EXPECT_EQ(T.Shed, 1);
+  EXPECT_EQ(T.Ok, 0);
+}
+
+TEST(ServerTest, DeadlineExpiresMidRunAndReleasesPins) {
+  obs::Profiler::get().enable();
+  ServerConfig SC;
+  SC.NumWorkers = 2;
+  ServerTotals T = withServer(SC, [&](Server &Srv) {
+    Client C;
+    ASSERT_TRUE(C.connect(Srv.port()));
+    Request R;
+    R.Id = 9;
+    R.Kind = RequestKind::Workload;
+    R.Body = "fib 45"; // minutes of work; must be cut off in ~20ms
+    R.DeadlineMs = 20;
+    Response Resp;
+    ASSERT_TRUE(C.call(R, Resp));
+    EXPECT_EQ(Resp.St, Status::DeadlineExpired);
+    EXPECT_NE(Resp.Body.find("overrun"), std::string::npos);
+  });
+  EXPECT_EQ(T.DeadlineExpired, 1);
+  // The aborted task's heaps joined; the join unpin rule released its pins.
+  EXPECT_EQ(obs::Profiler::get().livePinCount(), 0);
+}
+
+TEST(ServerTest, DrainRefusesNewWorkThenStops) {
+  ServerConfig SC;
+  ServerTotals T = withServer(SC, [&](Server &Srv) {
+    Client C;
+    ASSERT_TRUE(C.connect(Srv.port()));
+    Request R;
+    R.Id = 11;
+    R.Kind = RequestKind::Workload;
+    R.Body = "fib 15";
+    Response Resp;
+    ASSERT_TRUE(C.call(R, Resp));
+    EXPECT_EQ(Resp.St, Status::Ok);
+    Srv.requestDrain();
+    // Same (still-open) connection: a request decoded during drain gets a
+    // structured DRAINING response before the connection closes.
+    R.Id = 12;
+    if (C.call(R, Resp))
+      EXPECT_EQ(Resp.St, Status::Draining);
+  });
+  EXPECT_EQ(T.Ok, 1);
+}
+
+TEST(ServerTest, WireChaosIsReplayableBySeed) {
+  // Deterministic every-Nth wire fault on the server's (single) connection
+  // thread: two identical runs must observe identical fault totals, and
+  // the client must survive every injection via reconnect + retry.
+  auto RunOnce = [](int64_t &WireFaults, int64_t &Delivered) {
+    chaos::Config CC;
+    CC.Seed = 42;
+    CC.WireFault = chaos::Fault::WireDrop;
+    CC.WireFaultEveryN = 5;
+    chaos::enable(CC);
+    ServerConfig SC;
+    Delivered = 0;
+    ServerTotals T = withServer(SC, [&](Server &Srv) {
+      Client C;
+      RetryPolicy P;
+      P.MaxAttempts = 10;
+      for (int I = 0; I < 20; ++I) {
+        Request R;
+        R.Id = static_cast<uint64_t>(I) + 1;
+        R.Kind = RequestKind::Workload;
+        R.Body = "fib 12";
+        CallResult CR = callWithRetry(C, Srv.port(), R, P);
+        if (CR.Delivered && CR.St == Status::Ok)
+          ++Delivered;
+      }
+    });
+    WireFaults = T.WireFaults;
+    chaos::disable();
+  };
+  int64_t F1 = 0, D1 = 0, F2 = 0, D2 = 0;
+  RunOnce(F1, D1);
+  RunOnce(F2, D2);
+  EXPECT_GT(F1, 0);
+  EXPECT_EQ(F1, F2) << "same seed, same wire-fault schedule";
+  EXPECT_EQ(D1, 20);
+  EXPECT_EQ(D2, 20);
+}
+
+TEST(ServerTest, BackoffHonorsServerHint) {
+  RetryPolicy P;
+  P.BaseBackoffMs = 10;
+  P.MaxBackoffMs = 100;
+  // The server hint is a floor: with a 200ms hint every backoff is >= 200.
+  for (int A = 1; A <= 4; ++A)
+    EXPECT_GE(P.backoffMs(A, 200), 200);
+  // Without a hint, backoff is capped and positive.
+  for (int A = 1; A <= 8; ++A) {
+    int64_t W = P.backoffMs(A, 0);
+    EXPECT_GE(W, 1);
+    EXPECT_LE(W, P.MaxBackoffMs);
+  }
+}

@@ -167,10 +167,25 @@ TEST(HistogramTest, PercentilesMatchBucketBounds) {
   EXPECT_EQ(P.P50, 15);   // Cumulative 90 > 50.
   EXPECT_EQ(P.P95, 1023); // Cumulative 90 <= 95 < 100.
   EXPECT_EQ(P.P99, 1023);
+  EXPECT_EQ(P.P999, 1023);
   // One-pass percentiles agree with the per-quantile walk.
   EXPECT_EQ(P.P50, H.approxQuantile(0.50));
   EXPECT_EQ(P.P95, H.approxQuantile(0.95));
   EXPECT_EQ(P.P99, H.approxQuantile(0.99));
+  EXPECT_EQ(P.P999, H.approxQuantile(0.999));
+}
+
+TEST(HistogramTest, P999SeparatesFromP99InLongTail) {
+  Histogram H("test.percentiles.tail");
+  // 9990 fast samples, 10 slow outliers: P99 stays in the fast bucket
+  // while P999 lands on the outliers.
+  for (int I = 0; I < 9990; ++I)
+    H.record(10); // Bucket 4, upper bound 15.
+  for (int I = 0; I < 10; ++I)
+    H.record(1'000'000); // Bucket 20: [2^19, 2^20), upper bound 2^20-1.
+  Histogram::Percentiles P = H.percentiles();
+  EXPECT_EQ(P.P99, 15);
+  EXPECT_EQ(P.P999, (1 << 20) - 1);
 }
 
 TEST(HistogramTest, PercentilesOfEmptyAndSingleton) {
@@ -185,6 +200,7 @@ TEST(HistogramTest, PercentilesOfEmptyAndSingleton) {
   EXPECT_EQ(P.P50, 127);
   EXPECT_EQ(P.P95, 127);
   EXPECT_EQ(P.P99, 127);
+  EXPECT_EQ(P.P999, 127);
 }
 
 TEST(HistogramTest, PercentilesZeroValuedSamplesUseBucketZero) {

@@ -55,6 +55,17 @@ PRESSURE_CACHE_MB=${PRESSURE_CACHE_MB:-4}
 PRESSURE_FAULT_EVERY_N=${PRESSURE_FAULT_EVERY_N:-5}
 PRESSURE_SEEDS=${PRESSURE_SEEDS:-10}
 
+# Server-smoke knobs (DESIGN.md §15). The request server runs under the
+# same memory limit and alloc-fault cadence as the pressure stage, plus
+# seeded wire chaos (drops, truncations, slow reads); mpl_client drives a
+# mixed workload through the retry/backoff path, then SIGTERM drains the
+# server. Pass criteria: server exits 0 (clean drain, leaked pins == 0),
+# zero protocol errors, every shed structured, and the trace's
+# net.request_flow enqueue/execute pairs balanced.
+SERVER_SMOKE_SEED=${SERVER_SMOKE_SEED:-7}
+SERVER_SMOKE_REQS=${SERVER_SMOKE_REQS:-120}
+SERVER_SMOKE_WIRE_PERMILLE=${SERVER_SMOKE_WIRE_PERMILLE:-30}
+
 run_config() {
   local preset=$1 seeds=$2
   echo "==== [$preset] configure + build ===="
@@ -103,6 +114,49 @@ run_config() {
   "$bdir/tools/mpl_trace_check" "$bdir/trace_smoke.json" \
     --require-event fork --require-event heap_join \
     --require-event pin --require-event gc
+
+  echo "==== [$preset] server smoke (wire chaos + 1/${PRESSURE_FAULT_EVERY_N} alloc faults + ${PRESSURE_LIMIT_MB}MB limit) ===="
+  local srv_log="$bdir/server_smoke.log"
+  # The 16MB limit makes gc/pressure events dominate the trace; the default
+  # 64K-slot per-thread ring wraps and loses the earliest request_flow 'f'
+  # halves, so give the smoke a 256K ring (8MB/thread, 32B/event).
+  ASAN_OPTIONS="detect_leaks=0" \
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  MPL_MEM_LIMIT_MB=$PRESSURE_LIMIT_MB \
+  MPL_MEM_SOFT_FRAC=$PRESSURE_SOFT_FRAC \
+  MPL_TRACE="$bdir/server_trace.json" \
+  MPL_TRACE_CAPACITY=262144 \
+    "$bdir/tools/mpl_server" -port 0 -workers 2 -queue-cap 16 \
+    -chaos-seed "$SERVER_SMOKE_SEED" \
+    -wire-permille "$SERVER_SMOKE_WIRE_PERMILLE" \
+    -fault-every-n "$PRESSURE_FAULT_EVERY_N" > "$srv_log" 2>&1 &
+  local srv_pid=$!
+  local i
+  for i in $(seq 1 100); do
+    grep -q 'port=' "$srv_log" 2>/dev/null && break
+    sleep 0.1
+  done
+  local srv_port
+  srv_port=$(grep -o 'port=[0-9]*' "$srv_log" | head -1 | cut -d= -f2)
+  ASAN_OPTIONS="detect_leaks=0" \
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    "$bdir/tools/mpl_client" -port "$srv_port" -n "$SERVER_SMOKE_REQS" \
+    -conns 4 -deadline-ms 5000 -seed "$SERVER_SMOKE_SEED" \
+    | tee "$bdir/server_client.json"
+  kill -TERM "$srv_pid"
+  wait "$srv_pid" # exit 0 iff clean drain and leaked pins == 0
+  cat "$srv_log"
+  grep -q '"leaked_pins":0' "$srv_log"
+  grep -q '"protocol_errors":0' "$srv_log"
+  # The client must have gotten real work through the chaos.
+  local ok_count
+  ok_count=$(sed -n 's/.*"ok":\([0-9]*\).*/\1/p' "$bdir/server_client.json")
+  [[ "$ok_count" -gt 0 ]]
+  # Interleaved net.* events must validate, with every request_flow id
+  # carrying both its enqueue ('s') and execute ('f') half.
+  "$bdir/tools/mpl_trace_check" "$bdir/server_trace.json" \
+    --require-event net.accept --require-event net.request_flow \
+    --check-flow-pairs
 
   echo "==== [$preset] span smoke ===="
   # Run a pml workload with the causal span ledger armed and validate the

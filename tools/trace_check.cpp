@@ -9,7 +9,14 @@
 // any malformation so a broken exporter fails the pipeline.
 //
 // Usage: mpl_trace_check <trace.json> [--require-event NAME]...
-//                        [--allow-drops]
+//                        [--allow-drops] [--check-flow-pairs]
+//
+// --check-flow-pairs additionally validates flow binding: every flow id
+// (grouped by cat+name, the Chrome binding key) must carry both its start
+// ('s') and finish ('f') half. The request server's net.request_flow
+// events bind enqueue (connection thread) to execution (worker strand);
+// an unpaired id means a request was enqueued but never ran, or vice
+// versa.
 //
 // A trace that dropped events (otherData.dropped_events != 0) fails the
 // check — a gappy trace silently lies about the schedule — unless
@@ -44,12 +51,15 @@ int main(int argc, char **argv) {
 
   std::vector<std::string> Required;
   bool AllowDrops = false;
+  bool CheckFlowPairs = false;
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--require-event" && I + 1 < argc)
       Required.emplace_back(argv[++I]);
     else if (A == "--allow-drops")
       AllowDrops = true;
+    else if (A == "--check-flow-pairs")
+      CheckFlowPairs = true;
     else
       return fail("unknown argument: " + A);
   }
@@ -75,6 +85,8 @@ int main(int argc, char **argv) {
   // Per-(pid,tid) B/E nesting depth; Perfetto rejects unbalanced tracks.
   std::map<std::pair<double, double>, long> Depth;
   std::set<std::string> Names;
+  // Flow binding key (cat + name + id) -> bit 0: 's' seen, bit 1: 'f' seen.
+  std::map<std::string, int> FlowHalves;
   long NEvents = 0, NMeta = 0, NSlices = 0, NInstants = 0, NFlows = 0;
 
   for (const json::Value &E : Evs->Items) {
@@ -119,6 +131,14 @@ int main(int argc, char **argv) {
       if (!Id || !Id->isNumber())
         return fail("flow event without numeric id");
       ++NFlows;
+      if (CheckFlowPairs) {
+        std::string Cat;
+        if (const json::Value *C = E.field("cat"); C && C->isString())
+          Cat = C->StrV;
+        std::string Key = Cat + "|" + Name->StrV + "|" +
+                          std::to_string(static_cast<long long>(Id->NumV));
+        FlowHalves[Key] |= P == "s" ? 1 : 2;
+      }
     } else {
       return fail("unexpected phase '" + P + "'");
     }
@@ -133,6 +153,9 @@ int main(int argc, char **argv) {
     if (!Names.count(R))
       return fail("required event '" + R + "' absent from trace");
 
+  // Diagnose drops before flow pairing: a wrapped ring overwrites the
+  // oldest events, so a missing flow half on a gappy trace means "trace
+  // incomplete", not "pairing broken" — report the actionable cause.
   std::string Dropped = "0";
   if (const json::Value *Other = Doc.field("otherData"))
     if (const json::Value *D = Other->field("dropped_events"))
@@ -141,6 +164,14 @@ int main(int argc, char **argv) {
     return fail(Dropped + " events dropped (ring buffer overflow); the "
                           "trace is incomplete — rerun with a larger "
                           "MPL_TRACE_CAPACITY or pass --allow-drops");
+
+  if (CheckFlowPairs)
+    for (const auto &[Key, Halves] : FlowHalves)
+      if (Halves != 3)
+        return fail("flow '" + Key + "' has only its " +
+                    (Halves == 1 ? std::string("start ('s')")
+                                 : std::string("finish ('f')")) +
+                    " half — enqueue/execute pairing broken");
 
   std::printf("trace_check: OK: %ld events (%ld slices, %ld instants, "
               "%ld flows, %ld metadata), %zu distinct names, %s dropped\n",
