@@ -12,8 +12,12 @@
 /// coordinated omission). Latency is measured from each request's
 /// *scheduled* arrival, so queueing behind a stalled connection counts.
 ///
-/// Reports client-observed P50/P95/P99/P999 latency, the shed rate, and
-/// the server's drain totals; `-json` emits an mpl-bench/1 record (rows
+/// Reports client-observed P50/P95/P99/P999 latency, the shed rate, the
+/// server's drain totals, and the server-side stage breakdown (queue vs
+/// exec p50/p99, fetched via the live stats frame before drain). Exits 1
+/// if queue p99 exceeds the deadline with zero sheds — a coordinated-
+/// omission check: a backlog that deep with no pushback means admission
+/// control is blind. `-json` emits an mpl-bench/1 record (rows
 /// keyed "request_latency"/"open-loop" with p*_ns and shed_rate fields) so
 /// the GateLib regression gate can hold tail latency and shed rate to a
 /// baseline. Chaos flags mirror mpl_server's, making this the one-command
@@ -31,6 +35,7 @@
 #include "obs/Profile.h"
 #include "support/Cli.h"
 #include "support/Histogram.h"
+#include "support/Json.h"
 #include "support/Random.h"
 #include "support/Table.h"
 #include "support/Timer.h"
@@ -56,6 +61,48 @@ struct Tally {
   std::atomic<int64_t> Undelivered{0};
   std::atomic<int64_t> Late{0}; ///< Arrivals dispatched behind schedule.
 };
+
+/// Server-side stage breakdown (queue vs exec p50/p99), read from the live
+/// stats frame ('I') after the load ends but before drain wipes the
+/// server. Valid == false when the frame could not be fetched or parsed.
+struct StageBreakdown {
+  bool Valid = false;
+  int64_t QueueP50 = 0;
+  int64_t QueueP99 = 0;
+  int64_t ExecP50 = 0;
+  int64_t ExecP99 = 0;
+};
+
+StageBreakdown fetchStageBreakdown(uint16_t Port) {
+  StageBreakdown B;
+  Client Cl;
+  Response Resp;
+  if (!Cl.connect(Port) || !Cl.introspect("", Resp) ||
+      Resp.St != Status::Ok)
+    return B;
+  json::Value Root;
+  std::string Err;
+  if (!json::parse(Resp.Body, Root, Err))
+    return B;
+  const json::Value *Stats = Root.field("mpl-stats/1");
+  const json::Value *Stage = Stats ? Stats->field("stage") : nullptr;
+  if (!Stage)
+    return B;
+  auto Pct = [](const json::Value *H, const char *Name) -> int64_t {
+    const json::Value *F = H ? H->field(Name) : nullptr;
+    return F && F->isNumber() ? static_cast<int64_t>(F->NumV) : 0;
+  };
+  const json::Value *Q = Stage->field("queue");
+  const json::Value *E = Stage->field("exec");
+  if (!Q || !E)
+    return B;
+  B.QueueP50 = Pct(Q, "p50");
+  B.QueueP99 = Pct(Q, "p99");
+  B.ExecP50 = Pct(E, "p50");
+  B.ExecP99 = Pct(E, "p99");
+  B.Valid = true;
+  return B;
+}
 
 Request mixRequest(uint64_t Id, uint32_t DeadlineMs) {
   Request R;
@@ -175,6 +222,7 @@ int main(int Argc, char **Argv) {
   }
   for (auto &Th : Senders)
     Th.join();
+  StageBreakdown SB = fetchStageBreakdown(Port);
   Srv.waitUntilDrained();
 
   ServerTotals ST = Srv.totals();
@@ -200,9 +248,29 @@ int main(int Argc, char **Argv) {
   Tab.addRow({"p95_us", Table::fmtInt(P.P95 / 1000)});
   Tab.addRow({"p99_us", Table::fmtInt(P.P99 / 1000)});
   Tab.addRow({"p999_us", Table::fmtInt(P.P999 / 1000)});
+  if (SB.Valid) {
+    Tab.addRow({"stage_queue_p50_us", Table::fmtInt(SB.QueueP50 / 1000)});
+    Tab.addRow({"stage_queue_p99_us", Table::fmtInt(SB.QueueP99 / 1000)});
+    Tab.addRow({"stage_exec_p50_us", Table::fmtInt(SB.ExecP50 / 1000)});
+    Tab.addRow({"stage_exec_p99_us", Table::fmtInt(SB.ExecP99 / 1000)});
+  }
   Tab.addRow({"wire_faults", Table::fmtInt(ST.WireFaults)});
   Tab.addRow({"leaked_pins", Table::fmtInt(LeakedPins)});
   Tab.print();
+
+  // Coordinated-omission sanity: if the server-side queue stage alone ate
+  // the whole deadline budget yet *nothing* was shed, admission control
+  // never saw the backlog — the latency numbers above are lies told by a
+  // queue that absorbed the overload invisibly.
+  bool QueueOverDeadline = SB.Valid && T.Shed.load() == 0 &&
+                           ST.Shed == 0 &&
+                           SB.QueueP99 > int64_t(DeadlineMs) * 1000000;
+  if (QueueOverDeadline)
+    std::fprintf(stderr,
+                 "bench_server: FAIL: stage queue p99 (%lld ns) exceeds "
+                 "the %u ms deadline with zero sheds — coordinated "
+                 "omission: backlog absorbed without admission pushback\n",
+                 static_cast<long long>(SB.QueueP99), DeadlineMs);
 
   if (!JsonPath.empty()) {
     bench::BenchJson J("server", /*Scale=*/1.0, /*Reps=*/1);
@@ -225,11 +293,16 @@ int main(int Argc, char **Argv) {
         ",\"undelivered\":" + std::to_string(T.Undelivered.load()) +
         ",\"wire_faults\":" + std::to_string(ST.WireFaults) +
         ",\"leaked_pins\":" + std::to_string(LeakedPins);
+    if (SB.Valid)
+      Extra += ",\"queue_p50_ns\":" + std::to_string(SB.QueueP50) +
+               ",\"queue_p99_ns\":" + std::to_string(SB.QueueP99) +
+               ",\"exec_p50_ns\":" + std::to_string(SB.ExecP50) +
+               ",\"exec_p99_ns\":" + std::to_string(SB.ExecP99);
     J.addCustomRow("request_latency", "open-loop",
                    static_cast<double>(P.P50) * 1e-9, Extra);
     J.write(JsonPath);
   }
   if (chaos::active())
     chaos::disable();
-  return LeakedPins == 0 ? 0 : 1;
+  return LeakedPins == 0 && !QueueOverDeadline ? 0 : 1;
 }

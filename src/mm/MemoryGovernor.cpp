@@ -7,6 +7,7 @@
 #include "mm/MemoryGovernor.h"
 
 #include "mm/Chunk.h"
+#include "obs/Metrics.h"
 #include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "support/Histogram.h"
@@ -104,6 +105,22 @@ MemoryGovernor::Config MemoryGovernor::config() const {
 void MemoryGovernor::initFromEnv() {
   static std::once_flag Once;
   std::call_once(Once, [this] {
+    // The live introspection plane (stats frames, Prometheus exposition)
+    // reads memory pressure through the gauge registry: obs depends only
+    // on support, so the governor pushes its gauges up rather than obs
+    // reaching down. All four are relaxed loads. Never unregistered — the
+    // governor and the chunk pool are process-lifetime singletons.
+    obs::MetricsSampler &MS = obs::MetricsSampler::get();
+    MS.registerGauge("mm.pressure", [this] {
+      return static_cast<int64_t>(pressure());
+    });
+    MS.registerGauge("mm.outstanding.bytes", [] {
+      return ChunkPool::get().outstandingBytes();
+    });
+    MS.registerGauge("mm.limit.bytes", [this] {
+      return LimitBytes.load(std::memory_order_relaxed);
+    });
+    MS.registerGauge("mm.pinned.bytes", [this] { return pinnedBytes(); });
     Config C = config();
     bool Any = false;
     if (const char *S = std::getenv("MPL_MEM_LIMIT_MB"))

@@ -66,10 +66,10 @@ bool Client::recvResponse(Response &Resp) {
   }
 }
 
-bool Client::call(const Request &Req, Response &Resp) {
+bool Client::sendFrame(const std::string &Payload) {
   if (Fd < 0)
     return false;
-  std::string Frame = encodeFrame(encodeRequest(Req));
+  std::string Frame = encodeFrame(Payload);
   size_t Off = 0;
   while (Off < Frame.size()) {
     ssize_t N =
@@ -82,6 +82,26 @@ bool Client::call(const Request &Req, Response &Resp) {
     }
     Off += static_cast<size_t>(N);
   }
+  return true;
+}
+
+bool Client::call(const Request &Req, Response &Resp) {
+  if (!sendFrame(encodeRequest(Req)))
+    return false;
+  if (!recvResponse(Resp)) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::introspect(const std::string &Options, Response &Resp,
+                        uint64_t Id) {
+  Introspect Q;
+  Q.Id = Id;
+  Q.Options = Options;
+  if (!sendFrame(encodeIntrospect(Q)))
+    return false;
   if (!recvResponse(Resp)) {
     close();
     return false;

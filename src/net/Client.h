@@ -46,9 +46,16 @@ public:
   /// framing failure (the connection is closed and must be reconnected).
   bool call(const Request &Req, Response &Resp);
 
+  /// Sends a live stats frame ('I') and blocks for the snapshot response
+  /// (Body = mpl-stats/1 JSON, or Prometheus text with "format=prom" in
+  /// \p Options). Same failure semantics as call().
+  bool introspect(const std::string &Options, Response &Resp,
+                  uint64_t Id = 0);
+
 private:
   int Fd = -1;
   FrameReader Reader;
+  bool sendFrame(const std::string &Payload);
   bool recvResponse(Response &Resp);
 };
 

@@ -202,6 +202,24 @@ std::string net::encodeResponse(const Response &R) {
   return Out;
 }
 
+std::string net::encodeIntrospect(const Introspect &I) {
+  std::string Out;
+  Out.reserve(8 + I.Options.size());
+  Out.push_back('I');
+  putVarint(Out, I.Id);
+  putBytes(Out, I.Options);
+  return Out;
+}
+
+DecodeStatus net::decodeIntrospect(const std::string &Payload, Introspect &I) {
+  Cursor C{reinterpret_cast<const uint8_t *>(Payload.data()), Payload.size()};
+  uint8_t Tag = 0;
+  if (!C.u8(Tag) || Tag != 'I' || !C.varint64(I.Id) || !C.bytes(I.Options) ||
+      !C.done())
+    return DecodeStatus::Malformed;
+  return DecodeStatus::Ok;
+}
+
 DecodeStatus net::decodeRequest(const std::string &Payload, Request &R) {
   Cursor C{reinterpret_cast<const uint8_t *>(Payload.data()), Payload.size()};
   uint8_t Tag = 0, Kind = 0;

@@ -17,14 +17,22 @@
 ///
 /// Payloads are Request/Response messages, also varint-encoded:
 ///
-///   Request  := 'Q' varint(Id) byte(Kind)   varint(DeadlineMs)   bytes(Body)
-///   Response := 'S' varint(Id) byte(Status) varint(RetryAfterMs) bytes(Body)
-///   bytes(B) := varint(len(B)) B
+///   Request    := 'Q' varint(Id) byte(Kind)   varint(DeadlineMs)   bytes(Body)
+///   Response   := 'S' varint(Id) byte(Status) varint(RetryAfterMs) bytes(Body)
+///   Introspect := 'I' varint(Id) bytes(Options)
+///   bytes(B)   := varint(len(B)) B
 ///
 /// Body semantics by kind: Pml = a pml program to evaluate; Workload =
 /// "<name> <n>" naming a built-in kernel; Ping = ignored. Response body:
 /// the rendered value / workload result on Ok, a human-readable reason
 /// otherwise. RetryAfterMs is the server's backoff hint on Shed/Draining.
+///
+/// Introspect is the live stats frame (DESIGN.md §16): answered on the
+/// connection thread from relaxed counter/gauge reads only — it never
+/// enters the request queue, so it works at any pressure level and during
+/// drain. Options is a space-separated list ("format=prom"); the reply is
+/// a normal Response whose body is the mpl-stats/1 JSON snapshot (or
+/// Prometheus text exposition with format=prom).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -134,14 +142,24 @@ struct Response {
   std::string Body;
 };
 
+/// The live stats query ('I' payload). Options is free-form, parsed by the
+/// server as space-separated key[=value] words; unknown options are
+/// ignored (a newer client degrades gracefully against an older server).
+struct Introspect {
+  uint64_t Id = 0;
+  std::string Options;
+};
+
 std::string encodeRequest(const Request &R);
 std::string encodeResponse(const Response &R);
+std::string encodeIntrospect(const Introspect &I);
 
 /// Decode a full frame payload into a message. NeedMore from these means
 /// the payload was internally truncated — for a *complete* frame that is a
 /// Malformed connection, and both return Malformed in that case.
 DecodeStatus decodeRequest(const std::string &Payload, Request &R);
 DecodeStatus decodeResponse(const std::string &Payload, Response &R);
+DecodeStatus decodeIntrospect(const std::string &Payload, Introspect &I);
 
 } // namespace net
 } // namespace mpl

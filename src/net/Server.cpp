@@ -9,10 +9,14 @@
 #include "chaos/ChaosSchedule.h"
 #include "core/Ops.h"
 #include "core/Runtime.h"
+#include "mm/Chunk.h"
 #include "mm/MemoryGovernor.h"
+#include "obs/Exposition.h"
 #include "obs/Metrics.h"
+#include "obs/Span.h"
 #include "obs/Trace.h"
 #include "pml/Vm.h"
+#include "support/EmCounters.h"
 #include "support/Histogram.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
@@ -25,6 +29,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -50,7 +55,14 @@ struct Pending {
   Request Req;
   DeadlineCtx DL;
   std::promise<Response> Prom;
+  // Latency-stage stamps (DESIGN.md §16): queue = Dequeue-Enqueue, exec =
+  // ExecEnd-ExecStart; the reply stage is measured on the connection
+  // thread as send-done minus ExecEnd. Zero = the stage never ran (e.g. a
+  // drain-shed request has no exec stage).
   int64_t EnqueueNs = 0;
+  int64_t DequeueNs = 0;
+  int64_t ExecStartNs = 0;
+  std::atomic<int64_t> ExecEndNs{0};
   std::atomic<bool> Fulfilled{false};
 };
 
@@ -95,7 +107,39 @@ struct Server::Impl {
   Stat RespDraining{"net.resp.draining"};
   Stat ProtocolErrors{"net.protocol.errors"};
   Stat WireFaults{"net.wire.faults"};
+  /// Stats frames served. Deliberately NOT part of Requests/Resp* — the
+  /// introspection plane must not disturb the request-counter balance
+  /// invariant (net.requests == sum of net.resp.*) that trace_check
+  /// --check-net-balance asserts.
+  Stat Introspects{"net.introspect"};
   Histogram LatencyNs{"net.request.latency.ns"};
+  Histogram StageQueueNs{"net.stage.queue.ns"};
+  Histogram StageExecNs{"net.stage.exec.ns"};
+  Histogram StageReplyNs{"net.stage.reply.ns"};
+  /// Rolling windows (10 slots x 1s): percentiles over the last ~10s, so a
+  /// long-lived server's stats frame reflects what is happening *now*
+  /// rather than the process-lifetime average. Rotated from the accept
+  /// loop's poll tick.
+  static constexpr int WindowSlots = 10;
+  static constexpr int64_t WindowSlotNs = 1000000000;
+  RollingWindow WinLatency{LatencyNs, WindowSlots, WindowSlotNs};
+  RollingWindow WinQueue{StageQueueNs, WindowSlots, WindowSlotNs};
+  RollingWindow WinExec{StageExecNs, WindowSlots, WindowSlotNs};
+
+  /// Tail exemplars: the K worst-latency requests so far, each annotated
+  /// (post-batch, once the span ledger has merged the run) with the run's
+  /// hottest critical-path source line.
+  struct Exemplar {
+    uint64_t Id = 0;
+    int64_t TotalNs = 0;
+    int64_t QueueNs = 0;
+    int64_t ExecNs = 0;
+    std::string CpLine;
+  };
+  static constexpr size_t MaxExemplars = 4;
+  std::mutex ExemplarMu;
+  std::vector<Exemplar> Exemplars; ///< Sorted worst-first, <= MaxExemplars.
+
   int QueueGaugeId = 0;
   int InflightGaugeId = 0;
 
@@ -202,6 +246,29 @@ struct Server::Impl {
       FR.feed(Buf, static_cast<size_t>(N));
       DecodeStatus S = DecodeStatus::NeedMore;
       while (Alive && (S = FR.next(Payload)) == DecodeStatus::Ok) {
+        // Stats frames ('I') are answered right here on the connection
+        // thread from relaxed counter/gauge reads — no queue, no executor,
+        // no runtime locks — so they keep working under Critical pressure
+        // and during drain. They never count as Requests/Resp*, keeping
+        // the net-balance invariant intact.
+        if (!Payload.empty() && Payload[0] == 'I') {
+          Introspect Q;
+          if (decodeIntrospect(Payload, Q) != DecodeStatus::Ok) {
+            ProtocolErrors.inc();
+            Alive = false;
+            break;
+          }
+          Introspects.inc();
+          Response Resp;
+          Resp.Id = Q.Id;
+          Resp.St = Status::Ok;
+          Resp.Body = Q.Options.find("format=prom") != std::string::npos
+                          ? obs::renderPrometheus()
+                          : statsJson();
+          if (!sendAll(Fd, encodeFrame(encodeResponse(Resp))))
+            Alive = false;
+          continue;
+        }
         Request Req;
         if (decodeRequest(Payload, Req) != DecodeStatus::Ok) {
           ProtocolErrors.inc();
@@ -209,9 +276,12 @@ struct Server::Impl {
           break;
         }
         Requests.inc();
-        Response Resp = dispatch(Req);
+        int64_t ExecEndNs = 0;
+        Response Resp = dispatch(Req, ExecEndNs);
         if (!sendAll(Fd, encodeFrame(encodeResponse(Resp))))
           Alive = false;
+        else if (ExecEndNs > 0)
+          StageReplyNs.record(nowNs() - ExecEndNs);
       }
       if (S == DecodeStatus::Malformed || S == DecodeStatus::Oversized) {
         ProtocolErrors.inc();
@@ -223,8 +293,11 @@ struct Server::Impl {
     QCv.notify_all(); // executor may be waiting for quiescence
   }
 
-  /// Admission + enqueue + wait: turns one decoded request into a response.
-  Response dispatch(const Request &Req) {
+  /// Admission + enqueue + wait: turns one decoded request into a
+  /// response. \p ExecEndNs receives the executed request's exec-end stamp
+  /// (0 when the request never reached the executor), so the caller can
+  /// measure the reply stage after the response hits the wire.
+  Response dispatch(const Request &Req, int64_t &ExecEndNs) {
     Response Resp;
     Resp.Id = Req.Id;
 
@@ -269,7 +342,9 @@ struct Server::Impl {
     }
     obs::emit(obs::Ev::NetFlowOut, Req.Id);
     QCv.notify_one();
-    return Fut.get(); // the executor always fulfills (or sheds on drain)
+    Response R = Fut.get(); // the executor always fulfills (or sheds)
+    ExecEndNs = P->ExecEndNs.load(std::memory_order_acquire);
+    return R;
   }
 
   //===--------------------------------------------------------------------===//
@@ -279,7 +354,16 @@ struct Server::Impl {
   void fulfill(Pending &P, Response &&Resp) {
     if (P.Fulfilled.exchange(true, std::memory_order_acq_rel))
       return;
-    LatencyNs.record(nowNs() - P.EnqueueNs);
+    int64_t Now = nowNs();
+    P.ExecEndNs.store(Now, std::memory_order_release);
+    int64_t TotalNs = Now - P.EnqueueNs;
+    int64_t QueueNs = P.DequeueNs > 0 ? P.DequeueNs - P.EnqueueNs : TotalNs;
+    int64_t ExecNs = P.ExecStartNs > 0 ? Now - P.ExecStartNs : 0;
+    LatencyNs.record(TotalNs);
+    StageQueueNs.record(QueueNs);
+    if (P.ExecStartNs > 0)
+      StageExecNs.record(ExecNs);
+    noteExemplar(P.Req.Id, TotalNs, QueueNs, ExecNs);
     switch (Resp.St) {
     case Status::Ok:
       RespOk.inc();
@@ -298,6 +382,187 @@ struct Server::Impl {
       break;
     }
     P.Prom.set_value(std::move(Resp));
+  }
+
+  /// Keeps the K worst-latency requests, sorted worst-first.
+  void noteExemplar(uint64_t Id, int64_t TotalNs, int64_t QueueNs,
+                    int64_t ExecNs) {
+    std::lock_guard<std::mutex> G(ExemplarMu);
+    if (Exemplars.size() >= MaxExemplars &&
+        TotalNs <= Exemplars.back().TotalNs)
+      return;
+    Exemplar E;
+    E.Id = Id;
+    E.TotalNs = TotalNs;
+    E.QueueNs = QueueNs;
+    E.ExecNs = ExecNs;
+    auto It = std::upper_bound(
+        Exemplars.begin(), Exemplars.end(), TotalNs,
+        [](int64_t V, const Exemplar &X) { return V > X.TotalNs; });
+    Exemplars.insert(It, std::move(E));
+    if (Exemplars.size() > MaxExemplars)
+      Exemplars.pop_back();
+  }
+
+  /// Post-batch: attach the run's hottest critical-path source line to any
+  /// exemplar this batch produced. Runs on the executor thread right after
+  /// Runtime::run returned, while SpanLedger::lastRun() still describes
+  /// this batch's DAG (no-op unless MPL_SPANS armed the ledger).
+  void annotateExemplars(const std::vector<std::shared_ptr<Pending>> &Batch) {
+    obs::SpanRunSummary Sum = obs::SpanLedger::get().lastRun();
+    if (!Sum.Valid || Sum.Lines.empty())
+      return;
+    uint32_t BestLoc = 0;
+    int64_t BestCp = -1;
+    for (const auto &[Loc, LS] : Sum.Lines)
+      if (LS.CpSelfNs > BestCp) {
+        BestCp = LS.CpSelfNs;
+        BestLoc = Loc;
+      }
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "L%u:%u cp_self_ns=%lld", BestLoc >> 8,
+                  BestLoc & 0xffu, static_cast<long long>(BestCp));
+    std::lock_guard<std::mutex> G(ExemplarMu);
+    for (const auto &P : Batch)
+      for (Exemplar &E : Exemplars)
+        if (E.Id == P->Req.Id && E.CpLine.empty())
+          E.CpLine = Buf;
+  }
+
+  static void appendHistJson(std::string &Out, const char *Key,
+                             const Histogram &H) {
+    Histogram::Percentiles P = H.percentiles();
+    char Buf[200];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"%s\":{\"count\":%lld,\"p50\":%lld,\"p95\":%lld,"
+                  "\"p99\":%lld,\"p999\":%lld}",
+                  Key, static_cast<long long>(H.count()),
+                  static_cast<long long>(P.P50), static_cast<long long>(P.P95),
+                  static_cast<long long>(P.P99),
+                  static_cast<long long>(P.P999));
+    Out += Buf;
+  }
+
+  static void appendWindowJson(std::string &Out, const char *Key,
+                               const RollingWindow::WindowStats &W) {
+    char Buf[200];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"%s\":{\"count\":%lld,\"p50\":%lld,\"p95\":%lld,"
+                  "\"p99\":%lld,\"p999\":%lld}",
+                  Key, static_cast<long long>(W.Count),
+                  static_cast<long long>(W.Pct.P50),
+                  static_cast<long long>(W.Pct.P95),
+                  static_cast<long long>(W.Pct.P99),
+                  static_cast<long long>(W.Pct.P999));
+    Out += Buf;
+  }
+
+  /// The mpl-stats/1 snapshot: everything here is a relaxed atomic read, a
+  /// registry snapshot under its own short lock, or the rolling windows'
+  /// small internal mutex — never the queue lock, the executor, or any
+  /// runtime lock, so this answers at full speed mid-load, under Critical
+  /// pressure, and during drain.
+  std::string statsJson() {
+    int64_t Now = nowNs();
+    MemoryGovernor &MG = MemoryGovernor::get();
+    char Buf[512];
+    std::string Out = "{\"mpl-stats/1\":{";
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"t_ns\":%lld,\"status\":\"%s\",\"pressure\":\"%s\","
+                  "\"queue_depth\":%lld,\"queue_cap\":%d,\"inflight\":%lld",
+                  static_cast<long long>(Now),
+                  Owner->draining() ? "draining" : "serving",
+                  pressureName(MG.pressure()),
+                  static_cast<long long>(
+                      QueueDepth.load(std::memory_order_relaxed)),
+                  Cfg.QueueCap,
+                  static_cast<long long>(
+                      Inflight.load(std::memory_order_relaxed)));
+    Out += Buf;
+
+    Out += ",\"counters\":{";
+    const Stat *Counters[] = {&Accepted,      &Requests,  &RespOk,
+                              &RespShed,      &RespDeadline, &RespError,
+                              &RespDraining,  &ProtocolErrors, &WireFaults,
+                              &Introspects};
+    bool First = true;
+    for (const Stat *S : Counters) {
+      if (!First)
+        Out += ",";
+      First = false;
+      std::snprintf(Buf, sizeof(Buf), "\"%s\":%lld", S->name(),
+                    static_cast<long long>(S->get()));
+      Out += Buf;
+    }
+    Out += "}";
+
+    em::CounterSnapshot E = em::Counts.snapshot();
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ",\"em\":{\"entangled_reads\":%lld,\"pins_down\":%lld,"
+        "\"pins_cross\":%lld,\"pins_holder\":%lld,\"pinned_bytes\":%lld,"
+        "\"live_pinned_objects\":%lld,\"live_pinned_bytes\":%lld,"
+        "\"cont_captured\":%lld,\"cont_resumed\":%lld}",
+        static_cast<long long>(E.EntangledReads),
+        static_cast<long long>(E.DownPointerPins),
+        static_cast<long long>(E.CrossPointerPins),
+        static_cast<long long>(E.PinnedHolderPins),
+        static_cast<long long>(E.PinnedBytes),
+        static_cast<long long>(E.livePinnedObjects()),
+        static_cast<long long>(E.livePinnedBytes()),
+        static_cast<long long>(E.ContCaptured),
+        static_cast<long long>(E.ContResumed));
+    Out += Buf;
+
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"mm\":{\"outstanding_bytes\":%lld,\"limit_bytes\":%lld,"
+                  "\"pinned_bytes\":%lld}",
+                  static_cast<long long>(ChunkPool::get().outstandingBytes()),
+                  static_cast<long long>(MG.config().LimitBytes),
+                  static_cast<long long>(MG.pinnedBytes()));
+    Out += Buf;
+
+    Out += ",";
+    appendHistJson(Out, "latency", LatencyNs);
+
+    Out += ",\"stage\":{";
+    appendHistJson(Out, "queue", StageQueueNs);
+    Out += ",";
+    appendHistJson(Out, "exec", StageExecNs);
+    Out += ",";
+    appendHistJson(Out, "reply", StageReplyNs);
+    Out += "}";
+
+    RollingWindow::WindowStats WL = WinLatency.window(Now);
+    std::snprintf(Buf, sizeof(Buf), ",\"window\":{\"window_ns\":%lld,",
+                  static_cast<long long>(WL.WindowNs));
+    Out += Buf;
+    appendWindowJson(Out, "latency", WL);
+    Out += ",";
+    appendWindowJson(Out, "queue", WinQueue.window(Now));
+    Out += ",";
+    appendWindowJson(Out, "exec", WinExec.window(Now));
+    Out += "}";
+
+    Out += ",\"exemplars\":[";
+    {
+      std::lock_guard<std::mutex> G(ExemplarMu);
+      for (size_t I = 0; I < Exemplars.size(); ++I) {
+        const Exemplar &X = Exemplars[I];
+        if (I)
+          Out += ",";
+        std::snprintf(Buf, sizeof(Buf),
+                      "{\"id\":%llu,\"total_ns\":%lld,\"queue_ns\":%lld,"
+                      "\"exec_ns\":%lld,\"cp\":\"%s\"}",
+                      static_cast<unsigned long long>(X.Id),
+                      static_cast<long long>(X.TotalNs),
+                      static_cast<long long>(X.QueueNs),
+                      static_cast<long long>(X.ExecNs), X.CpLine.c_str());
+        Out += Buf;
+      }
+    }
+    Out += "]}}";
+    return Out;
   }
 
   /// The request body proper; runs on a strand inside Runtime::run with the
@@ -336,6 +601,7 @@ struct Server::Impl {
   /// Leaf of the batch fan-out: one request on its own strand/leaf heap.
   void runOne(Pending &P) {
     obs::emit(obs::Ev::NetFlowIn, P.Req.Id);
+    P.ExecStartNs = nowNs();
     Inflight.fetch_add(1, std::memory_order_relaxed);
     rt::ScopedDeadline SD(&P.DL);
     Response Resp;
@@ -390,8 +656,10 @@ struct Server::Impl {
         std::unique_lock<std::mutex> L(QMu);
         QCv.wait_for(L, std::chrono::milliseconds(50),
                      [&] { return !Queue.empty(); });
+        int64_t PopNs = nowNs();
         while (!Queue.empty() &&
                Batch.size() < static_cast<size_t>(Cfg.BatchMax)) {
+          Queue.front()->DequeueNs = PopNs;
           Batch.push_back(std::move(Queue.front()));
           Queue.pop_front();
         }
@@ -440,6 +708,7 @@ struct Server::Impl {
               fulfill(*P, std::move(Resp));
             }
           }
+          annotateExemplars(Batch);
         }
         continue; // drain the queue before checking for exit
       }
@@ -465,6 +734,15 @@ struct Server::Impl {
     PF.fd = ListenFd;
     PF.events = POLLIN;
     while (!Owner->draining()) {
+      // The accept loop doubles as the introspection plane's periodic
+      // driver: rotate the rolling-window snapshots and service a pending
+      // MPL_STATS_DUMP each ~100ms tick. Both are O(buckets) and touch no
+      // executor state.
+      int64_t Tick = nowNs();
+      WinLatency.maybeRotate(Tick);
+      WinQueue.maybeRotate(Tick);
+      WinExec.maybeRotate(Tick);
+      obs::serviceStatsDump();
       int R = ::poll(&PF, 1, 100);
       if (R <= 0)
         continue;
@@ -556,5 +834,6 @@ ServerTotals Server::totals() const {
   T.Draining = I->RespDraining.get();
   T.WireFaults = I->WireFaults.get();
   T.ProtocolErrors = I->ProtocolErrors.get();
+  T.Introspects = I->Introspects.get();
   return T;
 }

@@ -80,6 +80,10 @@ struct ServerTotals {
   int64_t Draining = 0;        ///< Requests refused/shed during drain.
   int64_t WireFaults = 0;      ///< Chaos faults injected on this server.
   int64_t ProtocolErrors = 0;  ///< Malformed/oversized frames received.
+  /// Stats ('I') frames served. Not part of Requests or any Resp* total:
+  /// the introspection plane never perturbs the request-counter balance
+  /// (Requests == Ok + Shed + DeadlineExpired + Errors + Draining).
+  int64_t Introspects = 0;
 };
 
 /// The server. Lifecycle: construct → start() → (requests flow) →

@@ -1,0 +1,88 @@
+//===- obs/Exposition.h - Prometheus text exposition -----------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pull side of the live introspection plane (DESIGN.md §16): renders
+/// every registered counter (support/Stats), gauge (obs/Metrics), em cost
+/// counter and log2 histogram (support/Histogram) as Prometheus text
+/// exposition format, so a scrape of the request server's stats frame
+/// (`format=prom`) — or a signal-driven file dump — drops straight into a
+/// Prometheus/Grafana stack.
+///
+/// Mapping rules:
+///  - names are sanitized to [a-zA-Z0-9_] and prefixed `mpl_`
+///    (`net.resp.ok` → `mpl_net_resp_ok_total`);
+///  - Stats and em counters are monotone `counter` series (`_total`);
+///  - registered gauges and live quantities (live pinned bytes, pressure
+///    level) are `gauge` series;
+///  - log2 histograms become `histogram` series: bucket B covers
+///    [2^(B-1), 2^B), so its *inclusive* upper bound is 2^B - 1, which is
+///    exactly a Prometheus `le` boundary. Counts are cumulated up to the
+///    highest non-empty bucket, then `le="+Inf"`, `_sum`, `_count`.
+///
+/// Everything read is a relaxed atomic or a registry snapshot under that
+/// registry's own short-lived lock — no runtime, scheduler or executor
+/// lock is ever touched, so rendering is safe from a connection thread
+/// while the runtime is under load.
+///
+/// `MPL_STATS_DUMP=<path>` arms a SIGUSR1-triggered dump: the handler is
+/// one relaxed store (async-signal-safe); any periodic thread that calls
+/// serviceStatsDump() (the metrics sampler thread and the request server's
+/// accept loop both do) notices the flag and writes the exposition file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_OBS_EXPOSITION_H
+#define MPL_OBS_EXPOSITION_H
+
+#include <string>
+
+namespace mpl {
+namespace obs {
+
+/// Renders the full Prometheus text exposition of the process: all Stats
+/// counters, em cost counters, registered gauges, and histograms.
+std::string renderPrometheus();
+
+/// Sanitizes \p Name into a Prometheus metric name (no `mpl_` prefix, no
+/// type suffix) — exposed for tests and label construction.
+std::string promSanitize(const std::string &Name);
+
+/// Validates Prometheus text exposition \p Text: every sample line must be
+/// numeric and preceded by a `# TYPE` for its metric, no duplicate series
+/// (name + label set), histogram `le` buckets strictly increasing with
+/// non-decreasing cumulative counts ending at `+Inf` (== `_count`), and
+/// counter samples non-negative. On failure returns false and describes
+/// the first problem in \p Err. \p SeriesOut (optional) receives the
+/// number of sample lines checked.
+bool checkExposition(const std::string &Text, std::string &Err,
+                     int *SeriesOut = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Signal-driven stats dump (MPL_STATS_DUMP)
+//===----------------------------------------------------------------------===//
+
+/// Remembers \p Path and installs a SIGUSR1 handler that calls
+/// requestStatsDump(). Call once, before threads that might service the
+/// request exist (obs::initFromEnv does this when MPL_STATS_DUMP is set).
+void armStatsDump(const std::string &Path);
+
+/// Flags that a dump is wanted. One relaxed atomic store:
+/// async-signal-safe, callable from any context.
+void requestStatsDump();
+
+/// If a dump was requested (and a path is armed), writes renderPrometheus()
+/// to the armed path and clears the flag. Returns true iff a file was
+/// written. Periodic threads call this; it is cheap when idle.
+bool serviceStatsDump();
+
+/// The armed dump path ("" when unarmed).
+std::string statsDumpPath();
+
+} // namespace obs
+} // namespace mpl
+
+#endif // MPL_OBS_EXPOSITION_H

@@ -6,6 +6,7 @@
 
 #include "obs/Metrics.h"
 
+#include "obs/Exposition.h"
 #include "obs/Profile.h"
 #include "obs/Span.h"
 #include "obs/Trace.h"
@@ -79,12 +80,27 @@ void MetricsSampler::threadMain(int64_t IntervalUs) {
     if (StopRequested)
       break;
     recordSampleLocked();
+    // Service a pending MPL_STATS_DUMP request outside Mu: the exposition
+    // renderer re-enters gaugeSnapshot(), which takes Mu.
+    L.unlock();
+    serviceStatsDump();
+    L.lock();
   }
 }
 
 MetricsSample MetricsSampler::sampleOnce() {
   std::lock_guard<std::mutex> G(Mu);
   return recordSampleLocked();
+}
+
+std::vector<std::pair<std::string, int64_t>>
+MetricsSampler::gaugeSnapshot() const {
+  std::lock_guard<std::mutex> G(Mu);
+  std::vector<std::pair<std::string, int64_t>> Out;
+  Out.reserve(Gauges.size());
+  for (const Gauge &Ga : Gauges)
+    Out.emplace_back(Ga.Name, Ga.Fn());
+  return Out;
 }
 
 MetricsSample MetricsSampler::recordSampleLocked() {

@@ -95,6 +95,11 @@ public:
   /// Takes one sample now and appends it to the series.
   MetricsSample sampleOnce();
 
+  /// Runs every registered gauge callback once and returns the (name,
+  /// value) pairs, without appending to the series — the exposition
+  /// renderer's read path (obs/Exposition.cpp).
+  std::vector<std::pair<std::string, int64_t>> gaugeSnapshot() const;
+
   /// Copy of the series so far.
   std::vector<MetricsSample> series() const;
   size_t sampleCount() const;

@@ -6,9 +6,11 @@
 
 #include "obs/Trace.h"
 
+#include "obs/Exposition.h"
 #include "obs/Metrics.h"
 #include "obs/Profile.h"
 #include "obs/Span.h"
+#include "support/Stats.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -284,7 +286,23 @@ std::string Tracer::chromeTraceJson() const {
   std::snprintf(Buf, sizeof(Buf), "%llu",
                 static_cast<unsigned long long>(Dropped));
   Out += Buf;
-  Out += "\"}}\n";
+  // A counters block so post-mortem checkers (trace_check
+  // --check-net-balance) can assert cross-counter invariants without a
+  // separate metrics file. The registry folds retired Stats into
+  // snapshotAll(), so even the final atexit flush — which runs after a
+  // net::Server's Impl (and its net.* Stats) has been destroyed — still
+  // reports the full net.* family.
+  Out += "\",\"counters\":{";
+  bool FirstC = true;
+  for (const auto &[Name, V] : StatRegistry::get().snapshotAll()) {
+    if (!FirstC)
+      Out += ",";
+    FirstC = false;
+    std::snprintf(Buf, sizeof(Buf), "\"%s\":%lld", Name.c_str(),
+                  static_cast<long long>(V));
+    Out += Buf;
+  }
+  Out += "}}}\n";
   return Out;
 }
 
@@ -366,12 +384,21 @@ void obs::initFromEnv() {
         }
       }
     }
+    // MPL_STATS_DUMP=<path>: arm the SIGUSR1-triggered Prometheus dump.
+    // Not a quiescence sink — the file is written whenever a periodic
+    // thread services the request — but a final service at exit catches a
+    // signal that landed after the last tick.
+    if (const char *Path = std::getenv("MPL_STATS_DUMP")) {
+      armStatsDump(Path);
+      AnySink = true;
+    }
     if (AnySink)
       std::atexit(flushAtExit);
   });
 }
 
 void obs::flushEnvSinks() {
+  serviceStatsDump();
   Tracer &T = Tracer::get();
   if (T.enabled() && !T.configuredPath().empty())
     T.writeChromeTrace(T.configuredPath());

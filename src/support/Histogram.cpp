@@ -41,8 +41,17 @@ int64_t Histogram::approxQuantile(double Q) const {
 }
 
 Histogram::Percentiles Histogram::percentiles() const {
+  int64_t Counts[NumBuckets];
+  snapshotCounts(Counts);
+  return percentilesFrom(Counts, sum());
+}
+
+Histogram::Percentiles Histogram::percentilesFrom(
+    const int64_t Counts[NumBuckets], int64_t FallbackTail) {
   Percentiles P;
-  int64_t Total = count();
+  int64_t Total = 0;
+  for (int B = 0; B < NumBuckets; ++B)
+    Total += Counts[B];
   if (Total == 0)
     return P;
   // One scan, four targets: approxQuantile semantics (first bucket whose
@@ -54,7 +63,7 @@ Histogram::Percentiles Histogram::percentiles() const {
   int Next = 0;
   int64_t Seen = 0;
   for (int B = 0; B < NumBuckets && Next < NumQs; ++B) {
-    Seen += bucketCount(B);
+    Seen += Counts[B];
     while (Next < NumQs &&
            Seen > static_cast<int64_t>(Qs[Next] * static_cast<double>(Total))) {
       *Out[Next] = B == 0 ? 0 : (static_cast<int64_t>(1) << B) - 1;
@@ -62,8 +71,61 @@ Histogram::Percentiles Histogram::percentiles() const {
     }
   }
   for (; Next < NumQs; ++Next)
-    *Out[Next] = sum();
+    *Out[Next] = FallbackTail;
   return P;
+}
+
+//===----------------------------------------------------------------------===//
+// RollingWindow
+//===----------------------------------------------------------------------===//
+
+RollingWindow::RollingWindow(const Histogram &H, int Slots, int64_t SlotNanos)
+    : Hist(H), NumSlots(static_cast<size_t>(Slots > 1 ? Slots : 2)),
+      SlotNs(SlotNanos > 0 ? SlotNanos : 1) {
+  Ring.resize(NumSlots);
+  Ring[0].TimeNs = 0; // stamped on the first maybeRotate
+  Hist.snapshotCounts(Ring[0].Counts);
+  Ring[0].Sum = Hist.sum();
+}
+
+void RollingWindow::maybeRotate(int64_t NowNs) {
+  std::lock_guard<std::mutex> G(Mu);
+  if (Ring[Head].TimeNs == 0) {
+    // First rotation stamps the construction-time baseline so WindowNs is
+    // measured from real time, not from 0.
+    Ring[Head].TimeNs = NowNs;
+    return;
+  }
+  // Catch up if the driver stalled: rotate once per elapsed slot so a long
+  // gap retires stale snapshots instead of stretching the window.
+  while (NowNs - Ring[Head].TimeNs >= SlotNs) {
+    int64_t SnapTime = Ring[Head].TimeNs + SlotNs;
+    if (NowNs - SnapTime >= SlotNs)
+      SnapTime = NowNs; // collapse a multi-slot stall into one snapshot
+    Head = (Head + 1) % NumSlots;
+    if (Filled < NumSlots)
+      ++Filled;
+    Ring[Head].TimeNs = SnapTime;
+    Hist.snapshotCounts(Ring[Head].Counts);
+    Ring[Head].Sum = Hist.sum();
+  }
+}
+
+RollingWindow::WindowStats RollingWindow::window(int64_t NowNs) const {
+  std::lock_guard<std::mutex> G(Mu);
+  const Snap &Base =
+      Filled < NumSlots ? Ring[0] : Ring[(Head + 1) % NumSlots];
+  int64_t Diff[Histogram::NumBuckets];
+  int64_t Cur[Histogram::NumBuckets];
+  Hist.snapshotCounts(Cur);
+  WindowStats W;
+  for (int B = 0; B < Histogram::NumBuckets; ++B) {
+    Diff[B] = Cur[B] - Base.Counts[B];
+    W.Count += Diff[B];
+  }
+  W.WindowNs = Base.TimeNs > 0 ? NowNs - Base.TimeNs : 0;
+  W.Pct = Histogram::percentilesFrom(Diff, Hist.sum() - Base.Sum);
+  return W;
 }
 
 void Histogram::reset() {

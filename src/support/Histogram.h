@@ -78,6 +78,19 @@ public:
   };
   Percentiles percentiles() const;
 
+  /// Same quantile extraction over a caller-provided bucket-count array
+  /// (e.g. the difference of two snapshots — RollingWindow's windowed
+  /// percentiles). \p FallbackTail is returned for quantiles past the
+  /// highest non-empty bucket (use the sample sum, matching percentiles()).
+  static Percentiles percentilesFrom(const int64_t Counts[NumBuckets],
+                                     int64_t FallbackTail);
+
+  /// Copies the current bucket counts into \p Out (relaxed loads).
+  void snapshotCounts(int64_t Out[NumBuckets]) const {
+    for (int B = 0; B < NumBuckets; ++B)
+      Out[B] = bucketCount(B);
+  }
+
   void reset();
   const char *name() const { return HistName; }
 
@@ -85,6 +98,53 @@ private:
   const char *HistName;
   std::atomic<int64_t> Buckets[NumBuckets] = {};
   std::atomic<int64_t> Sum{0};
+};
+
+/// A rolling-window view over a Histogram: a ring of periodic bucket
+/// snapshots, so percentiles can be computed over *recent* samples (current
+/// counts minus the oldest retained snapshot) instead of process lifetime.
+/// A long-lived server's lifetime P99 converges to a constant and stops
+/// reflecting what operators are looking at; the windowed view answers
+/// "what was P99 over the last N seconds".
+///
+/// The owning component drives rotation from any periodic thread it already
+/// has (the request server uses its accept loop's poll tick); record() on
+/// the underlying Histogram stays lock-free — only rotation and reads take
+/// the window's small internal mutex, which is never held across blocking
+/// work.
+class RollingWindow {
+public:
+  /// Watches \p H with \p Slots snapshots taken every \p SlotNs. The
+  /// covered window converges to Slots * SlotNs once the ring fills.
+  RollingWindow(const Histogram &H, int Slots, int64_t SlotNs);
+
+  /// Takes a snapshot if at least SlotNs elapsed since the last one.
+  void maybeRotate(int64_t NowNs);
+
+  struct WindowStats {
+    int64_t Count = 0;    ///< Samples recorded inside the window.
+    int64_t WindowNs = 0; ///< Time actually covered (ramp-up < full window).
+    Histogram::Percentiles Pct;
+  };
+
+  /// Percentiles of the samples recorded since the oldest retained
+  /// snapshot. \p NowNs bounds WindowNs.
+  WindowStats window(int64_t NowNs) const;
+
+private:
+  struct Snap {
+    int64_t TimeNs = 0;
+    int64_t Sum = 0;
+    int64_t Counts[Histogram::NumBuckets] = {};
+  };
+
+  const Histogram &Hist;
+  const size_t NumSlots;
+  const int64_t SlotNs;
+  mutable std::mutex Mu;
+  std::vector<Snap> Ring; ///< Oldest = Ring[(Head + 1) % size] when full.
+  size_t Head = 0;
+  size_t Filled = 1; ///< Construction takes the first (empty-ish) snapshot.
 };
 
 /// Global registry of all histograms, mirroring StatRegistry. Thread-safe:

@@ -33,12 +33,15 @@ void StatRegistry::registerStat(Stat *S) {
 void StatRegistry::unregisterStat(Stat *S) {
   std::lock_guard<std::mutex> G(Lock);
   Stats.erase(std::remove(Stats.begin(), Stats.end(), S), Stats.end());
+  if (int64_t V = S->get())
+    Retired[S->name()] += V;
 }
 
 void StatRegistry::resetAll() {
   std::lock_guard<std::mutex> G(Lock);
   for (Stat *S : Stats)
     S->set(0);
+  Retired.clear();
 }
 
 int64_t StatRegistry::valueOf(const std::string &Name) const {
@@ -51,11 +54,13 @@ int64_t StatRegistry::valueOf(const std::string &Name) const {
 
 std::vector<std::pair<std::string, int64_t>> StatRegistry::snapshotAll() const {
   std::lock_guard<std::mutex> G(Lock);
-  std::vector<std::pair<std::string, int64_t>> Out;
-  Out.reserve(Stats.size());
+  // One entry per name: live instances summed on top of retired totals, so
+  // consumers emitting keyed formats (JSON objects, Prometheus series)
+  // never see duplicate keys.
+  std::map<std::string, int64_t> Agg(Retired);
   for (const Stat *S : Stats)
-    Out.emplace_back(S->name(), S->get());
-  return Out;
+    Agg[S->name()] += S->get();
+  return {Agg.begin(), Agg.end()};
 }
 
 std::string StatRegistry::report() const {

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -69,10 +70,16 @@ public:
   void resetAll();
 
   /// Returns the current value of the statistic named \p Name, or 0 when no
-  /// such statistic exists.
+  /// such statistic exists. Live instances only — retired totals are not
+  /// included, so per-component code can probe whether an owner is alive.
   int64_t valueOf(const std::string &Name) const;
 
-  /// Copies every (name, value) pair under the registry lock.
+  /// One (name, total) pair per distinct name, sorted, under the registry
+  /// lock. Totals sum every live instance plus the final values of retired
+  /// ones: counters are process-lifetime monotone, so a component tearing
+  /// down (e.g. a net::Server unregistering its net.* Stats) must not make
+  /// its events vanish from exports flushed later (trace counters block,
+  /// Prometheus exposition, MPL_STATS_DUMP at exit).
   std::vector<std::pair<std::string, int64_t>> snapshotAll() const;
 
   /// Renders "name = value" lines for all non-zero statistics.
@@ -81,6 +88,9 @@ public:
 private:
   mutable std::mutex Lock;
   std::vector<Stat *> Stats;
+  /// Final values of destroyed Stats, keyed by name; folded into
+  /// snapshotAll() and cleared by resetAll().
+  std::map<std::string, int64_t> Retired;
 };
 
 } // namespace mpl

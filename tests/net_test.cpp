@@ -13,10 +13,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "chaos/ChaosSchedule.h"
+#include "mm/Chunk.h"
+#include "mm/MemoryGovernor.h"
 #include "net/Client.h"
 #include "net/Frame.h"
 #include "net/Server.h"
+#include "obs/Exposition.h"
 #include "obs/Profile.h"
+#include "support/Json.h"
 
 #include <gtest/gtest.h>
 
@@ -381,6 +385,238 @@ TEST(ServerTest, WireChaosIsReplayableBySeed) {
   EXPECT_EQ(F1, F2) << "same seed, same wire-fault schedule";
   EXPECT_EQ(D1, 20);
   EXPECT_EQ(D2, 20);
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection plane ('I' stats frames, DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+TEST(IntrospectTest, CodecRoundTrip) {
+  Introspect Q;
+  Q.Id = 0xfeedfacecafeull;
+  Q.Options = "format=prom";
+  Introspect Out;
+  ASSERT_EQ(decodeIntrospect(encodeIntrospect(Q), Out), DecodeStatus::Ok);
+  EXPECT_EQ(Out.Id, Q.Id);
+  EXPECT_EQ(Out.Options, Q.Options);
+  Q.Options.clear(); // the common no-options frame
+  ASSERT_EQ(decodeIntrospect(encodeIntrospect(Q), Out), DecodeStatus::Ok);
+  EXPECT_EQ(Out.Id, Q.Id);
+  EXPECT_TRUE(Out.Options.empty());
+}
+
+TEST(IntrospectTest, MalformedRejected) {
+  Introspect Out;
+  EXPECT_EQ(decodeIntrospect("", Out), DecodeStatus::Malformed);
+  EXPECT_EQ(decodeIntrospect("Q", Out), DecodeStatus::Malformed); // bad tag
+  Introspect Q;
+  Q.Id = 1;
+  Q.Options = "x";
+  std::string Good = encodeIntrospect(Q);
+  // Truncated payload and trailing garbage.
+  EXPECT_EQ(decodeIntrospect(Good.substr(0, Good.size() - 1), Out),
+            DecodeStatus::Malformed);
+  EXPECT_EQ(decodeIntrospect(Good + "!", Out), DecodeStatus::Malformed);
+}
+
+namespace {
+
+/// Fetches one mpl-stats/1 frame over \p C and parses it; \p Stats points
+/// into \p Doc on success.
+bool fetchStats(Client &C, json::Value &Doc, const json::Value *&Stats) {
+  Response Resp;
+  if (!C.introspect("", Resp) || Resp.St != Status::Ok)
+    return false;
+  std::string Err;
+  if (!json::parse(Resp.Body, Doc, Err))
+    return false;
+  Stats = Doc.field("mpl-stats/1");
+  return Stats != nullptr;
+}
+
+double statNum(const json::Value &V, const char *Name) {
+  const json::Value *F = V.field(Name);
+  return F && F->isNumber() ? F->NumV : -1;
+}
+
+std::string statStr(const json::Value &V, const char *Name) {
+  const json::Value *F = V.field(Name);
+  return F && F->isString() ? F->StrV : "";
+}
+
+} // namespace
+
+TEST(ServerStatsTest, StatsFrameDuringLoadKeepsBalance) {
+  ServerConfig SC;
+  SC.NumWorkers = 2;
+  ServerTotals T = withServer(SC, [&](Server &Srv) {
+    Client C;
+    ASSERT_TRUE(C.connect(Srv.port()));
+    Response Resp;
+    for (int I = 0; I < 6; ++I) {
+      Request R;
+      R.Id = static_cast<uint64_t>(I) + 1;
+      R.Kind = RequestKind::Workload;
+      R.Body = "fib 15";
+      ASSERT_TRUE(C.call(R, Resp));
+      EXPECT_EQ(Resp.St, Status::Ok);
+    }
+    json::Value Doc;
+    const json::Value *S = nullptr;
+    ASSERT_TRUE(fetchStats(C, Doc, S));
+    EXPECT_EQ(statStr(*S, "status"), "serving");
+    EXPECT_GE(statNum(*S, "queue_cap"), 1);
+    EXPECT_GE(statNum(*S, "queue_depth"), 0);
+
+    const json::Value *Ctr = S->field("counters");
+    ASSERT_NE(Ctr, nullptr);
+    EXPECT_EQ(statNum(*Ctr, "net.requests"), 6);
+    // The balance invariant the stats frame must never perturb: every
+    // decoded request got exactly one counted response, and the one 'I'
+    // frame answered so far is outside the balance.
+    double Sum = statNum(*Ctr, "net.resp.ok") +
+                 statNum(*Ctr, "net.resp.shed") +
+                 statNum(*Ctr, "net.resp.deadline_expired") +
+                 statNum(*Ctr, "net.resp.error") +
+                 statNum(*Ctr, "net.resp.draining");
+    EXPECT_EQ(Sum, 6);
+    EXPECT_EQ(statNum(*Ctr, "net.introspect"), 1);
+
+    // Stage decomposition saw every executed request. The reply stage is
+    // recorded on the connection thread right after each response hit the
+    // wire, strictly before this introspect was processed on that same
+    // thread — so all six are visible.
+    const json::Value *Lat = S->field("latency");
+    ASSERT_NE(Lat, nullptr);
+    EXPECT_EQ(statNum(*Lat, "count"), 6);
+    const json::Value *Stage = S->field("stage");
+    ASSERT_NE(Stage, nullptr);
+    const json::Value *StQ = Stage->field("queue");
+    const json::Value *StE = Stage->field("exec");
+    const json::Value *StR = Stage->field("reply");
+    ASSERT_TRUE(StQ && StE && StR);
+    EXPECT_EQ(statNum(*StQ, "count"), 6);
+    EXPECT_EQ(statNum(*StE, "count"), 6);
+    EXPECT_EQ(statNum(*StR, "count"), 6);
+    EXPECT_GE(statNum(*StE, "p50"), 0);
+
+    const json::Value *W = S->field("window");
+    ASSERT_NE(W, nullptr);
+    EXPECT_GT(statNum(*W, "window_ns"), 0);
+    EXPECT_NE(S->field("em"), nullptr);
+    EXPECT_NE(S->field("mm"), nullptr);
+
+    // Tail exemplars: capped at the K worst, sorted worst-first.
+    const json::Value *Ex = S->field("exemplars");
+    ASSERT_TRUE(Ex && Ex->isArray());
+    EXPECT_GE(Ex->Items.size(), 1u);
+    EXPECT_LE(Ex->Items.size(), 4u);
+    double PrevTotal = -1;
+    for (const json::Value &E : Ex->Items) {
+      double Tot = statNum(E, "total_ns");
+      EXPECT_GE(Tot, 0);
+      if (PrevTotal >= 0) {
+        EXPECT_LE(Tot, PrevTotal);
+      }
+      PrevTotal = Tot;
+    }
+  });
+  EXPECT_EQ(T.Requests, 6);
+  EXPECT_EQ(T.Ok, 6);
+  EXPECT_EQ(T.Introspects, 1);
+}
+
+TEST(ServerStatsTest, PrometheusFormatPassesChecker) {
+  ServerConfig SC;
+  withServer(SC, [&](Server &Srv) {
+    Client C;
+    ASSERT_TRUE(C.connect(Srv.port()));
+    // Some traffic first so histograms and counters are non-trivial.
+    Request R;
+    R.Id = 1;
+    R.Kind = RequestKind::Workload;
+    R.Body = "fib 12";
+    Response Resp;
+    ASSERT_TRUE(C.call(R, Resp));
+    ASSERT_TRUE(C.introspect("format=prom", Resp));
+    ASSERT_EQ(Resp.St, Status::Ok);
+    EXPECT_NE(Resp.Body.find("# TYPE"), std::string::npos);
+    EXPECT_NE(Resp.Body.find("mpl_net_requests_total"), std::string::npos);
+    std::string Err;
+    int Series = 0;
+    EXPECT_TRUE(obs::checkExposition(Resp.Body, Err, &Series)) << Err;
+    EXPECT_GT(Series, 10);
+  });
+}
+
+TEST(ServerStatsTest, StatsAnswerUnderCriticalPressure) {
+  ServerConfig SC;
+  ServerTotals T = withServer(SC, [&](Server &Srv) {
+    Client C;
+    ASSERT_TRUE(C.connect(Srv.port()));
+    // Force Critical the way production reaches it: residency over a hard
+    // limit (held chunk + 1-byte limit → Hard on reconfigure), then an
+    // exhausted recovery ladder (raiseOom → Critical). adviseAdmission's
+    // own pressure refresh keeps Critical while residency stays over the
+    // limit.
+    MemoryGovernor &MG = MemoryGovernor::get();
+    MemoryGovernor::Config Old = MG.config();
+    Chunk *Held = ChunkPool::get().acquire(); // under the old (unlimited) cfg
+    MemoryGovernor::Config Tiny = Old;
+    Tiny.LimitBytes = 1;
+    MG.configure(Tiny);
+    try {
+      MG.raiseOom(64);
+    } catch (const OutOfMemoryError &) {
+    }
+    EXPECT_EQ(MG.pressure(), Pressure::Critical);
+
+    // Work is shed at the door (Critical admits nothing)...
+    Request R;
+    R.Id = 1;
+    R.Kind = RequestKind::Workload;
+    R.Body = "fib 10";
+    Response Resp;
+    if (C.call(R, Resp)) {
+      EXPECT_EQ(Resp.St, Status::Shed);
+    }
+    // ...but the introspection plane still answers, and says why.
+    json::Value Doc;
+    const json::Value *S = nullptr;
+    if (fetchStats(C, Doc, S)) {
+      EXPECT_EQ(statStr(*S, "status"), "serving");
+      EXPECT_EQ(statStr(*S, "pressure"), "critical");
+    } else {
+      ADD_FAILURE() << "stats frame failed under Critical pressure";
+    }
+
+    ChunkPool::get().release(Held);
+    MG.configure(Old); // restore before drain so the executor exits clean
+    EXPECT_EQ(MG.pressure(), Pressure::None);
+  });
+  EXPECT_EQ(T.Shed, 1);
+  EXPECT_EQ(T.Introspects, 1);
+}
+
+TEST(ServerStatsTest, StatsDuringDrainReportDraining) {
+  ServerConfig SC;
+  ServerTotals T = withServer(SC, [&](Server &Srv) {
+    Client C;
+    ASSERT_TRUE(C.connect(Srv.port()));
+    json::Value Doc1;
+    const json::Value *S1 = nullptr;
+    ASSERT_TRUE(fetchStats(C, Doc1, S1));
+    EXPECT_EQ(statStr(*S1, "status"), "serving");
+    // Answering the frame above restarted the connection's ~100ms recv
+    // window, so a stats frame sent immediately after the drain flag flips
+    // is decoded and answered before the idle-tick close.
+    Srv.requestDrain();
+    json::Value Doc2;
+    const json::Value *S2 = nullptr;
+    ASSERT_TRUE(fetchStats(C, Doc2, S2));
+    EXPECT_EQ(statStr(*S2, "status"), "draining");
+  });
+  EXPECT_EQ(T.Introspects, 2);
 }
 
 TEST(ServerTest, BackoffHonorsServerHint) {

@@ -14,6 +14,7 @@
 #include "core/Handles.h"
 #include "core/Ops.h"
 #include "core/Runtime.h"
+#include "obs/Exposition.h"
 #include "obs/Metrics.h"
 #include "obs/Profile.h"
 #include "obs/Span.h"
@@ -27,6 +28,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -827,4 +831,161 @@ TEST_F(ProfileTest, HeapTreeSnapshotConcurrentWithForkJoinUnderChaos) {
   chaos::disable();
   EXPECT_TRUE(SnapshotsOk) << FirstError;
   EXPECT_GT(Parsed.load(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition (obs/Exposition.h, DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, ExpositionRendersAndPassesChecker) {
+  Stat S("test.expo.counter");
+  S.add(5);
+  Histogram H("test.expo.ns");
+  H.record(0);    // bucket 0 → le="0"
+  H.record(100);  // bucket 7 → le="127"
+  H.record(2000); // bucket 11 → le="2047"
+  std::string Text = obs::renderPrometheus();
+  EXPECT_NE(Text.find("# TYPE mpl_test_expo_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mpl_test_expo_counter_total 5"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE mpl_test_expo_ns histogram"),
+            std::string::npos);
+  // The log2→le mapping: bucket B's inclusive upper bound is 2^B - 1, and
+  // bucket counts are cumulative up to the highest non-empty bucket.
+  EXPECT_NE(Text.find("mpl_test_expo_ns_bucket{le=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mpl_test_expo_ns_bucket{le=\"127\"} 2"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mpl_test_expo_ns_bucket{le=\"2047\"} 3"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mpl_test_expo_ns_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mpl_test_expo_ns_count 3"), std::string::npos);
+  std::string Err;
+  int Series = 0;
+  EXPECT_TRUE(obs::checkExposition(Text, Err, &Series)) << Err;
+  EXPECT_GT(Series, 10); // em.* counters + gauges + our two families
+}
+
+TEST_F(ObsTest, ExpositionCheckerRejectsMalformed) {
+  std::string Err;
+  // Duplicate series (same name + label set twice).
+  EXPECT_FALSE(obs::checkExposition(
+      "# TYPE mpl_x counter\nmpl_x 1\nmpl_x 2\n", Err));
+  EXPECT_NE(Err.find("duplicate series"), std::string::npos) << Err;
+  // Duplicate TYPE declaration.
+  EXPECT_FALSE(obs::checkExposition(
+      "# TYPE mpl_x counter\n# TYPE mpl_x counter\nmpl_x 1\n", Err));
+  // Negative counter.
+  EXPECT_FALSE(
+      obs::checkExposition("# TYPE mpl_x counter\nmpl_x -1\n", Err));
+  EXPECT_NE(Err.find("negative counter"), std::string::npos) << Err;
+  // Sample without a declared family.
+  EXPECT_FALSE(obs::checkExposition("mpl_mystery 1\n", Err));
+  // Non-numeric value.
+  EXPECT_FALSE(
+      obs::checkExposition("# TYPE mpl_x gauge\nmpl_x banana\n", Err));
+  // Non-increasing le buckets.
+  EXPECT_FALSE(obs::checkExposition("# TYPE mpl_h histogram\n"
+                                    "mpl_h_bucket{le=\"3\"} 1\n"
+                                    "mpl_h_bucket{le=\"1\"} 2\n"
+                                    "mpl_h_bucket{le=\"+Inf\"} 2\n"
+                                    "mpl_h_sum 4\nmpl_h_count 2\n",
+                                    Err));
+  EXPECT_NE(Err.find("non-increasing le"), std::string::npos) << Err;
+  // Cumulative bucket counts must be non-decreasing.
+  EXPECT_FALSE(obs::checkExposition("# TYPE mpl_h histogram\n"
+                                    "mpl_h_bucket{le=\"1\"} 2\n"
+                                    "mpl_h_bucket{le=\"3\"} 1\n"
+                                    "mpl_h_bucket{le=\"+Inf\"} 2\n"
+                                    "mpl_h_sum 4\nmpl_h_count 2\n",
+                                    Err));
+  // Missing +Inf bucket.
+  EXPECT_FALSE(obs::checkExposition("# TYPE mpl_h histogram\n"
+                                    "mpl_h_bucket{le=\"1\"} 1\n"
+                                    "mpl_h_sum 1\nmpl_h_count 1\n",
+                                    Err));
+  // +Inf bucket must equal _count.
+  EXPECT_FALSE(obs::checkExposition("# TYPE mpl_h histogram\n"
+                                    "mpl_h_bucket{le=\"+Inf\"} 1\n"
+                                    "mpl_h_sum 1\nmpl_h_count 2\n",
+                                    Err));
+  // The well-formed version of the same histogram passes.
+  EXPECT_TRUE(obs::checkExposition("# TYPE mpl_h histogram\n"
+                                   "mpl_h_bucket{le=\"1\"} 1\n"
+                                   "mpl_h_bucket{le=\"+Inf\"} 2\n"
+                                   "mpl_h_sum 42\nmpl_h_count 2\n",
+                                   Err))
+      << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Rolling windows (support/Histogram.h)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, RollingWindowAgesOutOldSamples) {
+  Histogram H("test.rolling.window.ns");
+  RollingWindow W(H, /*Slots=*/4, /*SlotNs=*/100);
+  W.maybeRotate(1000); // stamps the construction-time baseline
+  H.record(64);
+  H.record(64);
+  RollingWindow::WindowStats S = W.window(1050);
+  EXPECT_EQ(S.Count, 2);
+  EXPECT_EQ(S.WindowNs, 50);
+  EXPECT_EQ(S.Pct.P50, 127); // bucket upper bound of bit_width(64) == 7
+
+  // One rotation per slot with no new samples: once the ring fills, the
+  // oldest retained snapshot already contains both records, so the
+  // windowed view is empty while the lifetime histogram still holds 2.
+  for (int I = 1; I <= 4; ++I)
+    W.maybeRotate(1000 + 100 * I);
+  S = W.window(1450);
+  EXPECT_EQ(S.Count, 0);
+  EXPECT_EQ(H.count(), 2);
+  EXPECT_LE(S.WindowNs, 4 * 100 + 50); // converged to ~Slots * SlotNs
+
+  // New samples show up immediately (diff against the same base).
+  H.record(128);
+  S = W.window(1460);
+  EXPECT_EQ(S.Count, 1);
+}
+
+TEST_F(ObsTest, RollingWindowCatchUpCollapsesStall) {
+  Histogram H("test.rolling.stall.ns");
+  RollingWindow W(H, /*Slots=*/4, /*SlotNs=*/100);
+  W.maybeRotate(1000);
+  H.record(10);
+  // A 10-slot stall in one call must not stretch the window: the catch-up
+  // path collapses it into a single post-stall snapshot.
+  W.maybeRotate(2000);
+  W.maybeRotate(2100);
+  W.maybeRotate(2200);
+  W.maybeRotate(2300);
+  RollingWindow::WindowStats S = W.window(2310);
+  EXPECT_EQ(S.Count, 0);      // the stall-era sample aged out
+  EXPECT_EQ(S.WindowNs, 310); // base is the collapsed post-stall snapshot
+}
+
+//===----------------------------------------------------------------------===//
+// Signal-safe stats dump (MPL_STATS_DUMP)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, StatsDumpWritesExpositionFile) {
+  std::string Path = "obs_test_stats_dump.prom";
+  obs::armStatsDump(Path);
+  // No request pending: servicing is a no-op.
+  EXPECT_FALSE(obs::serviceStatsDump());
+  // The signal handler's body is exactly this relaxed store.
+  obs::requestStatsDump();
+  EXPECT_TRUE(obs::serviceStatsDump());
+  EXPECT_FALSE(obs::serviceStatsDump()); // one dump per request
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Err;
+  int Series = 0;
+  EXPECT_TRUE(obs::checkExposition(Buf.str(), Err, &Series)) << Err;
+  EXPECT_GT(Series, 0);
+  std::remove(Path.c_str());
 }

@@ -60,8 +60,10 @@ PRESSURE_SEEDS=${PRESSURE_SEEDS:-10}
 # seeded wire chaos (drops, truncations, slow reads); mpl_client drives a
 # mixed workload through the retry/backoff path, then SIGTERM drains the
 # server. Pass criteria: server exits 0 (clean drain, leaked pins == 0),
-# zero protocol errors, every shed structured, and the trace's
-# net.request_flow enqueue/execute pairs balanced.
+# zero protocol errors, every shed structured, a mid-load stats frame
+# answered in both JSON and checker-clean Prometheus form, the trace's
+# net.request_flow enqueue/execute pairs balanced, and the request
+# counters balanced (requests == ok+shed+deadline+error+draining).
 SERVER_SMOKE_SEED=${SERVER_SMOKE_SEED:-7}
 SERVER_SMOKE_REQS=${SERVER_SMOKE_REQS:-120}
 SERVER_SMOKE_WIRE_PERMILLE=${SERVER_SMOKE_WIRE_PERMILLE:-30}
@@ -142,7 +144,34 @@ run_config() {
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     "$bdir/tools/mpl_client" -port "$srv_port" -n "$SERVER_SMOKE_REQS" \
     -conns 4 -deadline-ms 5000 -seed "$SERVER_SMOKE_SEED" \
-    | tee "$bdir/server_client.json"
+    > "$bdir/server_client.json" &
+  local client_pid=$!
+  # Mid-load introspection (DESIGN.md §16): a stats frame must answer
+  # while the client hammers the server, and its Prometheus form must
+  # pass the format checker (no duplicate series, monotone le buckets,
+  # non-negative counters). Wire chaos can hit the scrape connection
+  # too, so allow a few retries — that's what a real scraper does.
+  sleep 0.3
+  local stats_ok=0
+  for i in $(seq 1 5); do
+    if ASAN_OPTIONS="detect_leaks=0" \
+       TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+         "$bdir/tools/mpl_top" -port "$srv_port" -once -format prom -check \
+         > "$bdir/server_stats.prom" &&
+       ASAN_OPTIONS="detect_leaks=0" \
+       TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+         "$bdir/tools/mpl_top" -port "$srv_port" -once \
+         > "$bdir/server_stats.json"; then
+      stats_ok=1
+      break
+    fi
+    sleep 0.2
+  done
+  [[ "$stats_ok" == 1 ]]
+  grep -q '"mpl-stats/1"' "$bdir/server_stats.json"
+  grep -q '"stage"' "$bdir/server_stats.json"
+  wait "$client_pid"
+  cat "$bdir/server_client.json"
   kill -TERM "$srv_pid"
   wait "$srv_pid" # exit 0 iff clean drain and leaked pins == 0
   cat "$srv_log"
@@ -153,10 +182,12 @@ run_config() {
   ok_count=$(sed -n 's/.*"ok":\([0-9]*\).*/\1/p' "$bdir/server_client.json")
   [[ "$ok_count" -gt 0 ]]
   # Interleaved net.* events must validate, with every request_flow id
-  # carrying both its enqueue ('s') and execute ('f') half.
+  # carrying both its enqueue ('s') and execute ('f') half, and the
+  # request-counter balance (requests == ok+shed+deadline+error+draining,
+  # stats frames excluded) must hold in the trace's counters block.
   "$bdir/tools/mpl_trace_check" "$bdir/server_trace.json" \
     --require-event net.accept --require-event net.request_flow \
-    --check-flow-pairs
+    --check-flow-pairs --check-net-balance
 
   echo "==== [$preset] span smoke ===="
   # Run a pml workload with the causal span ledger armed and validate the

@@ -10,6 +10,7 @@
 //
 // Usage: mpl_trace_check <trace.json> [--require-event NAME]...
 //                        [--allow-drops] [--check-flow-pairs]
+//                        [--check-net-balance]
 //
 // --check-flow-pairs additionally validates flow binding: every flow id
 // (grouped by cat+name, the Chrome binding key) must carry both its start
@@ -17,6 +18,18 @@
 // events bind enqueue (connection thread) to execution (worker strand);
 // an unpaired id means a request was enqueued but never ran, or vice
 // versa.
+//
+// --check-net-balance asserts the request-counter balance invariant from
+// the otherData.counters block: every request decoded off the wire got
+// exactly one counted response —
+//   net.requests == net.resp.ok + net.resp.shed
+//                 + net.resp.deadline_expired + net.resp.error
+//                 + net.resp.draining
+// An imbalance means the server silently dropped (or double-counted) a
+// request. Stats ('I') frames are deliberately outside this balance. The
+// check refuses net.requests == 0: the flag is only used on serving runs,
+// so zero means the counters block lost the net.* family and the balance
+// would pass vacuously.
 //
 // A trace that dropped events (otherData.dropped_events != 0) fails the
 // check — a gappy trace silently lies about the schedule — unless
@@ -52,6 +65,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> Required;
   bool AllowDrops = false;
   bool CheckFlowPairs = false;
+  bool CheckNetBalance = false;
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--require-event" && I + 1 < argc)
@@ -60,6 +74,8 @@ int main(int argc, char **argv) {
       AllowDrops = true;
     else if (A == "--check-flow-pairs")
       CheckFlowPairs = true;
+    else if (A == "--check-net-balance")
+      CheckNetBalance = true;
     else
       return fail("unknown argument: " + A);
   }
@@ -172,6 +188,53 @@ int main(int argc, char **argv) {
                     (Halves == 1 ? std::string("start ('s')")
                                  : std::string("finish ('f')")) +
                     " half — enqueue/execute pairing broken");
+
+  if (CheckNetBalance) {
+    const json::Value *Other = Doc.field("otherData");
+    const json::Value *Ctr = Other ? Other->field("counters") : nullptr;
+    if (!Ctr || !Ctr->isObject())
+      return fail("--check-net-balance: trace has no otherData.counters "
+                  "block (exporter too old?)");
+    auto Counter = [&](const char *Name) -> double {
+      const json::Value *V = Ctr->field(Name);
+      if (V && !V->isNumber())
+        return -1; // malformed; caught below
+      return V ? V->NumV : 0;
+    };
+    double Requests = Counter("net.requests");
+    double Parts[] = {Counter("net.resp.ok"), Counter("net.resp.shed"),
+                      Counter("net.resp.deadline_expired"),
+                      Counter("net.resp.error"),
+                      Counter("net.resp.draining")};
+    double Sum = 0;
+    for (double P : Parts) {
+      if (P < 0)
+        return fail("--check-net-balance: non-numeric net.resp.* counter");
+      Sum += P;
+    }
+    if (Requests < 0)
+      return fail("--check-net-balance: non-numeric net.requests");
+    // The flag is only passed for traces from a request-serving run, so a
+    // zero count means the counters block lost the net.* family (e.g. the
+    // exporter snapshotted after the server unregistered its Stats) — the
+    // balance would hold vacuously and hide exactly the bugs this check
+    // exists to catch.
+    if (Requests == 0)
+      return fail("--check-net-balance: net.requests is 0/absent — counters "
+                  "block has no net.* family, balance would be vacuous");
+    if (Requests != Sum) {
+      char Msg[256];
+      std::snprintf(Msg, sizeof(Msg),
+                    "net counter imbalance: net.requests=%.0f but "
+                    "ok+shed+deadline+error+draining=%.0f — a request "
+                    "was silently dropped or double-counted",
+                    Requests, Sum);
+      return fail(Msg);
+    }
+    std::printf("trace_check: net balance ok: %.0f requests == "
+                "%.0f responses\n",
+                Requests, Sum);
+  }
 
   std::printf("trace_check: OK: %ld events (%ld slices, %ld instants, "
               "%ld flows, %ld metadata), %zu distinct names, %s dropped\n",
