@@ -177,6 +177,9 @@ StatSnap StatSnap::read() {
   S.Unpins = Reg.valueOf("em.unpins");
   S.ContCaptured = Reg.valueOf("em.cont.captured");
   S.ContResumed = Reg.valueOf("em.cont.resumed");
+  S.JitCompiled = Reg.valueOf("pml.jit.compiled");
+  S.JitEntries = Reg.valueOf("pml.jit.entries");
+  S.JitCodeBytes = Reg.valueOf("pml.jit.code_bytes");
   S.GcCount = Reg.valueOf("gc.collections");
   S.GcMaxPauseNs = Reg.valueOf("gc.pause.max.ns");
   S.GcTotalPauseNs = Reg.valueOf("gc.pause.ns");
@@ -447,6 +450,12 @@ void BenchJson::addRow(const std::string &Name, const std::string &Config,
        ",\"unpins\":" + std::to_string(St.Unpins) +
        ",\"cont_captured\":" + std::to_string(St.ContCaptured) +
        ",\"cont_resumed\":" + std::to_string(St.ContResumed) + "},";
+  // Additive like "spans": only rows that actually ran the JIT tier carry
+  // the block, so existing baselines keep parsing unchanged.
+  if (St.JitCompiled > 0)
+    S += "\"jit\":{\"compiled\":" + std::to_string(St.JitCompiled) +
+         ",\"entries\":" + std::to_string(St.JitEntries) +
+         ",\"code_bytes\":" + std::to_string(St.JitCodeBytes) + "},";
   S += "\"gc\":{\"collections\":" + std::to_string(St.GcCount) +
        ",\"max_pause_ns\":" + std::to_string(St.GcMaxPauseNs) +
        ",\"total_pause_ns\":" + std::to_string(St.GcTotalPauseNs) +
@@ -485,6 +494,37 @@ void BenchJson::addCustomRow(const std::string &Name,
   S += "{\"name\":\"" + json::escape(Name) + "\",";
   S += "\"config\":\"" + json::escape(Config) + "\",";
   S += "\"time\":{\"median_s\":" + jsonDouble(MedianSec) + "}";
+  if (!ExtraJson.empty())
+    S += "," + ExtraJson;
+  S += "}";
+  Rows.push_back(std::move(S));
+}
+
+void BenchJson::addCustomRow(const std::string &Name,
+                             const std::string &Config, double MedianSec,
+                             const std::vector<double> &RepSeconds,
+                             const std::string &ExtraJson) {
+  double Mean = 0;
+  for (double R : RepSeconds)
+    Mean += R;
+  Mean /= std::max<size_t>(RepSeconds.size(), 1);
+  double Var = 0;
+  for (double R : RepSeconds)
+    Var += (R - Mean) * (R - Mean);
+  double Stddev = RepSeconds.size() > 1
+                      ? std::sqrt(Var / static_cast<double>(RepSeconds.size() - 1))
+                      : 0;
+  std::string S;
+  S += "{\"name\":\"" + json::escape(Name) + "\",";
+  S += "\"config\":\"" + json::escape(Config) + "\",";
+  S += "\"time\":{\"median_s\":" + jsonDouble(MedianSec) +
+       ",\"stddev_s\":" + jsonDouble(Stddev) + ",\"rep_s\":[";
+  for (size_t I = 0; I < RepSeconds.size(); ++I) {
+    if (I)
+      S += ",";
+    S += jsonDouble(RepSeconds[I]);
+  }
+  S += "]}";
   if (!ExtraJson.empty())
     S += "," + ExtraJson;
   S += "}";

@@ -66,6 +66,9 @@ struct StatSnap {
   int64_t Unpins = 0;
   int64_t ContCaptured = 0; ///< pml continuations captured (em.cont.captured).
   int64_t ContResumed = 0;  ///< pml continuations resumed (em.cont.resumed).
+  int64_t JitCompiled = 0;  ///< pml functions tiered up (pml.jit.compiled).
+  int64_t JitEntries = 0;   ///< dispatcher entries into native code.
+  int64_t JitCodeBytes = 0; ///< executable bytes published (pml.jit.code_bytes).
   int64_t GcCount = 0;
   int64_t GcMaxPauseNs = 0;
   int64_t GcTotalPauseNs = 0;
@@ -177,6 +180,13 @@ public:
   /// "\"native_s\":0.123" (may be empty).
   void addCustomRow(const std::string &Name, const std::string &Config,
                     double MedianSec, const std::string &ExtraJson);
+
+  /// addCustomRow variant that also records the per-rep times (and the
+  /// sample stddev recomputed from them), so hand-rolled rows can feed the
+  /// stddev-aware time gate like measure()d rows do (BENCH_T3 jit rows).
+  void addCustomRow(const std::string &Name, const std::string &Config,
+                    double MedianSec, const std::vector<double> &RepSeconds,
+                    const std::string &ExtraJson);
 
   std::string dump() const;
 

@@ -20,16 +20,48 @@
 #include "core/Em.h"
 #include "obs/Span.h"
 #include "pml/Vm.h"
+#include "pml/jit/Jit.h"
 #include "support/Cli.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace mpl;
 using namespace mpl::bench;
 using namespace mpl::ops;
 
 namespace {
+
+/// The four carrier kernels, shared by the main table and the JIT
+/// ablation so both measure literally the same programs.
+const char *FibSrc = "fun fib n = if n < 2 then n else fib (n-1) + "
+                     "fib (n-2)\nfib 25";
+const char *SumSrc =
+    "fun loop i acc = if i = 3000000 then acc else loop (i+1) (acc+i)\n"
+    "loop 0 0";
+const char *SieveSrc =
+    "val n = 200000\n"
+    "val composite = alloc (n + 1) false\n"
+    "fun mark m p = if m > n then () else (set composite m true; "
+    "mark (m + p) p)\n"
+    "fun sieve p = if p * p > n then () else\n"
+    "  ((if get composite p then () else mark (p * p) p); "
+    "sieve (p + 1))\n"
+    "fun count i acc = if i > n then acc else\n"
+    "  count (i + 1) (if get composite i then acc else acc + 1)\n"
+    "sieve 2;\ncount 2 0";
+const char *EffSrc =
+    "effect Yield\n"
+    "effect Out\n"
+    "val acc = alloc 1 0\n"
+    "fun produce i = if i = 2000 then () else (perform Yield i; "
+    "produce (i + 1))\n"
+    "fun stage1 u = handle produce 0 with\n"
+    "  | Yield v k => (perform Out (v * 2 + 1); resume k ()) end\n"
+    "fun sink u = handle stage1 () with\n"
+    "  | Out v k => (set acc 0 (get acc 0 + v); resume k ()) end\n"
+    "sink ();\nprintInt (get acc 0)";
 
 /// Lower median across the timed reps — the statistic bench::measure uses.
 double medianOf(std::vector<double> Times) {
@@ -141,6 +173,74 @@ double timeNat(Fn &&Body, int Reps, int64_t *ValueOut) {
   return medianOf(std::move(Times));
 }
 
+//===----------------------------------------------------------------------===//
+// Interp-vs-JIT x barrier-mode ablation
+//===----------------------------------------------------------------------===//
+
+/// One timed configuration of the ablation: a kernel under one barrier
+/// mode and one tier, with the run's per-rep stats (reset before every
+/// rep, so the medians and counters describe one repetition).
+struct TierRun {
+  double Sec = 0;
+  std::vector<double> RepSec;
+  std::string Output; ///< Print output of the (deterministic) run.
+  std::string Value;  ///< Rendered final value.
+  int64_t ContCaptured = 0;
+  int64_t ContResumed = 0;
+  int64_t LeakedPins = 0;
+  int64_t JitCompiled = 0;
+  int64_t JitEntries = 0;
+  int64_t JitCodeBytes = 0;
+};
+
+TierRun timePmlTier(const std::string &Src, int Reps, em::Mode Mode,
+                    bool UseJit) {
+  TierRun R;
+  for (int I = 0; I < Reps; ++I) {
+    // Threshold 1 so the jit rows measure compiled code from the first
+    // call — the ablation isolates template quality, not warmup policy.
+    jit::setCompileThreshold(1);
+    jit::setEnabled(UseJit);
+    StatRegistry::get().resetAll();
+    em::Counts.reset();
+    rt::Config Cfg;
+    Cfg.NumWorkers = 1;
+    Cfg.Profile = false;
+    Cfg.Mode = Mode;
+    rt::Runtime Rt(Cfg);
+    Timer T;
+    Rt.run([&] {
+      std::string Output, Rendered, TypeStr;
+      std::vector<std::string> Errors;
+      bool Ok = pml::evalSource(Src, Output, Rendered, TypeStr, Errors);
+      MPL_CHECK(Ok, "pml ablation program failed");
+      R.Output = Output;
+      R.Value = Rendered;
+    });
+    R.RepSec.push_back(T.elapsedSec());
+    em::CounterSnapshot S = em::Counts.snapshot();
+    R.ContCaptured = S.ContCaptured;
+    R.ContResumed = S.ContResumed;
+    R.LeakedPins = S.livePinnedObjects();
+    StatRegistry &Reg = StatRegistry::get();
+    R.JitCompiled = Reg.valueOf("pml.jit.compiled");
+    R.JitEntries = Reg.valueOf("pml.jit.entries");
+    R.JitCodeBytes = Reg.valueOf("pml.jit.code_bytes");
+    jit::setEnabled(false);
+  }
+  R.Sec = medianOf(R.RepSec);
+  return R;
+}
+
+/// The kernel's integer checksum: the rendered value when the program has
+/// one, else the printed output (the effects kernel prints its result).
+int64_t tierChecksum(const TierRun &R) {
+  const std::string &S = R.Value.empty() || R.Value == "()"
+                             ? R.Output
+                             : R.Value;
+  return std::strtoll(S.c_str(), nullptr, 10);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -174,8 +274,7 @@ int main(int Argc, char **Argv) {
     std::string PmlV;
     double Nat = timeNat([&] { return nat::fib(25); }, Reps, &NatV);
     double Rt = timeRt([&] { return wl::fib(25, 25); }, Reps, &RtV);
-    const char *Src = "fun fib n = if n < 2 then n else fib (n-1) + "
-                      "fib (n-2)\nfib 25";
+    const char *Src = FibSrc;
     double Pml = timePml(Src, Reps, &PmlV);
     MPL_CHECK(NatV == RtV && PmlV == std::to_string(NatV),
               "fib results disagree");
@@ -206,9 +305,7 @@ int main(int Argc, char **Argv) {
           return wl::sumInts(A.get(), N);
         },
         Reps, &RtV);
-    const char *Src =
-        "fun loop i acc = if i = 3000000 then acc else loop (i+1) (acc+i)\n"
-        "loop 0 0";
+    const char *Src = SumSrc;
     double Pml = timePml(Src, Reps, &PmlV);
     MPL_CHECK(NatV == RtV && PmlV == std::to_string(NatV),
               "sum results disagree");
@@ -231,17 +328,7 @@ int main(int Argc, char **Argv) {
           return static_cast<int64_t>(arrLen(P.get()));
         },
         Reps, &RtV);
-    const char *Src =
-        "val n = 200000\n"
-        "val composite = alloc (n + 1) false\n"
-        "fun mark m p = if m > n then () else (set composite m true; "
-        "mark (m + p) p)\n"
-        "fun sieve p = if p * p > n then () else\n"
-        "  ((if get composite p then () else mark (p * p) p); "
-        "sieve (p + 1))\n"
-        "fun count i acc = if i > n then acc else\n"
-        "  count (i + 1) (if get composite i then acc else acc + 1)\n"
-        "sieve 2;\ncount 2 0";
+    const char *Src = SieveSrc;
     double Pml = timePml(Src, Reps, &PmlV);
     MPL_CHECK(NatV == RtV && PmlV == std::to_string(NatV),
               "sieve results disagree");
@@ -272,17 +359,7 @@ int main(int Argc, char **Argv) {
     };
     double Nat = timeNat(Loop, Reps, &NatV);
     double Rt = timeRt(Loop, Reps, &RtV);
-    const char *Src =
-        "effect Yield\n"
-        "effect Out\n"
-        "val acc = alloc 1 0\n"
-        "fun produce i = if i = 2000 then () else (perform Yield i; "
-        "produce (i + 1))\n"
-        "fun stage1 u = handle produce 0 with\n"
-        "  | Yield v k => (perform Out (v * 2 + 1); resume k ()) end\n"
-        "fun sink u = handle stage1 () with\n"
-        "  | Out v k => (set acc 0 (get acc 0 + v); resume k ()) end\n"
-        "sink ();\nprintInt (get acc 0)";
+    const char *Src = EffSrc;
     double Pml = timePmlEff(Src, Reps, &PmlOut, &Captured, &Resumed);
     MPL_CHECK(NatV == RtV && PmlOut == std::to_string(NatV) + "\n",
               "pipeline results disagree");
@@ -306,6 +383,95 @@ int main(int Argc, char **Argv) {
   std::printf("\nvm/embed isolates bytecode-interpretation cost; the "
               "paper's MPL compiles to\nnative code, so its carrier "
               "overhead corresponds to our 'C++ embedding' column.\n");
+
+  // JIT ablation: the same four kernels, interpreter vs template JIT,
+  // under each barrier mode. The interp and jit runs of a config must
+  // print/return identical results (the differential contract, enforced
+  // here at bench scale too) and leak zero pins; the JSON rows carry the
+  // pml.jit.* counters and per-rep times so CI can arm the stddev-aware
+  // time gate for the jit rows (tools/ci.sh, --time-gate-config pml-jit).
+  {
+    struct Kernel {
+      const char *Name;
+      const char *Src;
+    };
+    const Kernel Kernels[] = {{"fib-25", FibSrc},
+                              {"sum-3m", SumSrc},
+                              {"primes-200k", SieveSrc},
+                              {"eff-pipeline-2k", EffSrc}};
+    struct ModeCase {
+      em::Mode Mode;
+      const char *Name;
+    };
+    const ModeCase Modes[] = {{em::Mode::Off, "off"},
+                              {em::Mode::Detect, "detect"},
+                              {em::Mode::Manage, "manage"}};
+
+    std::printf("\n== JIT ablation: interp vs jit x barrier mode "
+                "(1 worker, MPL_JIT_THRESHOLD=1) ==\n");
+    bool JitLive = [] {
+      jit::setEnabled(true);
+      bool On = jit::enabled();
+      jit::setEnabled(false);
+      return On;
+    }();
+    if (!JitLive)
+      std::printf("note: jit unavailable in this build (tsan or non-x86-64) "
+                  "— jit rows below run interpreted.\n");
+
+    Table A({"benchmark", "mode", "interp", "jit", "speedup", "jit fns",
+             "code KiB"});
+    for (const Kernel &K : Kernels) {
+      for (const ModeCase &M : Modes) {
+        TierRun In = timePmlTier(K.Src, Reps, M.Mode, /*UseJit=*/false);
+        TierRun Jt = timePmlTier(K.Src, Reps, M.Mode, /*UseJit=*/true);
+        MPL_CHECK(In.Output == Jt.Output && In.Value == Jt.Value,
+                  "interp and jit runs disagree");
+        MPL_CHECK(tierChecksum(In) == tierChecksum(Jt),
+                  "interp and jit checksums disagree");
+        MPL_CHECK(In.LeakedPins == 0 && Jt.LeakedPins == 0,
+                  "ablation run leaked pins");
+        MPL_CHECK(In.ContCaptured == Jt.ContCaptured &&
+                      In.ContResumed == Jt.ContResumed,
+                  "interp and jit continuation traffic disagree");
+        // Total JIT loss (env plumbing broken, tiering never fires) must
+        // fail here deterministically: the counter gate is upward-only,
+        // so a drop to zero compiled functions would pass it, and the
+        // time gate's floor is too wide to catch it on the flatter
+        // kernels.
+        MPL_CHECK(Jt.JitCompiled > 0 && Jt.JitEntries > 0,
+                  "jit ablation cell did not tier any function");
+        char KiB[32];
+        std::snprintf(KiB, sizeof(KiB), "%.1f",
+                      static_cast<double>(Jt.JitCodeBytes) / 1024.0);
+        A.addRow({K.Name, M.Name, Table::fmtSec(In.Sec),
+                  Table::fmtSec(Jt.Sec), Table::fmtRatio(In.Sec / Jt.Sec),
+                  std::to_string(Jt.JitCompiled), KiB});
+        auto AddAbl = [&](const std::string &Cfg, const TierRun &R) {
+          std::string Extra =
+              "\"em\":{\"cont_captured\":" + std::to_string(R.ContCaptured) +
+              ",\"cont_resumed\":" + std::to_string(R.ContResumed) + "}";
+          if (R.JitCompiled > 0)
+            Extra += ",\"jit\":{\"compiled\":" +
+                     std::to_string(R.JitCompiled) +
+                     ",\"entries\":" + std::to_string(R.JitEntries) +
+                     ",\"code_bytes\":" + std::to_string(R.JitCodeBytes) +
+                     "}";
+          Extra += ",\"profile\":{\"leaked_pins\":" +
+                   std::to_string(R.LeakedPins) + ",\"leaked_bytes\":0}";
+          Extra += ",\"checksum\":" + std::to_string(tierChecksum(R));
+          J.addCustomRow(K.Name, Cfg, R.Sec, R.RepSec, Extra);
+        };
+        AddAbl(std::string("pml-interp-") + M.Name, In);
+        AddAbl(std::string("pml-jit-") + M.Name, Jt);
+      }
+    }
+    A.print();
+    std::printf("\nspeedup = interp/jit at identical checksums and em "
+                "counters; 'jit fns' is the\nnumber of functions tiered up "
+                "at threshold 1, 'code KiB' the executable bytes.\n");
+  }
+
   if (!JsonPath.empty() && !J.write(JsonPath))
     return 1;
   return 0;

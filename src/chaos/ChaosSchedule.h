@@ -63,6 +63,8 @@ enum class Point : uint8_t {
   ContResume,   ///< pml Resume: after the one-shot claim, before restore.
   WireRead,     ///< net: before reading request bytes off a socket.
   WireWrite,    ///< net: before writing response bytes to a socket.
+  JitPublish,   ///< pml jit: code compiled, before publishing to other strands.
+  JitEnter,     ///< pml jit: dispatcher about to enter generated code.
   NumPoints
 };
 

@@ -81,6 +81,18 @@ bool Heap::isAncestorOf(const Heap *A, const Heap *B) {
   return B == A;
 }
 
+// offsetof on a non-standard-layout type is conditionally supported; GCC and
+// Clang both define it for this shape (no virtual bases, ordinary members).
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+#endif
+size_t Heap::parentOffset() { return offsetof(Heap, Parent); }
+size_t Heap::depthOffset() { return offsetof(Heap, Depth); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
 uint32_t Heap::lcaDepth(const Heap *A, const Heap *B) {
   while (A->Depth > B->Depth)
     A = A->Parent;

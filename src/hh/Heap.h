@@ -73,6 +73,15 @@ public:
   /// disentangled; anything else is entanglement.
   static bool isAncestorOf(const Heap *A, const Heap *B);
 
+  /// Byte offsets of Parent / Depth within a Heap, for generated code: the
+  /// pml JIT (src/pml/jit) emits the read-barrier fast path — the same
+  /// depth-guided ancestry walk isAncestorOf performs — inline, so it needs
+  /// the field layout without making the fields public. Both fields are
+  /// immutable after construction, so code baking these offsets in stays
+  /// valid for the heap's whole lifetime.
+  static size_t parentOffset();
+  static size_t depthOffset();
+
   /// Depth of the least common ancestor of two heaps.
   static uint32_t lcaDepth(const Heap *A, const Heap *B);
 

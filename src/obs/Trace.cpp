@@ -91,6 +91,7 @@ constexpr KindInfo Kinds[] = {
     /* NetDrain         */ {"net.drain", 'i', "inflight", nullptr},
     /* NetFlowOut       */ {"net.request_flow", 's', nullptr, nullptr, "net"},
     /* NetFlowIn        */ {"net.request_flow", 'f', nullptr, nullptr, "net"},
+    /* JitCompile       */ {"jit_compile", 'i', "fn", "code_bytes"},
 };
 static_assert(sizeof(Kinds) / sizeof(Kinds[0]) ==
                   static_cast<size_t>(Ev::NumKinds),

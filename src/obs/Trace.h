@@ -87,6 +87,7 @@ enum class Ev : uint16_t {
   NetDrain,         ///< Server began draining; Arg0 = in-flight requests.
   NetFlowOut,       ///< Request enqueued (flow 's'); Arg0 = request id.
   NetFlowIn,        ///< Request starts executing (flow 'f'); Arg0 = req id.
+  JitCompile,       ///< pml fn tiered to native; Arg0 = fn idx, Arg1 = bytes.
   NumKinds
 };
 

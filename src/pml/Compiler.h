@@ -20,10 +20,16 @@
 #include "pml/Ast.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace mpl {
+
+namespace jit {
+class ProgramJit;
+} // namespace jit
+
 namespace pml {
 
 enum class Op : uint8_t {
@@ -124,6 +130,11 @@ struct Program {
   /// Effect declaration names, indexed by static effect id (diagnostics).
   std::vector<std::string> EffectNames;
   int Main = 0;
+  /// Tier state for the template JIT (pml/jit/Jit.h), created lazily by the
+  /// first root Vm when MPL_JIT is armed and shared by every ParCall sub-VM
+  /// running this program. Mutable: attaching JIT state does not make the
+  /// program any less logically const.
+  mutable std::shared_ptr<jit::ProgramJit> Jit;
 };
 
 /// Compiles \p Root (already type-checked). Returns false and appends to

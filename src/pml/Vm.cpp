@@ -39,7 +39,9 @@
 #include "core/Runtime.h"
 #include "obs/Span.h"
 #include "pml/Parser.h"
+#include "pml/jit/Jit.h"
 
+#include <cstddef>
 #include <cstdio>
 
 using namespace mpl;
@@ -47,7 +49,13 @@ using namespace mpl::ops;
 using namespace mpl::pml;
 
 Vm::Vm(const Program &P, std::string *CaptureOut)
-    : Vm(P, CaptureOut, std::make_shared<TrapState>()) {}
+    : Vm(P, CaptureOut, std::make_shared<TrapState>()) {
+  // Attach the JIT tier before any parallelism exists: only the root Vm
+  // runs this ctor (ParCall sub-VMs use the private one), so the shared
+  // ProgramJit is published to every future strand via the Program.
+  if (!P.Jit && jit::enabled())
+    P.Jit = jit::createProgramJit(P);
+}
 
 Vm::Vm(const Program &P, std::string *CaptureOut,
        std::shared_ptr<TrapState> Trap)
@@ -148,6 +156,8 @@ bool Vm::pushFrame(int FnIdx, int HandlerIdx, uint32_t OperandsToPop) {
     Trap->trap("call depth limit exceeded");
     return false;
   }
+  if (P.Jit)
+    P.Jit->countCall(FnIdx); // Tier accounting (relaxed; see pml/jit/Jit.h).
   Frame F;
   F.Fn = &P.Fns[static_cast<size_t>(FnIdx)];
   F.FnIdx = FnIdx;
@@ -446,12 +456,50 @@ void Vm::runLoop(size_t Floor) {
   // unwinds like OOM: out of the VM to the rt::par branch boundary.
   constexpr uint32_t DeadlinePollEvery = 256;
   uint32_t PollBudget = DeadlinePollEvery;
+  // JIT tier gate, latched per runLoop activation. Span-armed runs pin to
+  // the interpreter: native templates do not publish per-instruction source
+  // locations, and exact pml Line:Col attribution is the ledger's contract.
+  jit::ProgramJit *PJ =
+      (P.Jit && jit::enabled() && !obs::spansEnabled()) ? P.Jit.get() : nullptr;
+  // Re-check the tier only at frame boundaries (every Call/TailCall/Ret/
+  // Handle/Suspend/Resume re-arms this): tiering decisions happen where the
+  // interpreter counts calls, so interp-vs-JIT transitions are deterministic
+  // for a given schedule.
+  bool TryJit = PJ != nullptr;
   while (true) {
     if (Trap->Trapped.load(std::memory_order_relaxed))
       return; // callFunction unwinds the stacks to its entry state.
     if (--PollBudget == 0) {
       PollBudget = DeadlinePollEvery;
       rt::checkDeadline();
+    }
+    if (PJ && TryJit) {
+      TryJit = false;
+      Frame &JF = Frames.back();
+      const jit::CompiledFn *CF = jit::hotOrCompile(*PJ, P, JF.FnIdx);
+      if (CF && JF.Ip < CF->NativeOff.size()) {
+        // Schedule fuzzing: the interp->native handoff is a visible
+        // scheduling edge (another strand may be publishing code, trapping,
+        // or expiring a deadline right here).
+        chaos::preemptPoint(chaos::Point::JitEnter);
+        jit::noteEntry();
+        size_t EntryIp = JF.Ip;
+        uint64_t EntryBase = JF.Base;
+        // JF dies here: helpers running under invoke() may grow Frames.
+        CF->invoke(this, EntryIp, rt::Runtime::ctx()->CurrentHeap, EntryBase);
+        if (PendingExc) {
+          // Helpers never unwind through native frames; rethrow from this
+          // C++ frame so Detect errors / deadline expiry / OOM propagate
+          // exactly as they do from the interpreter's own opcode bodies.
+          std::exception_ptr Ex = std::move(PendingExc);
+          PendingExc = nullptr;
+          std::rethrow_exception(Ex);
+        }
+        TryJit = true;
+        if (Frames.size() == Floor)
+          return; // Native Ret settled the floor frame's result.
+        continue;
+      }
     }
     Frame &F = Frames.back();
     MPL_DASSERT(F.Ip < F.Fn->Code.size(), "instruction pointer out of range");
@@ -524,6 +572,7 @@ void Vm::runLoop(size_t Floor) {
       // The callee's frame adopts the [fn, arg] slots in place; its Ret
       // pops back to them and pushes the result.
       pushFrame(closureFn(Object::asPointer(FnV)), -1, 0);
+      TryJit = true;
       break;
     }
 
@@ -538,6 +587,8 @@ void Vm::runLoop(size_t Floor) {
       // constant stack space. HandlerIdx/OperandsToPop carry over — the
       // final Ret still settles this frame's protocol slots.
       int NewFn = closureFn(Object::asPointer(FnV));
+      if (P.Jit)
+        P.Jit->countCall(NewFn);
       F.Fn = &P.Fns[static_cast<size_t>(NewFn)];
       F.FnIdx = NewFn;
       F.Ip = 0;
@@ -546,6 +597,7 @@ void Vm::runLoop(size_t Floor) {
       push(ArgV);
       for (int I = 1; I < F.Fn->NumLocals; ++I)
         push(unit());
+      TryJit = true;
       break;
     }
 
@@ -560,6 +612,7 @@ void Vm::runLoop(size_t Floor) {
       push(R);
       if (Frames.size() == Floor)
         return;
+      TryJit = true;
       break;
     }
 
@@ -760,13 +813,16 @@ void Vm::runLoop(size_t Floor) {
       push(unit()); // The thunk's () argument.
       pushFrame(closureFn(Object::asPointer(Thunk)), EntIdx,
                 static_cast<uint32_t>(In.B));
+      TryJit = true;
       break;
     }
     case Op::Suspend:
       doSuspend(In.A);
+      TryJit = true;
       break;
     case Op::Resume:
       doResume();
+      TryJit = true;
       break;
     }
   }
@@ -864,4 +920,343 @@ bool mpl::pml::evalSource(const std::string &Source, std::string &Output,
   }
   Rendered = renderValue(R.Value, T);
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// JIT out-of-line helpers (pml/jit/Jit.h §17). Each body is the
+// interpreter's own opcode code run on the synced VM state — same ops::
+// allocation wrappers, same em:: barriers, same trap messages — which is
+// what makes interpreter and JIT bit-identical down to the entanglement
+// counters. Native frames must never be unwound through, so every body
+// catches into Vm::PendingExc; the dispatcher rethrows after the generated
+// code has returned.
+//===----------------------------------------------------------------------===//
+
+using mpl::jit::StExit;
+using mpl::jit::StOk;
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+size_t jit::VmJit::spOffset() { return offsetof(Vm, Sp); }
+size_t jit::VmJit::stackBaseOffset() { return offsetof(Vm, StackBase); }
+#pragma GCC diagnostic pop
+
+size_t jit::VmJit::stackCap() { return Vm::StackCap; }
+
+/// Shared epilogue of every continue-helper: a trap raised by the body (or
+/// by another strand, noticed here) sends the native code to its exit.
+#define MPL_JIT_OK_UNLESS_TRAPPED(V)                                         \
+  ((V)->Trap->Trapped.load(std::memory_order_relaxed) ? StExit : StOk)
+
+uint64_t jit::VmJit::opPushStr(Vm *V, uint64_t StrIdx) noexcept {
+  try {
+    const std::string &S = V->P.StrPool[static_cast<size_t>(StrIdx)];
+    V->push(Object::fromPointer(newString(S.data(), S.size())));
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opMkClosure(Vm *V, uint64_t FnIdx,
+                                 uint64_t NumCaps) noexcept {
+  try {
+    uint32_t N = static_cast<uint32_t>(NumCaps);
+    // Captures are the top N stack slots (rooted); allocate then fill.
+    Object *C = newArray(N + 1, boxInt(static_cast<int64_t>(FnIdx)));
+    for (uint32_t I = 0; I < N; ++I)
+      arrSet(C, I + 1, V->Stack[V->Sp - N + I]);
+    V->Sp -= N;
+    V->push(Object::fromPointer(C));
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opFixSelf(Vm *V, uint64_t CapIdx) noexcept {
+  try {
+    Object *C = Object::asPointer(V->Stack[V->Sp - 1]);
+    MPL_DASSERT(C, "FixSelf on non-closure");
+    arrSet(C, static_cast<uint32_t>(CapIdx) + 1, V->Stack[V->Sp - 1]);
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opMkPair(Vm *V) noexcept {
+  try {
+    // Operands stay rooted on the stack across the allocation.
+    Object *Pr = newRecord(0b11, {V->Stack[V->Sp - 2], V->Stack[V->Sp - 1]});
+    V->Sp -= 2;
+    V->push(Object::fromPointer(Pr));
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opMkRef(Vm *V) noexcept {
+  try {
+    Object *R = newRef(V->Stack[V->Sp - 1]);
+    V->Stack[V->Sp - 1] = Object::fromPointer(R);
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opAlloc(Vm *V) noexcept {
+  try {
+    // Stack: [n, init]; newArray roots its init argument internally.
+    Slot Init = V->pop();
+    int64_t N = unboxInt(V->pop());
+    if (N < 0 || N > int64_t(Object::MaxLength)) {
+      V->Trap->trap("alloc size out of range");
+      return StExit;
+    }
+    V->push(Object::fromPointer(newArray(static_cast<uint32_t>(N), Init)));
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opParCall(Vm *V) noexcept {
+  try {
+    // Closures stay rooted on the parent's stack during the fork. rt::par
+    // restores this strand's CurrentHeap before returning, so the native
+    // caller's pinned heap register stays valid across the fork-join.
+    BranchEnv EnvA{&V->P, V->CaptureOut, V->Trap, V->Stack[V->Sp - 2]};
+    BranchEnv EnvB{&V->P, V->CaptureOut, V->Trap, V->Stack[V->Sp - 1]};
+    auto [RA, RB] = rt::par([&] { return VmBranch::run(EnvA); },
+                            [&] { return VmBranch::run(EnvB); });
+    // Results are rooted by re-using the two operand slots.
+    V->Stack[V->Sp - 2] = RA;
+    V->Stack[V->Sp - 1] = RB;
+    Object *Pr = newRecord(0b11, {V->Stack[V->Sp - 2], V->Stack[V->Sp - 1]});
+    V->Sp -= 2;
+    V->push(Object::fromPointer(Pr));
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opPrint(Vm *V) noexcept {
+  try {
+    Object *S = Object::asPointer(V->pop());
+    MPL_DASSERT(S, "print of non-string");
+    if (V->CaptureOut)
+      V->CaptureOut->append(strBytes(S), strLen(S));
+    else
+      std::fwrite(strBytes(S), 1, strLen(S), stdout);
+    V->push(unit());
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opPrintInt(Vm *V) noexcept {
+  try {
+    char Buf[32];
+    int Len = std::snprintf(Buf, sizeof(Buf), "%lld\n",
+                            static_cast<long long>(unboxInt(V->pop())));
+    if (V->CaptureOut)
+      V->CaptureOut->append(Buf, static_cast<size_t>(Len));
+    else
+      std::fwrite(Buf, 1, static_cast<size_t>(Len), stdout);
+    V->push(unit());
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opEqSlow(Vm *V, uint64_t Negate) noexcept {
+  try {
+    // Reached only for two distinct heap pointers (the template folds the
+    // identity and immediate cases inline); writes the result and pops.
+    bool Eq = slotsEqual(V->Stack[V->Sp - 2], V->Stack[V->Sp - 1]);
+    V->Stack[V->Sp - 2] = boxBool(Negate ? !Eq : Eq);
+    V->Sp -= 1;
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opReadBarrier(Vm *V, uint64_t Val,
+                                   uint64_t Reader) noexcept {
+  try {
+    // Re-runs the full barrier (the inline fast path is a strict subset of
+    // its skip conditions), so counters/pins/Detect errors are exactly the
+    // interpreter's.
+    em::readBarrier(reinterpret_cast<Heap *>(Reader), static_cast<Slot>(Val));
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opWriteBarrier(Vm *V, uint64_t Holder,
+                                    uint64_t Val) noexcept {
+  try {
+    em::writeBarrier(reinterpret_cast<Object *>(Holder),
+                     static_cast<Slot>(Val));
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::poll(Vm *V) noexcept {
+  try {
+    rt::checkDeadline();
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+    return StExit;
+  }
+  return MPL_JIT_OK_UNLESS_TRAPPED(V);
+}
+
+uint64_t jit::VmJit::opCall(Vm *V, uint64_t IpAfter) noexcept {
+  try {
+    V->Frames.back().Ip = static_cast<size_t>(IpAfter);
+    Slot FnV = V->Stack[V->Sp - 2];
+    if (!isClosure(FnV))
+      V->Trap->trap("calling a non-function value");
+    else
+      V->pushFrame(closureFn(Object::asPointer(FnV)), -1, 0);
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+  }
+  return StExit;
+}
+
+uint64_t jit::VmJit::opTailCall(Vm *V) noexcept {
+  try {
+    // The template handles only the self-recursive shape inline; this is
+    // the interpreter's general rebuild (different callee, or a frame too
+    // large for the inline path).
+    Vm::Frame &F = V->Frames.back();
+    Slot ArgV = V->Stack[V->Sp - 1];
+    Slot FnV = V->Stack[V->Sp - 2];
+    if (!isClosure(FnV)) {
+      V->Trap->trap("calling a non-function value");
+      return StExit;
+    }
+    int NewFn = closureFn(Object::asPointer(FnV));
+    if (V->P.Jit)
+      V->P.Jit->countCall(NewFn);
+    F.Fn = &V->P.Fns[static_cast<size_t>(NewFn)];
+    F.FnIdx = NewFn;
+    F.Ip = 0;
+    V->Sp = F.Base;
+    V->push(FnV);
+    V->push(ArgV);
+    for (int I = 1; I < F.Fn->NumLocals; ++I)
+      V->push(unit());
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+  }
+  return StExit;
+}
+
+uint64_t jit::VmJit::opRet(Vm *V) noexcept {
+  try {
+    Slot R = V->Stack[V->Sp - 1];
+    Vm::Frame Popped = V->Frames.back();
+    V->Frames.pop_back();
+    V->Sp = Popped.Base;
+    if (Popped.HandlerIdx >= 0)
+      V->Handlers.resize(static_cast<size_t>(Popped.HandlerIdx));
+    V->Sp -= Popped.OperandsToPop;
+    V->push(R);
+    // The dispatcher performs the Floor check after the native code exits.
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+  }
+  return StExit;
+}
+
+uint64_t jit::VmJit::opHandle(Vm *V, uint64_t IpAfter, uint64_t TableIdx,
+                              uint64_t NumArms) noexcept {
+  try {
+    V->Frames.back().Ip = static_cast<size_t>(IpAfter);
+    Slot Thunk = V->Stack[V->Sp - 1];
+    MPL_DASSERT(isClosure(Thunk), "handle body is not a thunk");
+    int EntIdx = static_cast<int>(V->Handlers.size());
+    Vm::HandlerEnt E;
+    E.TableIdx = static_cast<int>(TableIdx);
+    E.ArmsBase = V->Sp - 1 - static_cast<size_t>(NumArms);
+    E.NumArms = static_cast<int>(NumArms);
+    E.FrameIdx = V->Frames.size();
+    V->Handlers.push_back(E);
+    V->push(unit()); // The thunk's () argument.
+    V->pushFrame(closureFn(Object::asPointer(Thunk)), EntIdx,
+                 static_cast<uint32_t>(NumArms));
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+  }
+  return StExit;
+}
+
+uint64_t jit::VmJit::opSuspend(Vm *V, uint64_t IpAfter,
+                               uint64_t EffectId) noexcept {
+  try {
+    // The suspending frame's Ip must already be past the Suspend before the
+    // capture walks the frame chain.
+    V->Frames.back().Ip = static_cast<size_t>(IpAfter);
+    V->doSuspend(static_cast<int32_t>(EffectId));
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+  }
+  return StExit;
+}
+
+uint64_t jit::VmJit::opResume(Vm *V, uint64_t IpAfter) noexcept {
+  try {
+    V->Frames.back().Ip = static_cast<size_t>(IpAfter);
+    V->doResume();
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+  }
+  return StExit;
+}
+
+uint64_t jit::VmJit::opTrap(Vm *V, uint64_t Code) noexcept {
+  try {
+    switch (Code) {
+    case jit::TrapDivZero:
+      V->Trap->trap("division by zero");
+      break;
+    case jit::TrapOob:
+      V->Trap->trap("array index out of bounds");
+      break;
+    case jit::TrapMatchFail:
+      V->Trap->trap("match failure: no case arm matched");
+      break;
+    default:
+      V->Trap->trap("value stack overflow");
+      break;
+    }
+  } catch (...) {
+    V->PendingExc = std::current_exception();
+  }
+  return StExit;
 }

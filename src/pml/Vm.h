@@ -37,12 +37,18 @@
 #include "pml/Types.h"
 
 #include <atomic>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 namespace mpl {
+
+namespace jit {
+struct VmJit;
+} // namespace jit
+
 namespace pml {
 
 /// Shared trap state: a runtime error in any parallel branch aborts the
@@ -83,6 +89,9 @@ public:
 
 private:
   friend struct VmBranch;
+  /// The JIT's out-of-line helpers (pml/jit/Jit.h) run interpreter opcode
+  /// bodies on this VM's state from native code.
+  friend struct jit::VmJit;
   Vm(const Program &P, std::string *CaptureOut,
      std::shared_ptr<TrapState> Trap);
 
@@ -151,6 +160,12 @@ private:
   size_t Sp = 0;
   std::vector<Frame> Frames;
   std::vector<HandlerEnt> Handlers;
+
+  /// Exception captured by a JIT helper (Detect-mode EntanglementError,
+  /// deadline expiry, OOM). Native frames must never be unwound through, so
+  /// helpers catch here and the dispatcher rethrows from its own C++ frame
+  /// once the generated code has returned.
+  std::exception_ptr PendingExc;
 };
 
 /// Renders a PML value of (resolved) type \p T for display, e.g.

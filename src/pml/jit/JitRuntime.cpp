@@ -1,0 +1,75 @@
+//===- pml/jit/JitRuntime.cpp - W^X executable code pages ------------------===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pml/jit/JitRuntime.h"
+
+#include <cstring>
+
+#if MPL_JIT_SUPPORTED
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+using namespace mpl;
+using namespace mpl::jit;
+
+#if MPL_JIT_SUPPORTED
+
+namespace {
+size_t pageRound(size_t Bytes) {
+  static const size_t Page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return (Bytes + Page - 1) & ~(Page - 1);
+}
+} // namespace
+
+const uint8_t *CodePool::publish(const uint8_t *Code, size_t Size) {
+  if (Size == 0)
+    return nullptr;
+  size_t Total = pageRound(Size);
+  // W^X step 1: a private RW mapping nobody else can see yet.
+  void *Mem = ::mmap(nullptr, Total, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return nullptr;
+  std::memcpy(Mem, Code, Size);
+  // W^X step 2: flip to RX. The write permission is gone before the entry
+  // address can escape this function; there is never a RWX state.
+  if (::mprotect(Mem, Total, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(Mem, Total);
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> G(Mu);
+  Blocks.emplace_back(Mem, Total);
+  return static_cast<const uint8_t *>(Mem);
+}
+
+CodePool::~CodePool() {
+  for (auto &[Mem, Total] : Blocks)
+    ::munmap(Mem, Total);
+}
+
+#else // !MPL_JIT_SUPPORTED
+
+const uint8_t *CodePool::publish(const uint8_t *, size_t) { return nullptr; }
+
+CodePool::~CodePool() = default;
+
+#endif
+
+size_t CodePool::mappedBytes() const {
+  std::lock_guard<std::mutex> G(Mu);
+  size_t Total = 0;
+  for (const auto &[Mem, Bytes] : Blocks) {
+    (void)Mem;
+    Total += Bytes;
+  }
+  return Total;
+}
+
+size_t CodePool::blockCount() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Blocks.size();
+}

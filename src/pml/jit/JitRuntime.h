@@ -1,0 +1,71 @@
+//===- pml/jit/JitRuntime.h - W^X executable code pages --------*- C++ -*-===//
+//
+// Part of mpl-em (PLDI 2023 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the executable memory behind compiled pml functions. The lifecycle
+/// is strict W^X: a fresh anonymous mapping is created read-write, the
+/// encoded instructions are copied in, and the mapping is flipped to
+/// read-execute before the entry address escapes. No mapping is ever
+/// readable-writable-executable at any point, and a published mapping is
+/// never flipped back to writable — code is immutable once live, which is
+/// also what makes publishing it to other strands a one-way release/acquire
+/// handoff (the mprotect on the publishing thread plus the Phase
+/// release-store in Jit.cpp order the code bytes before any consumer's
+/// jump into them).
+///
+/// Mappings are only unmapped when the pool is destroyed, i.e. when the
+/// owning ProgramJit (and hence every Vm that could run the code) is gone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPL_PML_JIT_JITRUNTIME_H
+#define MPL_PML_JIT_JITRUNTIME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mpl {
+namespace jit {
+
+/// Whether this build can emit and run native code at all (x86-64 with an
+/// mmap/mprotect POSIX surface). On other targets every publish fails and
+/// jit::enabled() is pinned false.
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define MPL_JIT_SUPPORTED 1
+#else
+#define MPL_JIT_SUPPORTED 0
+#endif
+
+class CodePool {
+public:
+  CodePool() = default;
+  ~CodePool();
+
+  CodePool(const CodePool &) = delete;
+  CodePool &operator=(const CodePool &) = delete;
+
+  /// Maps \p Size bytes RW, copies \p Code in, flips the mapping to RX and
+  /// returns the executable base. Returns null on mapping failure (the
+  /// caller treats the function as uncompilable). Thread-safe.
+  const uint8_t *publish(const uint8_t *Code, size_t Size);
+
+  /// Total bytes currently mapped executable (page-rounded).
+  size_t mappedBytes() const;
+
+  /// Number of live published mappings.
+  size_t blockCount() const;
+
+private:
+  mutable std::mutex Mu;
+  std::vector<std::pair<void *, size_t>> Blocks;
+};
+
+} // namespace jit
+} // namespace mpl
+
+#endif // MPL_PML_JIT_JITRUNTIME_H

@@ -27,6 +27,7 @@
 #include "core/Runtime.h"
 #include "obs/Trace.h"
 #include "pml/Vm.h"
+#include "pml/jit/Jit.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "workloads/Entangled.h"
@@ -56,6 +57,8 @@ struct FuzzOutcome {
   std::vector<std::string> Violations;
   em::CounterSnapshot Final;
   chaos::Totals Totals;
+  int64_t JitCompiled = 0; ///< pml functions tiered up during the run.
+  int64_t JitEntries = 0;  ///< dispatcher entries into native code.
 
   bool ok() const { return ValuesOk && Violations.empty(); }
 
@@ -72,7 +75,8 @@ struct FuzzOutcome {
       << " readsUnpinned=" << Final.EntangledReadsUnpinned
       << " pins=" << Final.PinnedObjects << " unpins=" << Final.UnpinnedObjects
       << " conts=" << Final.ContCaptured << "/" << Final.ContResumed
-      << " faults=" << Totals.FaultsInjected;
+      << " faults=" << Totals.FaultsInjected
+      << " jit=" << JitCompiled << "/" << JitEntries;
     return S.str();
   }
 };
@@ -96,10 +100,16 @@ void publishPyramid(Object *Board, int Level, int Depth) {
 
 /// Runs the mixed entangled workload under \p C with \p Workers workers,
 /// verifying invariants and checksums after every phase.
-FuzzOutcome runUnderChaos(const chaos::Config &C, int Workers) {
+/// With \p UseJit the pml tier compiles at threshold 1, so the effects
+/// phase runs native code with the chaos JitPublish/JitEnter preemption
+/// points armed — steals and forced GCs race compilation and entry.
+FuzzOutcome runUnderChaos(const chaos::Config &C, int Workers,
+                          bool UseJit = false) {
   FuzzOutcome Out;
   em::Counts.reset();
   StatRegistry::get().resetAll();
+  jit::setCompileThreshold(1);
+  jit::setEnabled(UseJit);
   // Arm the tracer with a small ring so a failing seed can flush the last
   // window of scheduler/barrier/GC events next to its printed seed. The
   // previous case's events are dropped so the flush shows only this run.
@@ -215,8 +225,12 @@ FuzzOutcome runUnderChaos(const chaos::Config &C, int Workers) {
 
   Out.Final = em::Counts.snapshot();
   Out.Totals = chaos::totals();
+  Out.JitCompiled = StatRegistry::get().valueOf("pml.jit.compiled");
+  Out.JitEntries = StatRegistry::get().valueOf("pml.jit.entries");
   chaos::disable();
   obs::Tracer::get().disable();
+  jit::setEnabled(false);
+  jit::setCompileThreshold(64);
   return Out;
 }
 
@@ -261,7 +275,9 @@ TEST_P(ScheduleFuzz, CleanTreeHoldsAllInvariants) {
     C.InjectFault = chaos::Fault::FailChunkAlloc;
     C.FaultEveryN = EveryN;
   }
-  FuzzOutcome Out = runUnderChaos(C, C.suggestedWorkers());
+  // Half the corpus runs the effects phase under the JIT tier (threshold
+  // 1), so the chaos mix also races code publication and native entry.
+  FuzzOutcome Out = runUnderChaos(C, C.suggestedWorkers(), Seed % 2 == 0);
   // On failure, flush the event window of this run so the seed replay has
   // a timeline to start from (loadable in Perfetto / chrome://tracing).
   std::string TraceNote;
@@ -328,6 +344,50 @@ TEST(ChaosSchedule, SingleWorkerReplayIsDeterministic) {
       << "one-worker chaos runs of the same seed must replay exactly";
   EXPECT_EQ(A.Final.EntangledReads, B.Final.EntangledReads);
   EXPECT_EQ(A.Final.PinnedBytes, B.Final.PinnedBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// JIT under chaos: tier-up races steals, preemptions and forced GCs
+//===----------------------------------------------------------------------===//
+
+TEST(JitChaos, ArmedJitSurvivesPreemptionStorm) {
+  // Preempt at every decision point — including JitPublish (just before a
+  // compiled function is published to other strands) and JitEnter (just
+  // before the dispatcher jumps into native code). All invariants and
+  // value checksums must hold exactly as in the interpreted runs.
+  chaos::Config C;
+  C.Seed = 90210;
+  C.PreemptPermille = 1000;
+  C.ForceVictim = true;
+  C.GcAtAllocPermille = 50;
+  FuzzOutcome Out = runUnderChaos(C, 4, /*UseJit=*/true);
+  EXPECT_TRUE(Out.ok()) << Out.signature();
+  EXPECT_GT(Out.Totals.Preemptions, 0);
+  if (!jit::tsanForcedOff() && MPL_JIT_SUPPORTED) {
+    EXPECT_GT(Out.JitCompiled, 0) << "effects phase never tiered up";
+    EXPECT_GT(Out.JitEntries, 0);
+  }
+}
+
+TEST(JitChaos, SameSeedTiersIdentically) {
+  // Tier checks happen only at frame boundaries and compilation is claimed
+  // by CAS, so a one-worker chaos schedule replays its tier decisions
+  // exactly: same functions compiled, same number of native entries.
+  chaos::Config C = chaos::Config::fromSeed(31);
+  FuzzOutcome A = runUnderChaos(C, 1, /*UseJit=*/true);
+  FuzzOutcome B = runUnderChaos(C, 1, /*UseJit=*/true);
+  EXPECT_TRUE(A.ok()) << A.signature();
+  EXPECT_EQ(A.signature(), B.signature())
+      << "JIT-armed one-worker chaos runs of the same seed must replay";
+  EXPECT_EQ(A.JitCompiled, B.JitCompiled);
+  EXPECT_EQ(A.JitEntries, B.JitEntries);
+  // The interpreted run of the same seed must agree on everything the
+  // signature tracks except the jit counters themselves.
+  FuzzOutcome I = runUnderChaos(C, 1, /*UseJit=*/false);
+  EXPECT_TRUE(I.ok()) << I.signature();
+  EXPECT_EQ(I.JitCompiled, 0);
+  EXPECT_EQ(I.Final.ContCaptured, A.Final.ContCaptured);
+  EXPECT_EQ(I.Final.ContResumed, A.Final.ContResumed);
 }
 
 //===----------------------------------------------------------------------===//

@@ -27,7 +27,9 @@
 #include "hh/Heap.h"
 #include "obs/Profile.h"
 #include "pml/Vm.h"
+#include "pml/jit/Jit.h"
 #include "support/Random.h"
+#include "support/Stats.h"
 
 #include <gtest/gtest.h>
 
@@ -371,6 +373,13 @@ TEST_P(EffectHandlerProperty, CapturePinsNeverLeakAndAttributionBalances) {
   EffectProgram P = generate(GetParam());
   SCOPED_TRACE(P.Src);
 
+  // Half the seeds run their generated program under the JIT tier at
+  // threshold 1: the capture pin protocol and the site attribution must
+  // balance identically when performs/resumes cross native frames.
+  bool UseJit = GetParam() % 2 == 0;
+  jit::setCompileThreshold(1);
+  jit::setEnabled(UseJit);
+
   em::Counts.reset();
   obs::Profiler &Prof = obs::Profiler::get();
   Prof.reset();
@@ -393,6 +402,8 @@ TEST_P(EffectHandlerProperty, CapturePinsNeverLeakAndAttributionBalances) {
       EXPECT_TRUE(Rep.ok()) << Rep.str();
     });
   }
+  jit::setEnabled(false);
+  jit::setCompileThreshold(64);
   ASSERT_TRUE(Ok) << Err;
   EXPECT_EQ(Out, std::to_string(P.Expected) + "\n");
 
@@ -424,3 +435,43 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EffectHandlerProperty,
                          [](const ::testing::TestParamInfo<uint64_t> &I) {
                            return "seed" + std::to_string(I.param);
                          });
+
+// Tier determinism as a property: the same generated program, run twice
+// under the JIT at one worker, compiles the same number of functions and
+// prints the same value — tier checks happen only at frame boundaries, so
+// a deterministic schedule replays its tier decisions exactly.
+TEST(EffectHandlerJit, GeneratedProgramsTierDeterministically) {
+  for (uint64_t Seed : {uint64_t(3), uint64_t(9), uint64_t(14)}) {
+    EffectProgram P = generate(Seed);
+    SCOPED_TRACE(P.Src);
+    auto runOnce = [&](std::string &Out, int64_t &Compiled) {
+      jit::setCompileThreshold(1);
+      jit::setEnabled(true);
+      StatRegistry::get().resetAll();
+      rt::Config Cfg;
+      Cfg.NumWorkers = 1;
+      Cfg.GcMinBytes = 1 << 16;
+      rt::Runtime Rt(Cfg);
+      bool Ok = false;
+      Rt.run([&] {
+        std::string Val, TyS;
+        std::vector<std::string> Errs;
+        Ok = pml::evalSource(P.Src, Out, Val, TyS, Errs);
+      });
+      Compiled = StatRegistry::get().valueOf("pml.jit.compiled");
+      jit::setEnabled(false);
+      jit::setCompileThreshold(64);
+      ASSERT_TRUE(Ok);
+    };
+    std::string OutA, OutB;
+    int64_t CompA = 0, CompB = 0;
+    runOnce(OutA, CompA);
+    runOnce(OutB, CompB);
+    EXPECT_EQ(OutA, std::to_string(P.Expected) + "\n");
+    EXPECT_EQ(OutA, OutB);
+    EXPECT_EQ(CompA, CompB);
+    if (!jit::tsanForcedOff() && MPL_JIT_SUPPORTED) {
+      EXPECT_GT(CompA, 0) << "generated program never tiered up";
+    }
+  }
+}

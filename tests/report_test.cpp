@@ -47,6 +47,9 @@ struct RowSpec {
   int64_t Unpins = 0;
   int64_t ContCaptured = 0;
   int64_t ContResumed = 0;
+  int64_t JitCompiled = 0; ///< >0 emits the optional "jit" block.
+  int64_t JitEntries = 0;
+  int64_t JitCodeBytes = 0;
   int64_t Residency = 0;
   int64_t Checksum = 1234;
   int64_t LeakedPins = 0;
@@ -58,6 +61,19 @@ std::string rowJson(const RowSpec &S) {
   std::string Reps;
   for (size_t I = 0; I < S.RepS.size(); ++I)
     Reps += (I ? "," : "") + std::to_string(S.RepS[I]);
+  // Like the BenchJson writer, the "jit" block is additive: emitted only
+  // when the row actually compiled something.
+  std::string Jit;
+  if (S.JitCompiled > 0) {
+    char JBuf[160];
+    std::snprintf(JBuf, sizeof(JBuf),
+                  "\"jit\":{\"compiled\":%lld,\"entries\":%lld,"
+                  "\"code_bytes\":%lld},",
+                  static_cast<long long>(S.JitCompiled),
+                  static_cast<long long>(S.JitEntries),
+                  static_cast<long long>(S.JitCodeBytes));
+    Jit = JBuf;
+  }
   char Buf[2048];
   std::snprintf(
       Buf, sizeof(Buf),
@@ -68,6 +84,7 @@ std::string rowJson(const RowSpec &S) {
       "\"em\":{\"entangled_reads\":%lld,\"pins_down\":%lld,\"pins_cross\":0,"
       "\"pins_holder\":0,\"pinned_objects\":%lld,\"pinned_bytes\":%lld,"
       "\"unpins\":%lld,\"cont_captured\":%lld,\"cont_resumed\":%lld},"
+      "%s"
       "\"gc\":{\"collections\":1,\"max_pause_ns\":0,\"total_pause_ns\":0,"
       "\"inplace_bytes\":0},"
       "\"max_residency_bytes\":%lld,\"checksum\":%lld,"
@@ -80,7 +97,7 @@ std::string rowJson(const RowSpec &S) {
       static_cast<long long>(S.PinnedObjects),
       static_cast<long long>(S.PinnedBytes), static_cast<long long>(S.Unpins),
       static_cast<long long>(S.ContCaptured),
-      static_cast<long long>(S.ContResumed),
+      static_cast<long long>(S.ContResumed), Jit.c_str(),
       static_cast<long long>(S.Residency), static_cast<long long>(S.Checksum),
       static_cast<long long>(S.LeakedPins),
       static_cast<long long>(S.ProfBytes), S.SitesJson.c_str());
@@ -429,6 +446,99 @@ TEST(ReportCounterGate, ContinuationTrafficJump) {
   EXPECT_NE(F->Message.find("cont_captured"), std::string::npos) << F->Message;
   // Without the counter opt-in the same jump passes.
   EXPECT_TRUE(gateOne(Base, Cur).ok());
+}
+
+TEST(ReportCounterGate, JitBlockParsedAndGated) {
+  // The BENCH_T3 jit ablation rows: tiering at threshold 1 makes the
+  // compile count a function of the program, so it gates like the
+  // continuation counters — a compile explosion fails, fewer compiles
+  // (or an absent block, i.e. interpreter rows) never do.
+  RowSpec Base, Cur;
+  Base.Config = Cur.Config = "pml-jit-manage";
+  Base.JitCompiled = 6;
+  Base.JitEntries = 4000;
+  Base.JitCodeBytes = 9000;
+  BenchFile F = parseOrDie(fileJson(0.05, {Base}));
+  EXPECT_EQ(F.Rows[0].JitCompiled, 6);
+  EXPECT_EQ(F.Rows[0].JitEntries, 4000);
+  EXPECT_EQ(F.Rows[0].JitCodeBytes, 9000);
+  // Absent block parses as zeros (old baselines stay loadable).
+  EXPECT_EQ(parseOrDie(fileJson(0.05, {RowSpec{}})).Rows[0].JitCompiled, 0);
+
+  GateOptions Opts;
+  Opts.GateCounters = true;
+  Cur = Base;
+  EXPECT_TRUE(gateOne(Base, Cur, Opts).ok());
+  Cur.JitCompiled = 0; // interpreter fallback: gates upward only
+  Cur.JitEntries = 0;
+  Cur.JitCodeBytes = 0;
+  EXPECT_TRUE(gateOne(Base, Cur, Opts).ok());
+  Cur = Base;
+  Cur.JitCompiled = 600; // past 100% tolerance + 128-event slack
+  GateResult R = gateOne(Base, Cur, Opts);
+  EXPECT_FALSE(R.ok());
+  const Finding *F2 = R.first(Finding::Kind::CounterRegression);
+  ASSERT_NE(F2, nullptr);
+  EXPECT_NE(F2->Message.find("jit_compiled"), std::string::npos)
+      << F2->Message;
+}
+
+TEST(ReportTimeGate, ConfigSubstrArmsTimeGateSelectively) {
+  // BENCH_T3 runs counters-only (--no-time-gate) except for the jit
+  // ablation rows, which --time-gate-config pml-jit holds to the
+  // stddev-aware time rule: losing the JIT's speedup must fail even
+  // while the noisier interpreter rows stay exempt.
+  RowSpec InterpB, JitB;
+  InterpB.Name = JitB.Name = "fib-25";
+  InterpB.Config = "pml-interp-manage";
+  JitB.Config = "pml-jit-manage";
+  RowSpec InterpC = InterpB, JitC = JitB;
+  InterpC.MedianS = JitC.MedianS = 0.060; // 3x regression on both rows
+  GateOptions Opts;
+  Opts.GateTimes = false;
+  Opts.TimeGateConfigSubstr = "pml-jit";
+  BenchFile B = parseOrDie(fileJson(0.05, {InterpB, JitB}));
+  BenchFile C = parseOrDie(fileJson(0.05, {InterpC, JitC}));
+  GateResult R = gate::compare(B, C, Opts);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.TimeGatedRows, 1); // only the jit row was held to the rule
+  const Finding *F = R.first(Finding::Kind::TimeRegression);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Config, "pml-jit-manage");
+  // A jit row within noise passes with the substring armed.
+  JitC.MedianS = 0.0205;
+  InterpC.MedianS = 0.060; // interp row still 3x: never time-gated
+  C = parseOrDie(fileJson(0.05, {InterpC, JitC}));
+  EXPECT_TRUE(gate::compare(B, C, Opts).ok());
+}
+
+TEST(ReportTimeGate, ConfigSubstrExemptsRowsFromTimeGate) {
+  // The dual knob: the spans-overhead T1 gate runs with the time rule
+  // ON, but the pml VM rows must be exempt — arming spans pins the VM
+  // to the interpreter, so the vm-jit row regresses by construction.
+  RowSpec CppB, VmB;
+  CppB.Name = VmB.Name = "fib";
+  CppB.Config = "par-w1";
+  VmB.Name = "pml-fib-25";
+  VmB.Config = "vm-jit-w1";
+  RowSpec CppC = CppB, VmC = VmB;
+  VmC.MedianS = 0.060; // 3x "regression": interpreter-pinned under spans
+  GateOptions Opts;
+  Opts.TimeExemptConfigSubstr = "vm-";
+  BenchFile B = parseOrDie(fileJson(0.05, {CppB, VmB}));
+  BenchFile C = parseOrDie(fileJson(0.05, {CppC, VmC}));
+  GateResult R = gate::compare(B, C, Opts);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.TimeGatedRows, 1); // only the C++ row was held to the rule
+  // The exemption is surgical: a real regression on the C++ row still
+  // fails even while the vm row is exempt.
+  CppC.MedianS = 0.060;
+  C = parseOrDie(fileJson(0.05, {CppC, VmC}));
+  R = gate::compare(B, C, Opts);
+  EXPECT_FALSE(R.ok());
+  const Finding *F = R.first(Finding::Kind::TimeRegression);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Config, "par-w1");
 }
 
 //===----------------------------------------------------------------------===//

@@ -192,6 +192,10 @@ bool parseBenchJson(const std::string &Text, BenchFile &Out, std::string &Err) {
     R.Unpins = intField(Em, "unpins");
     R.ContCaptured = intField(Em, "cont_captured");
     R.ContResumed = intField(Em, "cont_resumed");
+    const json::Value *Jit = RV.field("jit");
+    R.JitCompiled = intField(Jit, "compiled");
+    R.JitEntries = intField(Jit, "entries");
+    R.JitCodeBytes = intField(Jit, "code_bytes");
     R.GcCount = intField(RV.field("gc"), "collections");
     R.Residency = intField(&RV, "max_residency_bytes");
     if (const json::Value *Ck = RV.field("checksum"); Ck && Ck->isNumber()) {
@@ -307,6 +311,15 @@ struct RowGate {
     // carrier generates; upward-only like every counter.
     counter("cont_captured", B.ContCaptured, C.ContCaptured, Pct, Ev, K);
     counter("cont_resumed", B.ContResumed, C.ContResumed, Pct, Ev, K);
+    // pml.jit.* (jit-tier rows of BENCH_T3): compile count, native
+    // entries and code bytes are deterministic at one worker, so growth
+    // past tolerance means the tiering policy or the templates regressed
+    // (e.g. a function recompiling, or the dispatcher bouncing in and out
+    // of native code). Upward-only like every counter: compiling *less*
+    // shows up in the jit rows' time gate instead.
+    counter("jit_compiled", B.JitCompiled, C.JitCompiled, Pct, Ev, K);
+    counter("jit_entries", B.JitEntries, C.JitEntries, Pct, Ev, K);
+    counter("jit_code_bytes", B.JitCodeBytes, C.JitCodeBytes, Pct, By, K);
     counter("prof_bytes", B.PinBytesAttributed, C.PinBytesAttributed, Pct, By,
             K);
   }
@@ -406,7 +419,14 @@ GateResult compare(const BenchFile &Base, const BenchFile &Cur,
     if (Opts.ProfileDrift)
       G.gateDrift();
     // The time gate: only rows long enough to be stable across machines.
-    if (!Opts.GateTimes || B.MedianS * 1e3 < Opts.MinTimeMs)
+    bool TimeGate =
+        Opts.GateTimes ||
+        (!Opts.TimeGateConfigSubstr.empty() &&
+         B.Config.find(Opts.TimeGateConfigSubstr) != std::string::npos);
+    if (!Opts.TimeExemptConfigSubstr.empty() &&
+        B.Config.find(Opts.TimeExemptConfigSubstr) != std::string::npos)
+      TimeGate = false;
+    if (!TimeGate || B.MedianS * 1e3 < Opts.MinTimeMs)
       continue;
     ++R.TimeGatedRows;
     G.gateTime();

@@ -90,6 +90,9 @@ struct Row {
   int64_t Unpins = 0;
   int64_t ContCaptured = 0; ///< pml effect-handler captures (em block).
   int64_t ContResumed = 0;
+  int64_t JitCompiled = 0;  ///< pml.jit.* ("jit" block; absent = 0).
+  int64_t JitEntries = 0;
+  int64_t JitCodeBytes = 0;
   int64_t GcCount = 0;
   int64_t Residency = 0;
   int64_t Checksum = 0;
@@ -137,6 +140,21 @@ struct GateOptions {
   double StddevK = 2.0;
   double FloorPct = 10.0;
   double MinTimeMs = 10.0;
+
+  /// Non-empty: rows whose config contains this substring are time-gated
+  /// even when GateTimes is false. Lets a counters-only table arm the
+  /// stddev-aware time gate for a subset of rows — CI uses "pml-jit" on
+  /// BENCH_T3 so a JIT performance regression fails while the (noisier,
+  /// interpreter-dominated) carrier rows stay counter-gated only.
+  std::string TimeGateConfigSubstr;
+
+  /// Non-empty: rows whose config contains this substring are *exempt*
+  /// from the time gate even when GateTimes is true (checksums and
+  /// counters still apply). Dual of TimeGateConfigSubstr — CI uses
+  /// "vm-" on the spans-overhead T1 gate because arming the span ledger
+  /// pins the pml VM to the interpreter, so the vm-jit row measures the
+  /// wrong engine there by construction.
+  std::string TimeExemptConfigSubstr;
 
   // Space gate (BENCH_T2): max_residency_bytes and em.pinned_bytes.
   bool GateResidency = false;
